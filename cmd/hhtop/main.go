@@ -1,0 +1,141 @@
+// Command hhtop reports the heavy hitters of a stream of items using a
+// Count-Min-backed tracker, and (optionally) compares the sketch's answers
+// against exact counts.
+//
+// Items are read one per line from stdin or from -file; each line is hashed
+// to a 64-bit identifier, so any tokens (IP addresses, URLs, words) work.
+// With -synthetic N a Zipf-distributed synthetic stream of N items is used
+// instead, which makes the command usable as a demo without any input data.
+//
+// Usage:
+//
+//	hhtop -phi 0.001 < access.log
+//	hhtop -synthetic 1000000 -k 20 -width 4096
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/sketch"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		k         = flag.Int("k", 20, "number of top items to report")
+		phi       = flag.Float64("phi", 0.001, "heavy-hitter threshold as a fraction of the stream length")
+		width     = flag.Int("width", 4096, "Count-Min width (counters per row)")
+		depth     = flag.Int("depth", 4, "Count-Min depth (rows)")
+		file      = flag.String("file", "", "read items from this file instead of stdin")
+		synthetic = flag.Int("synthetic", 0, "generate a synthetic Zipf stream of this many items instead of reading input")
+		seed      = flag.Uint64("seed", 1, "seed for hashing and synthetic data")
+		exact     = flag.Bool("exact", true, "also keep exact counts and report the sketch estimation error")
+	)
+	flag.Parse()
+
+	r := xrand.New(*seed)
+	tracker := sketch.NewHeavyHitterTracker(r, *width, *depth, *k)
+	var exactCounter *stream.ExactCounter
+	if *exact {
+		exactCounter = stream.NewExactCounter()
+	}
+	names := map[uint64]string{}
+
+	process := func(id uint64, label string) {
+		tracker.Update(id, 1)
+		if exactCounter != nil {
+			exactCounter.Update(id, 1)
+		}
+		if label != "" {
+			names[id] = label
+		}
+	}
+
+	total := 0
+	if *synthetic > 0 {
+		s := stream.Zipf(r, 1<<20, *synthetic, 1.1)
+		for _, u := range s.Updates {
+			process(u.Item, "")
+			total++
+		}
+	} else {
+		var in io.Reader = os.Stdin
+		if *file != "" {
+			f, err := os.Open(*file)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hhtop: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			in = f
+		}
+		scanner := bufio.NewScanner(in)
+		scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+		for scanner.Scan() {
+			line := scanner.Text()
+			if line == "" {
+				continue
+			}
+			process(hashToken(line), line)
+			total++
+		}
+		if err := scanner.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "hhtop: reading input: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("processed %d items; sketch uses %d counters (%d KiB)\n",
+		total, tracker.SpaceCounters(), tracker.SpaceCounters()*8/1024)
+	fmt.Printf("items with estimated frequency >= %.4f of the stream:\n\n", *phi)
+	fmt.Printf("%-24s %12s", "item", "estimate")
+	if exactCounter != nil {
+		fmt.Printf(" %12s %10s", "exact", "overest")
+	}
+	fmt.Println()
+	for _, ic := range tracker.HeavyHitters(*phi) {
+		label := names[ic.Item]
+		if label == "" {
+			label = fmt.Sprintf("item-%d", ic.Item)
+		}
+		fmt.Printf("%-24s %12d", truncate(label, 24), ic.Count)
+		if exactCounter != nil {
+			truth := exactCounter.Count(ic.Item)
+			fmt.Printf(" %12d %9.2f%%", truth, 100*float64(ic.Count-truth)/float64(max64(truth, 1)))
+		}
+		fmt.Println()
+	}
+}
+
+// hashToken maps an arbitrary string to a 64-bit item identifier (FNV-1a).
+func hashToken(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

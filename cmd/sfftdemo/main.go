@@ -1,0 +1,106 @@
+// Command sfftdemo generates a signal with a sparse spectrum, recovers the
+// spectrum with the sparse FFT, and compares the result and the running time
+// against the full FFT baseline.
+//
+// Usage:
+//
+//	sfftdemo -n 262144 -k 50
+//	sfftdemo -n 65536 -k 20 -noise 0.001 -robust
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"os"
+	"time"
+
+	"repro/internal/fourier"
+	"repro/internal/sfft"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 1<<18, "signal length (power of two)")
+		k      = flag.Int("k", 50, "spectrum sparsity")
+		noise  = flag.Float64("noise", 0, "time-domain Gaussian noise standard deviation")
+		robust = flag.Bool("robust", false, "use the noise-tolerant variant")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		show   = flag.Int("show", 10, "number of recovered coefficients to print")
+	)
+	flag.Parse()
+
+	if !fourier.IsPowerOfTwo(*n) {
+		fmt.Fprintln(os.Stderr, "sfftdemo: -n must be a power of two")
+		os.Exit(2)
+	}
+	r := xrand.New(*seed)
+
+	// Build a k-sparse spectrum and synthesize the time signal.
+	spec := make([]complex128, *n)
+	truth := make([]sfft.Coefficient, 0, *k)
+	for _, f := range r.Sample(*n, *k) {
+		v := cmplx.Rect(1+r.Float64(), 2*math.Pi*r.Float64())
+		spec[f] = v
+		truth = append(truth, sfft.Coefficient{Freq: f, Value: v})
+	}
+	x := fourier.InverseFFT(spec)
+	if *noise > 0 {
+		for i := range x {
+			x[i] += complex(*noise*r.NormFloat64(), *noise*r.NormFloat64())
+		}
+	}
+	sfft.SortCoefficients(truth)
+
+	// Sparse recovery.
+	var recovered []sfft.Coefficient
+	var err error
+	algo := "exact sparse FFT"
+	start := time.Now()
+	if *robust {
+		algo = "robust sparse FFT"
+		recovered, err = sfft.Robust(x, *k, sfft.Config{}, r)
+	} else {
+		recovered, err = sfft.Exact(x, *k, sfft.Config{}, r)
+	}
+	sparseTime := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfftdemo: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Dense baseline.
+	start = time.Now()
+	baseline := sfft.FFTTopK(x, *k)
+	fullTime := time.Since(start)
+
+	errSparse := vec.CRelativeError(sfft.ToDense(truth, *n), sfft.ToDense(recovered, *n))
+	errFull := vec.CRelativeError(sfft.ToDense(truth, *n), sfft.ToDense(baseline, *n))
+
+	fmt.Printf("signal length n = %d, sparsity k = %d, noise std = %g\n\n", *n, *k, *noise)
+	fmt.Printf("%-22s %12s %14s\n", "method", "time", "spectrum error")
+	fmt.Printf("%-22s %12s %14.6f\n", algo, sparseTime.Round(time.Microsecond), errSparse)
+	fmt.Printf("%-22s %12s %14.6f\n", "full FFT + top-k", fullTime.Round(time.Microsecond), errFull)
+	fmt.Printf("\nspeedup: %.2fx\n\n", fullTime.Seconds()/sparseTime.Seconds())
+
+	limit := *show
+	if limit > len(recovered) {
+		limit = len(recovered)
+	}
+	fmt.Printf("largest %d recovered coefficients:\n", limit)
+	fmt.Printf("%10s %22s %22s\n", "freq", "recovered", "true")
+	trueAt := map[int]complex128{}
+	for _, c := range truth {
+		trueAt[c.Freq] = c.Value
+	}
+	for _, c := range recovered[:limit] {
+		fmt.Printf("%10d %22s %22s\n", c.Freq, fmtC(c.Value), fmtC(trueAt[c.Freq]))
+	}
+}
+
+func fmtC(v complex128) string {
+	return fmt.Sprintf("%.3f%+.3fi", real(v), imag(v))
+}

@@ -1,0 +1,56 @@
+// Command sketchbench regenerates the experiment tables (E1–E10 in
+// DESIGN.md) that reproduce the quantitative claims of the survey.
+//
+// Usage:
+//
+//	sketchbench -exp e1          # run a single experiment
+//	sketchbench -exp all         # run every experiment (default)
+//	sketchbench -exp e7 -quick   # reduced problem sizes
+//	sketchbench -list            # list experiments and the claims they check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (e1..e10) or 'all'")
+		seed  = flag.Uint64("seed", 1, "random seed (identical seeds reproduce identical tables)")
+		quick = flag.Bool("quick", false, "run at reduced problem sizes")
+		list  = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Claim)
+		}
+		return
+	}
+
+	cfg := bench.Config{Seed: *seed, Quick: *quick}
+	var experiments []bench.Experiment
+	if strings.EqualFold(*exp, "all") {
+		experiments = bench.Registry()
+	} else {
+		e, ok := bench.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sketchbench: unknown experiment %q (known: %s)\n", *exp, strings.Join(bench.IDs(), ", "))
+			os.Exit(2)
+		}
+		experiments = []bench.Experiment{e}
+	}
+
+	for _, e := range experiments {
+		fmt.Printf("== %s: %s\n\n", strings.ToUpper(e.ID), e.Claim)
+		for _, table := range e.Run(cfg) {
+			table.Fprint(os.Stdout)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// Package repro is a Go reproduction of the systems surveyed in
+// "Sketching via Hashing: from Heavy Hitters to Compressive Sensing to
+// Sparse Fourier Transform" (Piotr Indyk, PODS 2013).
+//
+// The library lives in internal/ packages, organized around the survey's
+// sections:
+//
+//	internal/core     the unifying "sketch = sparse linear map" view
+//	internal/sketch   Count-Min, Count-Sketch, Misra-Gries, SpaceSaving,
+//	                  Bloom filters, IBLT, dyadic heavy hitters & quantiles
+//	internal/cs       compressed sensing: sparse-matrix decoders and dense
+//	                  baselines (OMP, IHT, ISTA)
+//	internal/jl       Johnson-Lindenstrauss embeddings, feature hashing,
+//	                  SRHT, sketch-and-solve regression and low-rank
+//	internal/sfft     sparse Fourier transform and sparse Hadamard transform
+//	internal/fourier  FFT / FWHT / window-filter substrate
+//	internal/bench    the E1-E10 experiment harness (see DESIGN.md)
+//
+// Runnable entry points are in cmd/ (sketchbench, hhtop, sfftdemo) and
+// examples/ (quickstart, netflow, imaging, features, spectrum). The
+// benchmarks in bench_test.go regenerate every experiment table.
+package repro

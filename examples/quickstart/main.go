@@ -1,0 +1,73 @@
+// Quickstart: a 60-second tour of the library.
+//
+// It shows the same hashing idea doing three different jobs:
+//  1. counting frequent items in a stream with a Count-Min sketch,
+//  2. recovering a sparse vector from linear measurements (compressed
+//     sensing) with the very same kind of matrix, and
+//  3. recovering a sparse Fourier spectrum by hashing in the frequency
+//     domain.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/core"
+	"repro/internal/cs"
+	"repro/internal/fourier"
+	"repro/internal/sfft"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func main() {
+	r := xrand.New(42)
+
+	// --- 1. Heavy hitters on a stream -----------------------------------
+	fmt.Println("1. heavy hitters with a Count-Min sketch")
+	s := stream.Zipf(r, 1<<16, 200_000, 1.2)
+	cm := sketch.NewCountMin(r, 2048, 4)
+	exact := stream.NewExactCounter()
+	for _, u := range s.Updates {
+		cm.Update(u.Item, float64(u.Delta))
+		exact.Update(u.Item, u.Delta)
+	}
+	fmt.Printf("   sketch: %d counters instead of %d exact entries\n", cm.Size(), exact.DistinctItems())
+	for _, ic := range exact.TopK(3) {
+		fmt.Printf("   item %6d  true count %6d   sketch estimate %6.0f\n", ic.Item, ic.Count, cm.Estimate(ic.Item))
+	}
+
+	// --- 2. Compressed sensing with the same hashing matrix --------------
+	fmt.Println("\n2. compressed sensing with a sparse hashing matrix")
+	n, k := 10_000, 12
+	measure := core.NewHashMatrix(r, n, 16*k, 5, core.WithSigns())
+	x := cs.RandomSparseSignal(r, n, k, 10)
+	y := measure.MulVec(x) // m = 16k*5 measurements, nnz-time product
+	xhat, err := (cs.SMP{Iters: 25}).Recover(measure, y, k)
+	if err != nil {
+		panic(err)
+	}
+	m, _ := measure.Dims()
+	fmt.Printf("   recovered a %d-sparse vector of dimension %d from %d measurements\n", k, n, m)
+	fmt.Printf("   relative l2 error: %.2e\n", vec.RelativeError(x, xhat))
+
+	// --- 3. Sparse Fourier transform --------------------------------------
+	fmt.Println("\n3. sparse FFT: hashing in the frequency domain")
+	nfft, kfft := 1<<16, 20
+	spec := make([]complex128, nfft)
+	for _, f := range r.Sample(nfft, kfft) {
+		spec[f] = cmplx.Rect(1+r.Float64(), 2*math.Pi*r.Float64())
+	}
+	signal := fourier.InverseFFT(spec)
+	coeffs, err := sfft.Exact(signal, kfft, sfft.Config{}, r)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("   recovered %d of %d spectrum coefficients without computing a full FFT\n", len(coeffs), kfft)
+	fmt.Printf("   spectrum error: %.2e\n", vec.CRelativeError(spec, sfft.ToDense(coeffs, nfft)))
+}

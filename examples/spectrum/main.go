@@ -1,0 +1,96 @@
+// Spectrum: sparse Fourier transform of a frequency-sparse radio-like signal
+// (the survey's §4: signals in communication and imaging often have sparse
+// spectra, so the DFT can be computed much faster than the FFT).
+//
+// The example synthesizes a signal containing a handful of carrier tones
+// buried in a long observation window plus mild noise, recovers the tones
+// with the robust sparse FFT, and cross-checks both the detected frequencies
+// and the running time against the full FFT.
+//
+// Run with: go run ./examples/spectrum
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+	"time"
+
+	"repro/internal/fourier"
+	"repro/internal/sfft"
+	"repro/internal/xrand"
+)
+
+func main() {
+	r := xrand.New(5)
+
+	const (
+		n        = 1 << 18 // about 262k samples
+		carriers = 12
+		// Per-sample noise. The carriers' time-domain amplitude is about
+		// carriers/n, so this keeps the per-bucket SNR of the sparse
+		// transform comfortably above 1 while still being visible noise.
+		noiseStd = 1e-5
+	)
+
+	// Carrier tones at random frequencies with random amplitudes and phases.
+	type tone struct {
+		freq int
+		amp  float64
+	}
+	var tones []tone
+	spec := make([]complex128, n)
+	for _, f := range r.Sample(n, carriers) {
+		amp := 0.5 + 1.5*r.Float64()
+		spec[f] = cmplx.Rect(amp, 2*math.Pi*r.Float64())
+		tones = append(tones, tone{freq: f, amp: amp})
+	}
+	sort.Slice(tones, func(i, j int) bool { return tones[i].freq < tones[j].freq })
+	signal := fourier.InverseFFT(spec)
+	for i := range signal {
+		signal[i] += complex(noiseStd*r.NormFloat64(), noiseStd*r.NormFloat64())
+	}
+
+	// Sparse recovery. A generous bucket count (16·k) integrates more samples
+	// per bucket, which lowers the per-bucket noise floor enough to pull the
+	// weakest carriers out of the noise.
+	start := time.Now()
+	recovered, err := sfft.Robust(signal, carriers, sfft.Config{Rounds: 8, BucketFactor: 16}, r)
+	if err != nil {
+		panic(err)
+	}
+	sparseTime := time.Since(start)
+
+	// Full FFT baseline.
+	start = time.Now()
+	full := sfft.FFTTopK(signal, carriers)
+	fullTime := time.Since(start)
+
+	fmt.Printf("observation window: %d samples, %d carrier tones, noise std %g\n\n", n, carriers, noiseStd)
+	fmt.Printf("robust sparse FFT:  %10s\n", sparseTime.Round(time.Microsecond))
+	fmt.Printf("full FFT + top-k:   %10s\n", fullTime.Round(time.Microsecond))
+	fmt.Printf("speedup: %.1fx\n\n", fullTime.Seconds()/sparseTime.Seconds())
+
+	recoveredAt := map[int]complex128{}
+	for _, c := range recovered {
+		recoveredAt[c.Freq] = c.Value
+	}
+	fullAt := map[int]complex128{}
+	for _, c := range full {
+		fullAt[c.Freq] = c.Value
+	}
+
+	fmt.Printf("%10s %10s %12s %12s %8s\n", "freq", "true amp", "sparse amp", "fft amp", "found")
+	found := 0
+	for _, tn := range tones {
+		sparseAmp := cmplx.Abs(recoveredAt[tn.freq])
+		fullAmp := cmplx.Abs(fullAt[tn.freq])
+		ok := sparseAmp > 0
+		if ok {
+			found++
+		}
+		fmt.Printf("%10d %10.3f %12.3f %12.3f %8v\n", tn.freq, tn.amp, sparseAmp, fullAmp, ok)
+	}
+	fmt.Printf("\ndetected %d of %d carriers without computing the full spectrum\n", found, carriers)
+}

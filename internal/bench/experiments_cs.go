@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cs"
+	"repro/internal/mat"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// RunE3PhaseTransition sweeps the number of measurements m for a fixed
+// (n, k) and reports the exact-recovery success rate of sparse-matrix
+// decoders against dense-matrix baselines: the survey's claim that hashing
+// matrices need O(k log n) measurements, close to the dense-matrix optimum.
+func RunE3PhaseTransition(cfg Config) []Table {
+	n, k := 4096, 10
+	trials := 20
+	if cfg.Quick {
+		n, k = 512, 5
+		trials = 4
+	}
+	table := Table{
+		Title:   fmt.Sprintf("E3: exact recovery success rate vs measurements (n=%d, k=%d, %d trials; sparse matrices use 5 rows per column)", n, k, trials),
+		Columns: []string{"m", "m/(k log2 n)", "smp", "iht-sparse", "omp-gaussian", "iht-gaussian"},
+	}
+	logn := 0
+	for v := n; v > 1; v >>= 1 {
+		logn++
+	}
+	for _, factor := range []float64{1, 2, 3, 4, 6, 8} {
+		m := int(factor * float64(k*logn))
+		if m >= n {
+			continue
+		}
+		var okSMP, okIHTSparse, okOMP, okIHTDense int
+		for trial := 0; trial < trials; trial++ {
+			r := xrand.New(cfg.Seed + uint64(trial)*101)
+			x := cs.RandomSparseSignal(r, n, k, 5)
+
+			// Sparse hashing matrix: split m into d row blocks. An odd number
+			// of blocks keeps the median estimator well defined, which the
+			// iterative sketch decoders rely on.
+			d := 5
+			width := m / d
+			if width < 1 {
+				width = 1
+			}
+			h := core.NewHashMatrix(r, n, width, d, core.WithSigns())
+			y := h.MulVec(x)
+			if xh, err := (cs.SMP{Iters: 50}).Recover(h, y, k); err == nil && cs.RecoverySuccessful(x, xh, 1e-3) {
+				okSMP++
+			}
+			if xh, err := (cs.IHT{Iters: 100}).Recover(h, y, k); err == nil && cs.RecoverySuccessful(x, xh, 1e-3) {
+				okIHTSparse++
+			}
+
+			// Dense Gaussian baseline with the same number of measurements.
+			g := mat.NewGaussian(r, d*width, n)
+			yg := g.MulVec(x)
+			if xh, err := (cs.OMP{}).Recover(g, yg, k); err == nil && cs.RecoverySuccessful(x, xh, 1e-3) {
+				okOMP++
+			}
+			if xh, err := (cs.IHT{Iters: 100}).Recover(g, yg, k); err == nil && cs.RecoverySuccessful(x, xh, 1e-3) {
+				okIHTDense++
+			}
+		}
+		t := float64(trials)
+		table.AddRow(fmtInt(m), fmtFloat(float64(m)/float64(k*logn)),
+			fmtFloat(float64(okSMP)/t), fmtFloat(float64(okIHTSparse)/t),
+			fmtFloat(float64(okOMP)/t), fmtFloat(float64(okIHTDense)/t))
+	}
+	return []Table{table}
+}
+
+// RunE4RecoveryTime fixes k and sweeps n, comparing wall-clock recovery time
+// of sparse-matrix decoding against dense-matrix OMP and ISTA — the survey's
+// O(n log n) versus O(nm) contrast.
+func RunE4RecoveryTime(cfg Config) []Table {
+	k := 10
+	sizes := []int{1 << 12, 1 << 13, 1 << 14, 1 << 15}
+	if cfg.Quick {
+		sizes = []int{1 << 9, 1 << 10}
+		k = 5
+	}
+	table := Table{
+		Title:   fmt.Sprintf("E4: recovery wall-clock time vs n (k=%d, m = 6·k·log2(n), sparse matrices use 5 rows per column)", k),
+		Columns: []string{"n", "m", "smp", "iht-sparse", "omp-gaussian", "ista-gaussian"},
+	}
+	// buildInstance creates one problem instance of size n with both the
+	// sparse hashing operator and the dense Gaussian operator.
+	buildInstance := func(n int, seed uint64) (x []float64, h *core.HashMatrix, y []float64, g *mat.Dense, yg []float64, m int) {
+		logn := 0
+		for v := n; v > 1; v >>= 1 {
+			logn++
+		}
+		d := 5
+		width := 6 * k * logn / d
+		m = d * width
+		r := xrand.New(seed)
+		x = cs.RandomSparseSignal(r, n, k, 5)
+		h = core.NewHashMatrix(r, n, width, d, core.WithSigns())
+		y = h.MulVec(x)
+		g = mat.NewGaussian(r, m, n)
+		yg = g.MulVec(x)
+		return
+	}
+	for _, n := range sizes {
+		_, h, y, g, yg, m := buildInstance(n, cfg.Seed)
+		tSMP := timeIt(func() { _, _ = (cs.SMP{Iters: 50}).Recover(h, y, k) })
+		tIHT := timeIt(func() { _, _ = (cs.IHT{Iters: 100}).Recover(h, y, k) })
+		tOMP := timeIt(func() { _, _ = (cs.OMP{}).Recover(g, yg, k) })
+		tISTA := timeIt(func() { _, _ = (cs.ISTA{Iters: 300}).Recover(g, yg, k) })
+		table.AddRow(fmtInt(n), fmtInt(m), fmtDuration(tSMP), fmtDuration(tIHT), fmtDuration(tOMP), fmtDuration(tISTA))
+	}
+
+	// Accuracy context for the timing table: relative errors at the largest n.
+	n := sizes[len(sizes)-1]
+	x, h, y, g, yg, _ := buildInstance(n, cfg.Seed+7)
+	acc := Table{
+		Title:   fmt.Sprintf("E4b: relative recovery error at n=%d (same instances as the last timing row)", n),
+		Columns: []string{"method", "relative l2 error"},
+	}
+	if xh, err := (cs.SMP{Iters: 50}).Recover(h, y, k); err == nil {
+		acc.AddRow("smp", fmtFloat(vec.RelativeError(x, xh)))
+	}
+	if xh, err := (cs.IHT{Iters: 100}).Recover(h, y, k); err == nil {
+		acc.AddRow("iht-sparse", fmtFloat(vec.RelativeError(x, xh)))
+	}
+	if xh, err := (cs.OMP{}).Recover(g, yg, k); err == nil {
+		acc.AddRow("omp-gaussian", fmtFloat(vec.RelativeError(x, xh)))
+	}
+	if xh, err := (cs.ISTA{Iters: 300}).Recover(g, yg, k); err == nil {
+		acc.AddRow("ista-gaussian", fmtFloat(vec.RelativeError(x, xh)))
+	}
+	return []Table{table, acc}
+}

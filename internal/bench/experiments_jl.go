@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/jl"
+	"repro/internal/linalg"
+	"repro/internal/mat"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// RunE5JL compares dense Gaussian, sparse, and SRHT embeddings: distortion
+// versus target dimension, and embedding time as a function of the input
+// sparsity (the survey's claim that sparse embeddings run in time
+// proportional to nnz(x)).
+func RunE5JL(cfg Config) []Table {
+	n := 1 << 14
+	trials := 30
+	if cfg.Quick {
+		n = 1 << 10
+		trials = 10
+	}
+	r := xrand.New(cfg.Seed)
+
+	distortion := Table{
+		Title:   fmt.Sprintf("E5a: mean norm distortion vs target dimension m (n=%d, %d random vectors)", n, trials),
+		Columns: []string{"m", "dense-gaussian", "sparse-jl(s=1)", "sparse-jl(s=4)", "srht"},
+	}
+	for _, m := range []int{64, 128, 256, 512} {
+		embeds := []jl.Embedding{
+			jl.NewDenseJL(xrand.New(cfg.Seed+1), m, n),
+			jl.NewSparseJL(xrand.New(cfg.Seed+2), m, n, 1),
+			jl.NewSparseJL(xrand.New(cfg.Seed+3), m, n, 4),
+			jl.NewSRHT(xrand.New(cfg.Seed+4), m, n),
+		}
+		row := []string{fmtInt(m)}
+		for _, e := range embeds {
+			var sum float64
+			for i := 0; i < trials; i++ {
+				x := make([]float64, n)
+				for j := range x {
+					x[j] = r.NormFloat64()
+				}
+				sum += jl.Distortion(e, x)
+			}
+			row = append(row, fmtFloat(sum/float64(trials)))
+		}
+		distortion.AddRow(row...)
+	}
+
+	timing := Table{
+		Title:   fmt.Sprintf("E5b: embedding time vs input sparsity (n=%d, m=256)", n),
+		Columns: []string{"nnz(x)", "dense-gaussian", "sparse-jl(s=1)", "sparse-jl(s=4)", "srht"},
+	}
+	m := 256
+	dense := jl.NewDenseJL(xrand.New(cfg.Seed+1), m, n)
+	s1 := jl.NewSparseJL(xrand.New(cfg.Seed+2), m, n, 1)
+	s4 := jl.NewSparseJL(xrand.New(cfg.Seed+3), m, n, 4)
+	srht := jl.NewSRHT(xrand.New(cfg.Seed+4), m, n)
+	reps := 20
+	if cfg.Quick {
+		reps = 3
+	}
+	var sparsities []int
+	for _, nnz := range []int{16, 256, 4096, n} {
+		if nnz <= n && (len(sparsities) == 0 || sparsities[len(sparsities)-1] != nnz) {
+			sparsities = append(sparsities, nnz)
+		}
+	}
+	for _, nnz := range sparsities {
+		x := make([]float64, n)
+		for _, idx := range r.Sample(n, nnz) {
+			x[idx] = r.NormFloat64()
+		}
+		row := []string{fmtInt(nnz)}
+		for _, e := range []jl.Embedding{dense, s1, s4, srht} {
+			d := timeIt(func() {
+				for i := 0; i < reps; i++ {
+					e.Apply(x)
+				}
+			})
+			row = append(row, fmtDuration(d/time.Duration(reps)))
+		}
+		timing.AddRow(row...)
+	}
+	return []Table{distortion, timing}
+}
+
+// RunE6SketchSolve compares sketch-and-solve least squares and low-rank
+// approximation against the exact solves: residual quality and wall time.
+func RunE6SketchSolve(cfg Config) []Table {
+	cols := 30
+	sizes := []int{2000, 8000, 32000}
+	if cfg.Quick {
+		cols = 10
+		sizes = []int{500, 1500}
+	}
+	ls := Table{
+		Title:   fmt.Sprintf("E6a: overconstrained least squares, %d columns: residual ratio and time", cols),
+		Columns: []string{"rows", "sketch rows", "resid(sketch)/resid(exact)", "t(exact)", "t(sketch)"},
+	}
+	for _, rows := range sizes {
+		r := xrand.New(cfg.Seed)
+		a := mat.NewGaussian(r, rows, cols)
+		xTrue := make([]float64, cols)
+		for i := range xTrue {
+			xTrue[i] = r.NormFloat64()
+		}
+		b := a.MulVec(xTrue)
+		for i := range b {
+			b[i] += 0.05 * r.NormFloat64()
+		}
+		sketchRows := 20 * cols
+		var exact, sketched []float64
+		var err error
+		tExact := timeIt(func() { exact, err = linalg.LeastSquares(a, b) })
+		if err != nil {
+			continue
+		}
+		tSketch := timeIt(func() { sketched, err = jl.SketchedLeastSquares(r, a, b, sketchRows) })
+		if err != nil {
+			continue
+		}
+		re := vec.Norm2(vec.Sub(b, a.MulVec(exact)))
+		rs := vec.Norm2(vec.Sub(b, a.MulVec(sketched)))
+		ratio := 1.0
+		if re > 0 {
+			ratio = rs / re
+		}
+		ls.AddRow(fmtInt(rows), fmtInt(sketchRows), fmtFloat(ratio), fmtDuration(tExact), fmtDuration(tSketch))
+	}
+
+	lr := Table{
+		Title:   "E6b: rank-5 approximation error (Frobenius, relative) sketched vs power iteration on the full matrix",
+		Columns: []string{"rows", "cols", "rel err (sketched)", "rel err (full power)", "t(sketched)", "t(full)"},
+	}
+	lrSizes := []struct{ rows, cols int }{{1000, 60}, {4000, 80}}
+	if cfg.Quick {
+		lrSizes = []struct{ rows, cols int }{{300, 30}}
+	}
+	for _, sz := range lrSizes {
+		r := xrand.New(cfg.Seed + 5)
+		rank := 5
+		basis := mat.NewGaussian(r, rank, sz.cols)
+		a := mat.NewDense(sz.rows, sz.cols)
+		for i := 0; i < sz.rows; i++ {
+			for c := 0; c < rank; c++ {
+				coef := r.NormFloat64()
+				for j := 0; j < sz.cols; j++ {
+					a.Set(i, j, a.At(i, j)+coef*basis.At(c, j))
+				}
+			}
+			for j := 0; j < sz.cols; j++ {
+				a.Set(i, j, a.At(i, j)+0.01*r.NormFloat64())
+			}
+		}
+		total := vec.Norm2(a.Data)
+		var qSketch, qFull *mat.Dense
+		var err error
+		tSketch := timeIt(func() { qSketch, err = jl.SketchedLowRank(r, a, rank, 10) })
+		if err != nil {
+			continue
+		}
+		tFull := timeIt(func() { qFull = linalg.TopSingularVectors(a, rank, 40, r) })
+		lr.AddRow(fmtInt(sz.rows), fmtInt(sz.cols),
+			fmtFloat(jl.LowRankError(a, qSketch)/total),
+			fmtFloat(jl.LowRankError(a, qFull)/total),
+			fmtDuration(tSketch), fmtDuration(tFull))
+	}
+	return []Table{ls, lr}
+}

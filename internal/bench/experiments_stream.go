@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/hashing"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+// RunE1HeavyHitters sweeps the space given to each summary and reports how
+// well it recovers the true heavy hitters of a Zipf stream (recall,
+// precision, mean relative count error), alongside the exact-counter cost.
+// It also includes the conservative-update and Count-Sketch ablations.
+func RunE1HeavyHitters(cfg Config) []Table {
+	universe := uint64(1 << 20)
+	length := 2_000_000
+	if cfg.Quick {
+		universe = 1 << 14
+		length = 50_000
+	}
+	const alpha = 1.1
+	const phi = 0.001
+
+	r := xrand.New(cfg.Seed)
+	s := stream.Zipf(r, universe, length, alpha)
+	exact := stream.NewExactCounter()
+	for _, u := range s.Updates {
+		exact.Update(u.Item, u.Delta)
+	}
+	truth := exact.HeavyHitters(phi)
+	trueSet := map[uint64]int64{}
+	for _, ic := range truth {
+		trueSet[ic.Item] = ic.Count
+	}
+
+	table := Table{
+		Title:   fmt.Sprintf("E1: heavy hitters on Zipf(%.1f), N=%d items, universe=%d, phi=%.3f (true heavy hitters: %d; exact counter uses %d entries)", alpha, length, universe, phi, len(truth), exact.DistinctItems()),
+		Columns: []string{"method", "counters", "recall", "precision", "mean rel err"},
+	}
+
+	type reported struct {
+		items map[uint64]int64
+		space int
+	}
+	evaluate := func(name string, rep reported) {
+		var hit, relErrCount int
+		var relErrSum float64
+		for item, trueCount := range trueSet {
+			est, ok := rep.items[item]
+			if !ok {
+				continue
+			}
+			hit++
+			relErrSum += absFloat(float64(est)-float64(trueCount)) / float64(trueCount)
+			relErrCount++
+		}
+		recall := float64(hit) / float64(len(trueSet))
+		precision := 1.0
+		if len(rep.items) > 0 {
+			truePos := 0
+			for item := range rep.items {
+				if _, ok := trueSet[item]; ok {
+					truePos++
+				}
+			}
+			precision = float64(truePos) / float64(len(rep.items))
+		}
+		meanRel := 0.0
+		if relErrCount > 0 {
+			meanRel = relErrSum / float64(relErrCount)
+		}
+		table.AddRow(name, fmtInt(rep.space), fmtFloat(recall), fmtFloat(precision), fmtFloat(meanRel))
+	}
+
+	toMap := func(items []stream.ItemCount) map[uint64]int64 {
+		out := make(map[uint64]int64, len(items))
+		for _, ic := range items {
+			out[ic.Item] = ic.Count
+		}
+		return out
+	}
+
+	for _, width := range []int{512, 2048, 8192} {
+		depth := 4
+		// Count-Min + tracker.
+		tr := sketch.NewHeavyHitterTracker(xrand.New(cfg.Seed+1), width, depth, 4*len(truth)+16)
+		for _, u := range s.Updates {
+			tr.Update(u.Item, float64(u.Delta))
+		}
+		evaluate(fmt.Sprintf("count-min w=%d", width), reported{items: toMap(tr.HeavyHitters(phi)), space: width * depth})
+
+		// Count-Sketch point estimates over the tracker candidates.
+		cs := sketch.NewCountSketch(xrand.New(cfg.Seed+2), width, 5)
+		for _, u := range s.Updates {
+			cs.Update(u.Item, float64(u.Delta))
+		}
+		csItems := map[uint64]int64{}
+		for _, ic := range tr.TopK() {
+			if est := cs.Estimate(ic.Item); est >= phi*float64(exact.Total()) {
+				csItems[ic.Item] = int64(est + 0.5)
+			}
+		}
+		evaluate(fmt.Sprintf("count-sketch w=%d", width), reported{items: csItems, space: width * 5})
+
+		// Conservative-update ablation.
+		cons := sketch.NewCountMin(xrand.New(cfg.Seed+3), width, depth, sketch.WithConservativeUpdate())
+		for _, u := range s.Updates {
+			cons.Update(u.Item, float64(u.Delta))
+		}
+		consItems := map[uint64]int64{}
+		for _, ic := range tr.TopK() {
+			if est := cons.Estimate(ic.Item); est >= phi*float64(exact.Total()) {
+				consItems[ic.Item] = int64(est + 0.5)
+			}
+		}
+		evaluate(fmt.Sprintf("count-min-cons w=%d", width), reported{items: consItems, space: width * depth})
+
+		// Deterministic baselines with comparable space.
+		k := width * depth / 2 // two words per counter entry
+		mg := sketch.NewMisraGries(k)
+		ss := sketch.NewSpaceSaving(k)
+		for _, u := range s.Updates {
+			mg.Update(u.Item, u.Delta)
+			ss.Update(u.Item, u.Delta)
+		}
+		evaluate(fmt.Sprintf("misra-gries k=%d", k), reported{items: toMap(mg.HeavyHitters(phi)), space: 2 * k})
+		evaluate(fmt.Sprintf("space-saving k=%d", k), reported{items: toMap(ss.HeavyHitters(phi)), space: 2 * k})
+	}
+	return []Table{table}
+}
+
+// RunE2Throughput measures single-threaded update and point-query throughput
+// of each sketch, including the hash-family ablation for Count-Min.
+func RunE2Throughput(cfg Config) []Table {
+	updates := 2_000_000
+	if cfg.Quick {
+		updates = 100_000
+	}
+	universe := uint64(1 << 20)
+	r := xrand.New(cfg.Seed)
+	s := stream.Zipf(r, universe, updates, 1.1)
+
+	table := Table{
+		Title:   fmt.Sprintf("E2: update/query throughput, %d updates over universe %d", updates, universe),
+		Columns: []string{"method", "counters", "updates/sec (M)", "queries/sec (M)"},
+	}
+
+	type updater interface {
+		Update(item uint64, delta float64)
+	}
+	type estimator interface {
+		Estimate(item uint64) float64
+	}
+
+	run := func(name string, space int, u updater, e estimator) {
+		updTime := timeIt(func() {
+			for _, up := range s.Updates {
+				u.Update(up.Item, float64(up.Delta))
+			}
+		})
+		queries := len(s.Updates) / 2
+		qryTime := timeIt(func() {
+			for i := 0; i < queries; i++ {
+				e.Estimate(s.Updates[i].Item)
+			}
+		})
+		table.AddRow(name, fmtInt(space),
+			fmt.Sprintf("%.2f", float64(len(s.Updates))/updTime.Seconds()/1e6),
+			fmt.Sprintf("%.2f", float64(queries)/qryTime.Seconds()/1e6))
+	}
+
+	const width, depth = 4096, 4
+	families := []struct {
+		name   string
+		family hashing.Family
+	}{
+		{"count-min/poly2", hashing.FamilyPoly2},
+		{"count-min/poly4", hashing.FamilyPoly4},
+		{"count-min/mulshift", hashing.FamilyMultiplyShift},
+		{"count-min/tabulation", hashing.FamilyTabulation},
+	}
+	for _, f := range families {
+		cm := sketch.NewCountMin(xrand.New(cfg.Seed+1), width, depth, sketch.WithCountMinHashFamily(f.family))
+		run(f.name, width*depth, cm, cm)
+	}
+	cs := sketch.NewCountSketch(xrand.New(cfg.Seed+2), width, depth+1)
+	run("count-sketch/poly2", width*(depth+1), cs, cs)
+
+	return []Table{table}
+}
+
+// RunE10IBLT sweeps the load factor of an invertible Bloom lookup table and
+// reports the full-decode success rate for different hash counts.
+func RunE10IBLT(cfg Config) []Table {
+	cells := 1024
+	trials := 40
+	if cfg.Quick {
+		cells = 256
+		trials = 10
+	}
+	table := Table{
+		Title:   fmt.Sprintf("E10: IBLT decode success rate, %d cells, %d trials per point", cells, trials),
+		Columns: []string{"load (keys/cells)", "k=3 success", "k=4 success", "k=5 success"},
+	}
+	for _, load := range []float64{0.3, 0.5, 0.7, 0.8, 0.9, 1.0, 1.2} {
+		keys := int(load * float64(cells))
+		row := []string{fmtFloat(load)}
+		for _, k := range []int{3, 4, 5} {
+			success := 0
+			for trial := 0; trial < trials; trial++ {
+				r := xrand.New(cfg.Seed + uint64(trial)*31 + uint64(k))
+				t := sketch.NewIBLT(r, cells, k)
+				for i := 0; i < keys; i++ {
+					t.Insert(uint64(i)*2654435761 + uint64(trial))
+				}
+				if decoded, err := t.ListEntries(); err == nil && len(decoded) == keys {
+					success++
+				}
+			}
+			row = append(row, fmtFloat(float64(success)/float64(trials)))
+		}
+		table.AddRow(row...)
+	}
+	return []Table{table}
+}
+
+func absFloat(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

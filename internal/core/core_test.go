@@ -1,0 +1,264 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// interface conformance checks
+var (
+	_ LinearSketch = (*HashMatrix)(nil)
+	_ LinearSketch = (*CountMinSketchAdapter)(nil)
+	_ LinearSketch = (*CountSketchAdapter)(nil)
+	_ mat.Operator = (*HashMatrix)(nil)
+)
+
+func randVec(r *xrand.Rand, n int, sparsity int) []float64 {
+	x := make([]float64, n)
+	for _, i := range r.Sample(n, sparsity) {
+		x[i] = r.NormFloat64() * 10
+	}
+	return x
+}
+
+func TestHashMatrixStreamEqualsMatrixProduct(t *testing.T) {
+	// The survey's central identity: sketching a stream item-by-item gives
+	// exactly A*x for the stream's frequency vector.
+	for _, signed := range []bool{false, true} {
+		r := xrand.New(1)
+		opts := []HashMatrixOption{}
+		if signed {
+			opts = append(opts, WithSigns())
+		}
+		h := NewHashMatrix(r, 500, 64, 4, opts...)
+		s := stream.Zipf(xrand.New(2), 500, 5000, 1.1)
+		for _, u := range s.Updates {
+			h.UpdateEntry(u.Item, float64(u.Delta))
+		}
+		x := s.FrequencyVector()
+		want := h.MulVec(x)
+		got := h.Measurements()
+		if vec.Norm2(vec.Sub(got, want)) > 1e-9 {
+			t.Fatalf("signed=%v: streaming measurements differ from A*x", signed)
+		}
+	}
+}
+
+func TestHashMatrixMatchesExplicitCSR(t *testing.T) {
+	r := xrand.New(3)
+	h := NewHashMatrix(r, 200, 32, 3, WithSigns())
+	csr := h.ToCSR()
+	x := randVec(xrand.New(4), 200, 20)
+	a := h.MulVec(x)
+	b := csr.MulVec(x)
+	if vec.Norm2(vec.Sub(a, b)) > 1e-9 {
+		t.Fatal("implicit and explicit MulVec differ")
+	}
+	y := make([]float64, h.MeasurementCount())
+	for i := range y {
+		y[i] = xrand.New(5).NormFloat64()
+	}
+	at := h.TMulVec(y)
+	bt := csr.TMulVec(y)
+	if vec.Norm2(vec.Sub(at, bt)) > 1e-9 {
+		t.Fatal("implicit and explicit TMulVec differ")
+	}
+}
+
+func TestHashMatrixSparsity(t *testing.T) {
+	r := xrand.New(5)
+	h := NewHashMatrix(r, 100, 16, 3)
+	csr := h.ToCSR()
+	if csr.NNZ() != 100*3 {
+		t.Fatalf("NNZ = %d, want %d (exactly rowsPer non-zeros per column)", csr.NNZ(), 300)
+	}
+	m, n := h.Dims()
+	if m != 48 || n != 100 {
+		t.Fatalf("Dims = %d,%d", m, n)
+	}
+	if h.RowsPerColumn() != 3 || h.Width() != 16 {
+		t.Fatal("accessor mismatch")
+	}
+}
+
+func TestHashMatrixEstimators(t *testing.T) {
+	// Unsigned estimate (min) never underestimates a non-negative vector;
+	// signed estimate (median) is within a small error of the truth for a
+	// heavy coordinate.
+	r := xrand.New(7)
+	x := make([]float64, 2000)
+	x[42] = 1000
+	for i := 0; i < 300; i++ {
+		x[100+i] = 1
+	}
+
+	unsigned := NewHashMatrix(r, 2000, 256, 4)
+	SketchVector(unsigned, x)
+	if est := unsigned.Estimate(42); est < 1000 {
+		t.Errorf("unsigned estimate %v underestimates 1000", est)
+	}
+
+	signed := NewHashMatrix(r, 2000, 256, 5, WithSigns())
+	SketchVector(signed, x)
+	if est := signed.Estimate(42); math.Abs(est-1000) > 50 {
+		t.Errorf("signed estimate %v too far from 1000", est)
+	}
+}
+
+func TestHashMatrixReset(t *testing.T) {
+	r := xrand.New(9)
+	h := NewHashMatrix(r, 10, 8, 2)
+	h.UpdateEntry(3, 5)
+	h.Reset()
+	if vec.Norm2(h.Measurements()) != 0 {
+		t.Fatal("Reset did not clear measurements")
+	}
+}
+
+func TestHashMatrixPanics(t *testing.T) {
+	r := xrand.New(1)
+	h := NewHashMatrix(r, 10, 8, 2)
+	cases := []func(){
+		func() { NewHashMatrix(r, 0, 8, 2) },
+		func() { NewHashMatrix(r, 10, 0, 2) },
+		func() { NewHashMatrix(r, 10, 8, 0) },
+		func() { h.MulVec(make([]float64, 3)) },
+		func() { h.TMulVec(make([]float64, 3)) },
+		func() { h.UpdateEntry(99, 1) },
+		func() { h.Estimate(99) },
+		func() { NewCountMinAdapter(nil, 0) },
+		func() { NewCountSketchAdapter(nil, 0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCountMinAdapterIdentity(t *testing.T) {
+	// sketch(stream) == A * frequencyVector(stream) for the real CountMin.
+	r := xrand.New(11)
+	cm := sketch.NewCountMin(r, 64, 4)
+	adapter := NewCountMinAdapter(cm, 300)
+	s := stream.Zipf(xrand.New(12), 300, 4000, 1.1)
+	for _, u := range s.Updates {
+		adapter.UpdateEntry(u.Item, float64(u.Delta))
+	}
+	want := adapter.Matrix().MulVec(s.FrequencyVector())
+	got := adapter.Measurements()
+	if len(got) != adapter.MeasurementCount() || adapter.MeasurementCount() != 64*4 {
+		t.Fatalf("measurement count mismatch")
+	}
+	if adapter.InputDim() != 300 {
+		t.Fatalf("InputDim = %d", adapter.InputDim())
+	}
+	if vec.Norm2(vec.Sub(got, want)) > 1e-9 {
+		t.Fatal("CountMin adapter: sketch state != A*x")
+	}
+}
+
+func TestCountSketchAdapterIdentity(t *testing.T) {
+	r := xrand.New(13)
+	cs := sketch.NewCountSketch(r, 64, 5)
+	adapter := NewCountSketchAdapter(cs, 300)
+	s := stream.Zipf(xrand.New(14), 300, 4000, 1.1)
+	for _, u := range s.Updates {
+		adapter.UpdateEntry(u.Item, float64(u.Delta))
+	}
+	want := adapter.Matrix().MulVec(s.FrequencyVector())
+	got := adapter.Measurements()
+	if vec.Norm2(vec.Sub(got, want)) > 1e-9 {
+		t.Fatal("CountSketch adapter: sketch state != A*x")
+	}
+	if adapter.MeasurementCount() != 64*5 || adapter.InputDim() != 300 {
+		t.Fatal("dimension accessors wrong")
+	}
+}
+
+// Property: linearity of the streaming sketch — sketching x and y separately
+// and adding measurement vectors equals sketching x+y.
+func TestLinearSketchAdditivityProperty(t *testing.T) {
+	r := xrand.New(17)
+	h := NewHashMatrix(r, 100, 32, 3, WithSigns())
+	f := func(seed uint64) bool {
+		rr := xrand.New(seed)
+		x := randVec(rr, 100, 10)
+		y := randVec(rr, 100, 10)
+
+		h.Reset()
+		SketchVector(h, x)
+		mx := h.Measurements()
+		h.Reset()
+		SketchVector(h, y)
+		my := h.Measurements()
+		h.Reset()
+		SketchVector(h, vec.Add(x, y))
+		mxy := h.Measurements()
+
+		return vec.Norm2(vec.Sub(mxy, vec.Add(mx, my))) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: update order does not matter (the defining property of a linear
+// sketch over a turnstile stream).
+func TestUpdateOrderInvarianceProperty(t *testing.T) {
+	r := xrand.New(19)
+	h := NewHashMatrix(r, 50, 16, 3)
+	f := func(seed uint64) bool {
+		rr := xrand.New(seed)
+		n := 30
+		updates := make([]stream.Update, n)
+		for i := range updates {
+			updates[i] = stream.Update{Item: rr.Uint64n(50), Delta: int64(rr.Intn(21) - 10)}
+		}
+		h.Reset()
+		for _, u := range updates {
+			h.UpdateEntry(u.Item, float64(u.Delta))
+		}
+		a := h.Measurements()
+		h.Reset()
+		perm := rr.Perm(n)
+		for _, p := range perm {
+			h.UpdateEntry(updates[p].Item, float64(updates[p].Delta))
+		}
+		b := h.Measurements()
+		return vec.Norm2(vec.Sub(a, b)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHashMatrixUpdateEntry(b *testing.B) {
+	h := NewHashMatrix(xrand.New(1), 1<<20, 4096, 4, WithSigns())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.UpdateEntry(uint64(i)&((1<<20)-1), 1)
+	}
+}
+
+func BenchmarkHashMatrixMulVec(b *testing.B) {
+	r := xrand.New(1)
+	h := NewHashMatrix(r, 1<<14, 1024, 4, WithSigns())
+	x := randVec(r, 1<<14, 1<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.MulVec(x)
+	}
+}

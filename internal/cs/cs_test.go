@@ -1,0 +1,299 @@
+package cs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func TestRandomSparseSignal(t *testing.T) {
+	r := xrand.New(1)
+	x := RandomSparseSignal(r, 100, 10, 5)
+	if vec.NNZ(x) != 10 {
+		t.Fatalf("NNZ = %d, want 10", vec.NNZ(x))
+	}
+	for _, v := range x {
+		if v != 0 && (math.Abs(v) < 2.5 || math.Abs(v) > 7.5) {
+			t.Fatalf("entry %v outside expected magnitude range", v)
+		}
+	}
+	// k > n clamps.
+	if vec.NNZ(RandomSparseSignal(r, 5, 10, 1)) != 5 {
+		t.Error("k > n should clamp to n")
+	}
+}
+
+func TestNonNegativeSparseSignal(t *testing.T) {
+	r := xrand.New(2)
+	x := NonNegativeSparseSignal(r, 50, 8, 3)
+	if vec.NNZ(x) != 8 {
+		t.Fatalf("NNZ = %d", vec.NNZ(x))
+	}
+	for _, v := range x {
+		if v < 0 {
+			t.Fatal("negative entry in non-negative signal")
+		}
+	}
+}
+
+func TestNoisySparseSignal(t *testing.T) {
+	r := xrand.New(3)
+	noisy, clean := NoisySparseSignal(r, 200, 5, 10, 0.1)
+	if vec.NNZ(clean) != 5 {
+		t.Fatalf("clean NNZ = %d", vec.NNZ(clean))
+	}
+	diff := vec.Norm2(vec.Sub(noisy, clean))
+	if diff == 0 {
+		t.Fatal("noise was not added")
+	}
+	if diff > 0.1*math.Sqrt(200)*3 {
+		t.Fatalf("noise level %v implausibly high", diff)
+	}
+}
+
+func TestPowerLawSignal(t *testing.T) {
+	r := xrand.New(4)
+	x := PowerLawSignal(r, 1000, 1.5)
+	// Compressible: top 50 coefficients should hold most of the energy.
+	head, tail := vec.HeadTailSplit(x, 50)
+	if tail > head {
+		t.Fatalf("power-law signal not compressible: head %v tail %v", head, tail)
+	}
+}
+
+func TestSupportAndSuccessHelpers(t *testing.T) {
+	truth := []float64{0, 3, 0, -2, 0}
+	good := []float64{0.01, 2.9, 0.005, -1.8, 0}
+	if !SupportRecovered(truth, good) {
+		t.Error("SupportRecovered should accept matching top-k support")
+	}
+	bad := []float64{5, 0.1, 0, -2, 0}
+	if SupportRecovered(truth, bad) {
+		t.Error("SupportRecovered should reject wrong support")
+	}
+	if !RecoverySuccessful(truth, []float64{0, 3, 0, -2, 0}, 1e-9) {
+		t.Error("exact recovery should be successful")
+	}
+	if RecoverySuccessful(truth, []float64{0, 0, 0, 0, 0}, 0.1) {
+		t.Error("zero estimate should not be successful")
+	}
+}
+
+// ---- exact recovery tests: every algorithm on its natural matrix family ----
+
+func TestSketchDecodeNonNegativeCountMin(t *testing.T) {
+	r := xrand.New(10)
+	n, k := 2000, 10
+	h := core.NewHashMatrix(r, n, 16*k, 5) // unsigned: Count-Min style
+	x := NonNegativeSparseSignal(r, n, k, 10)
+	y := h.MulVec(x)
+	xhat, err := SketchDecode{}.Recover(h, y, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SupportRecovered(x, xhat) {
+		t.Fatal("Count-Min sketch decode missed the support")
+	}
+	if vec.RelativeError(x, xhat) > 0.2 {
+		t.Fatalf("relative error %v too high", vec.RelativeError(x, xhat))
+	}
+}
+
+func TestSketchDecodeSignedCountSketch(t *testing.T) {
+	r := xrand.New(11)
+	n, k := 2000, 10
+	h := core.NewHashMatrix(r, n, 20*k, 7, core.WithSigns())
+	x := RandomSparseSignal(r, n, k, 10)
+	y := h.MulVec(x)
+	xhat, err := SketchDecode{Debias: true}.Recover(h, y, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.RelativeError(x, xhat) > 0.05 {
+		t.Fatalf("relative error %v too high", vec.RelativeError(x, xhat))
+	}
+	if (SketchDecode{Debias: true}).Name() == (SketchDecode{}).Name() {
+		t.Error("debias variant should have a distinct name")
+	}
+}
+
+func TestSketchDecodeRejectsDenseOperator(t *testing.T) {
+	r := xrand.New(12)
+	a := mat.NewGaussian(r, 20, 50)
+	if _, err := (SketchDecode{}).Recover(a, make([]float64, 20), 3); err != ErrUnsupportedOperator {
+		t.Fatalf("expected ErrUnsupportedOperator, got %v", err)
+	}
+	if _, err := (SMP{}).Recover(a, make([]float64, 20), 3); err != ErrUnsupportedOperator {
+		t.Fatalf("expected ErrUnsupportedOperator, got %v", err)
+	}
+}
+
+func TestOMPExactRecoveryGaussian(t *testing.T) {
+	r := xrand.New(13)
+	n, m, k := 400, 100, 8
+	a := mat.NewGaussian(r, m, n)
+	x := RandomSparseSignal(r, n, k, 5)
+	y := a.MulVec(x)
+	xhat, err := OMP{}.Recover(a, y, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.RelativeError(x, xhat) > 1e-6 {
+		t.Fatalf("OMP relative error %v", vec.RelativeError(x, xhat))
+	}
+}
+
+func TestOMPStopsEarlyOnZeroResidual(t *testing.T) {
+	r := xrand.New(14)
+	a := mat.NewGaussian(r, 50, 100)
+	x := RandomSparseSignal(r, 100, 3, 5)
+	y := a.MulVec(x)
+	// Allow up to 20 atoms but it should stop after about 3.
+	xhat, err := OMP{MaxIter: 20}.Recover(a, y, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.NNZ(xhat) > 6 {
+		t.Fatalf("OMP used %d atoms for a 3-sparse consistent system", vec.NNZ(xhat))
+	}
+}
+
+func TestIHTExactRecoveryGaussian(t *testing.T) {
+	r := xrand.New(15)
+	n, m, k := 400, 120, 8
+	a := mat.NewGaussian(r, m, n)
+	x := RandomSparseSignal(r, n, k, 5)
+	y := a.MulVec(x)
+	xhat, err := IHT{Iters: 300}.Recover(a, y, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.RelativeError(x, xhat) > 1e-3 {
+		t.Fatalf("IHT relative error %v", vec.RelativeError(x, xhat))
+	}
+}
+
+func TestIHTOnSparseHashingMatrix(t *testing.T) {
+	r := xrand.New(16)
+	n, k := 1000, 8
+	h := core.NewHashMatrix(r, n, 10*k, 6, core.WithSigns())
+	x := RandomSparseSignal(r, n, k, 5)
+	y := h.MulVec(x)
+	xhat, err := IHT{Iters: 200}.Recover(h, y, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.RelativeError(x, xhat) > 1e-3 {
+		t.Fatalf("IHT-on-sparse relative error %v", vec.RelativeError(x, xhat))
+	}
+}
+
+func TestISTARecoversApproximately(t *testing.T) {
+	r := xrand.New(17)
+	n, m, k := 300, 120, 6
+	a := mat.NewGaussian(r, m, n)
+	x := RandomSparseSignal(r, n, k, 5)
+	y := a.MulVec(x)
+	xhat, err := ISTA{Iters: 500}.Recover(a, y, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SupportRecovered(x, xhat) {
+		t.Fatal("ISTA missed the support")
+	}
+	if vec.RelativeError(x, xhat) > 0.15 {
+		t.Fatalf("ISTA relative error %v", vec.RelativeError(x, xhat))
+	}
+}
+
+func TestSMPExactRecovery(t *testing.T) {
+	r := xrand.New(18)
+	n, k := 2000, 10
+	h := core.NewHashMatrix(r, n, 10*k, 5, core.WithSigns())
+	x := RandomSparseSignal(r, n, k, 5)
+	y := h.MulVec(x)
+	xhat, err := SMP{Iters: 30}.Recover(h, y, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.RelativeError(x, xhat) > 1e-3 {
+		t.Fatalf("SMP relative error %v", vec.RelativeError(x, xhat))
+	}
+}
+
+func TestRecoverersRejectBadMeasurementLength(t *testing.T) {
+	r := xrand.New(19)
+	h := core.NewHashMatrix(r, 100, 20, 3)
+	a := mat.NewGaussian(r, 20, 100)
+	recs := []Recoverer{SketchDecode{}, SMP{}, OMP{}, IHT{}, ISTA{}}
+	for _, rec := range recs {
+		var op mat.Operator = a
+		if rec.Name() == "sketch-decode" || rec.Name() == "smp" {
+			op = h
+		}
+		if _, err := rec.Recover(op, make([]float64, 7), 3); err == nil {
+			t.Errorf("%s accepted wrong measurement length", rec.Name())
+		}
+	}
+}
+
+func TestRecovererNamesDistinct(t *testing.T) {
+	names := map[string]bool{}
+	for _, rec := range []Recoverer{SketchDecode{}, SketchDecode{Debias: true}, SMP{}, OMP{}, IHT{}, ISTA{}} {
+		if names[rec.Name()] {
+			t.Fatalf("duplicate recoverer name %q", rec.Name())
+		}
+		names[rec.Name()] = true
+	}
+}
+
+func TestNoisyRecoveryDegradesGracefully(t *testing.T) {
+	// With measurement noise, recovery error should be bounded by a modest
+	// multiple of the noise level rather than exploding.
+	r := xrand.New(20)
+	n, k := 1000, 5
+	h := core.NewHashMatrix(r, n, 20*k, 5, core.WithSigns())
+	x := RandomSparseSignal(r, n, k, 10)
+	y := h.MulVec(x)
+	noise := make([]float64, len(y))
+	for i := range noise {
+		noise[i] = 0.05 * r.NormFloat64()
+	}
+	yNoisy := vec.Add(y, noise)
+	xhat, err := SMP{Iters: 30}.Recover(h, yNoisy, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.RelativeError(x, xhat) > 0.1 {
+		t.Fatalf("noisy recovery error %v too large", vec.RelativeError(x, xhat))
+	}
+}
+
+// Property: for random exactly-sparse non-negative signals measured with an
+// unsigned hashing matrix, sketch decoding never reports negative entries
+// larger than zero on the true support complement... more simply: the
+// Count-Min style estimate of every true coordinate is an overestimate.
+func TestCountMinEstimateOverestimatesProperty(t *testing.T) {
+	r := xrand.New(21)
+	h := core.NewHashMatrix(r, 500, 64, 4)
+	f := func(seed uint64) bool {
+		rr := xrand.New(seed)
+		x := NonNegativeSparseSignal(rr, 500, 8, 5)
+		y := h.MulVec(x)
+		est := estimateAll(h, y)
+		for j, v := range x {
+			if v > 0 && est[j] < v-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

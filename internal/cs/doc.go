@@ -1,0 +1,20 @@
+// Package cs implements the compressed-sensing algorithms discussed in
+// Section 2 of the survey: recovery of a k-sparse approximation x' of a
+// vector x from the linear measurements y = A·x.
+//
+// Two families of measurement matrices are supported, matching the survey's
+// contrast:
+//
+//   - sparse hashing matrices (core.HashMatrix, one non-zero per column per
+//     hash repetition), recovered by the Count-Min / Count-Sketch estimators
+//     of [CM06], by Sparse Matching Pursuit [BIR08], and by iterative hard
+//     thresholding driven entirely by sparse matrix-vector products;
+//   - dense random matrices (mat.Dense Gaussian/Bernoulli), recovered by
+//     Orthogonal Matching Pursuit, Iterative Hard Thresholding, and ISTA
+//     (an l1 / basis-pursuit-denoising proxy).
+//
+// Every algorithm implements the Recoverer interface so the experiment
+// harness can sweep (n, m, k) grids uniformly. The package also provides the
+// synthetic signal generators used by the experiments (exactly sparse,
+// noisy sparse, power-law decaying).
+package cs

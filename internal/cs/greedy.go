@@ -1,0 +1,78 @@
+package cs
+
+import (
+	"repro/internal/linalg"
+	"repro/internal/mat"
+	"repro/internal/vec"
+)
+
+// OMP is Orthogonal Matching Pursuit: the classic greedy recovery algorithm
+// for dense measurement matrices. At each of k iterations it selects the
+// column most correlated with the current residual, then re-solves least
+// squares on the accumulated support. Its per-iteration cost is dominated by
+// the O(nm) correlation step, which is exactly the dense-matrix cost the
+// survey contrasts with sparse hashing matrices.
+type OMP struct {
+	// MaxIter bounds the number of atoms selected; 0 means select k atoms.
+	MaxIter int
+	// Tol stops early when the residual norm falls below Tol.
+	Tol float64
+}
+
+// Name identifies the algorithm.
+func (OMP) Name() string { return "omp" }
+
+// Recover runs OMP for (up to) k iterations.
+func (o OMP) Recover(a mat.Operator, y []float64, k int) ([]float64, error) {
+	if err := checkMeasurements(a, y); err != nil {
+		return nil, err
+	}
+	_, n := a.Dims()
+	maxIter := o.MaxIter
+	if maxIter <= 0 || maxIter > k {
+		maxIter = k
+	}
+	tol := o.Tol
+	if tol <= 0 {
+		tol = 1e-9 * (1 + vec.Norm2(y))
+	}
+	residual := vec.Clone(y)
+	support := make([]int, 0, maxIter)
+	inSupport := make(map[int]bool, maxIter)
+	x := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		if vec.Norm2(residual) <= tol {
+			break
+		}
+		// Correlation of every column with the residual: A^T r.
+		corr := a.TMulVec(residual)
+		best, bestVal := -1, 0.0
+		for j, c := range corr {
+			if inSupport[j] {
+				continue
+			}
+			if abs := absFloat(c); abs > bestVal {
+				best, bestVal = j, abs
+			}
+		}
+		if best < 0 || bestVal == 0 {
+			break
+		}
+		support = append(support, best)
+		inSupport[best] = true
+		sol, err := linalg.LeastSquaresOnSupport(a, y, support)
+		if err != nil {
+			return nil, err
+		}
+		x = sol
+		residual = vec.Sub(y, a.MulVec(x))
+	}
+	return x, nil
+}
+
+func absFloat(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

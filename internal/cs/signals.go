@@ -1,0 +1,87 @@
+package cs
+
+import (
+	"math"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// RandomSparseSignal returns an exactly k-sparse vector of dimension n whose
+// non-zero entries are ±amplitude times a uniform value in [0.5, 1.5], on a
+// uniformly random support. The slight amplitude spread avoids degenerate
+// ties in top-k selection.
+func RandomSparseSignal(r *xrand.Rand, n, k int, amplitude float64) []float64 {
+	if k > n {
+		k = n
+	}
+	x := make([]float64, n)
+	for _, i := range r.Sample(n, k) {
+		mag := amplitude * (0.5 + r.Float64())
+		x[i] = mag * r.Rademacher()
+	}
+	return x
+}
+
+// NonNegativeSparseSignal returns an exactly k-sparse vector with positive
+// entries only — the frequency-vector case where Count-Min recovery applies.
+func NonNegativeSparseSignal(r *xrand.Rand, n, k int, amplitude float64) []float64 {
+	if k > n {
+		k = n
+	}
+	x := make([]float64, n)
+	for _, i := range r.Sample(n, k) {
+		x[i] = amplitude * (0.5 + r.Float64())
+	}
+	return x
+}
+
+// NoisySparseSignal returns a k-sparse signal plus dense Gaussian noise with
+// the given standard deviation per coordinate, along with the noiseless
+// signal (the recovery target).
+func NoisySparseSignal(r *xrand.Rand, n, k int, amplitude, noiseStd float64) (noisy, clean []float64) {
+	clean = RandomSparseSignal(r, n, k, amplitude)
+	noisy = vec.Clone(clean)
+	for i := range noisy {
+		noisy[i] += noiseStd * r.NormFloat64()
+	}
+	return noisy, clean
+}
+
+// PowerLawSignal returns a compressible (not exactly sparse) signal whose
+// sorted coefficient magnitudes decay as i^{-decay}, with random signs and a
+// random permutation of positions. Such signals are the realistic signal
+// model in imaging applications.
+func PowerLawSignal(r *xrand.Rand, n int, decay float64) []float64 {
+	x := make([]float64, n)
+	perm := r.Perm(n)
+	for rank := 0; rank < n; rank++ {
+		mag := math.Pow(float64(rank+1), -decay)
+		x[perm[rank]] = mag * r.Rademacher()
+	}
+	return x
+}
+
+// SupportRecovered reports whether the top-k support of the estimate matches
+// the true support of an exactly k-sparse signal.
+func SupportRecovered(truth, estimate []float64) bool {
+	k := vec.NNZ(truth)
+	est := vec.HardThreshold(estimate, k)
+	trueSupport := vec.Support(truth)
+	estSupport := vec.Support(est)
+	if len(trueSupport) != len(estSupport) {
+		return false
+	}
+	for i := range trueSupport {
+		if trueSupport[i] != estSupport[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RecoverySuccessful reports whether the estimate recovers the truth to the
+// given relative l2 tolerance.
+func RecoverySuccessful(truth, estimate []float64, tol float64) bool {
+	return vec.RelativeError(truth, estimate) <= tol
+}

@@ -1,0 +1,214 @@
+// Package fourier provides the transform substrate for the sparse Fourier
+// transform work in Section 4 of the survey: a radix-2 fast Fourier
+// transform, Bluestein's algorithm for arbitrary lengths, a reference DFT,
+// the fast Walsh–Hadamard transform (the Fourier transform over the Boolean
+// cube), and the flat-window filters used to bin spectrum coefficients with
+// negligible leakage.
+//
+// Conventions: the forward transform is X[f] = sum_t x[t] * exp(-2πi f t / n)
+// (no normalization); the inverse divides by n. These match the usual
+// engineering convention, so FFT followed by InverseFFT is the identity.
+package fourier
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// FFT returns the discrete Fourier transform of x. The input is not
+// modified. Power-of-two lengths use the iterative radix-2 algorithm;
+// other lengths fall back to Bluestein's algorithm. Length 0 returns an
+// empty slice.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if IsPowerOfTwo(n) {
+		out := make([]complex128, n)
+		copy(out, x)
+		radix2InPlace(out, false)
+		return out
+	}
+	return bluestein(x, false)
+}
+
+// InverseFFT returns the inverse discrete Fourier transform of X, scaled by
+// 1/n so that InverseFFT(FFT(x)) == x.
+func InverseFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	var out []complex128
+	if IsPowerOfTwo(n) {
+		out = make([]complex128, n)
+		copy(out, x)
+		radix2InPlace(out, true)
+	} else {
+		out = bluestein(x, true)
+	}
+	scale := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// FFTReal transforms a real-valued signal.
+func FFTReal(x []float64) []complex128 {
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	return FFT(cx)
+}
+
+// DFT computes the transform by the O(n^2) definition; it is the reference
+// implementation the fast algorithms are tested against.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for f := 0; f < n; f++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(f) * float64(t) / float64(n)
+			sum += x[t] * cmplxExp(angle)
+		}
+		out[f] = sum
+	}
+	return out
+}
+
+// cmplxExp returns exp(i*angle).
+func cmplxExp(angle float64) complex128 {
+	s, c := math.Sincos(angle)
+	return complex(c, s)
+}
+
+// radix2InPlace runs the iterative Cooley-Tukey FFT. inverse selects the
+// conjugate twiddle factors (no scaling is applied here).
+func radix2InPlace(a []complex128, inverse bool) {
+	n := len(a)
+	if n <= 1 {
+		return
+	}
+	logN := bits.TrailingZeros(uint(n))
+	// Bit-reversal permutation.
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> (bits.UintSize - logN))
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := sign * 2 * math.Pi / float64(size)
+		wBase := cmplxExp(step)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for j := 0; j < half; j++ {
+				u := a[start+j]
+				v := a[start+j+half] * w
+				a[start+j] = u + v
+				a[start+j+half] = u - v
+				w *= wBase
+			}
+		}
+	}
+}
+
+// bluestein computes the DFT of arbitrary length via the chirp-z transform,
+// using a power-of-two FFT of length >= 2n-1 internally.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// chirp[k] = exp(sign * i * pi * k^2 / n)
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// Use float64 of k*k mod 2n to keep the angle accurate for large k.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplxExp(sign * math.Pi * float64(kk) / float64(n))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+	}
+	b[0] = cmplxConj(chirp[0])
+	for k := 1; k < n; k++ {
+		b[k] = cmplxConj(chirp[k])
+		b[m-k] = b[k]
+	}
+	radix2InPlace(a, false)
+	radix2InPlace(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2InPlace(a, true)
+	// The length-m inverse above is unscaled; divide by m.
+	out := make([]complex128, n)
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * scale * chirp[k]
+	}
+	return out
+}
+
+func cmplxConj(z complex128) complex128 { return complex(real(z), -imag(z)) }
+
+// FWHT computes the (unnormalized) fast Walsh-Hadamard transform of x in
+// place semantics: a new slice is returned, the input is unchanged. The
+// length must be a power of two. Applying FWHT twice returns the original
+// vector scaled by n.
+func FWHT(x []float64) []float64 {
+	n := len(x)
+	if !IsPowerOfTwo(n) {
+		panic(fmt.Sprintf("fourier: FWHT length %d is not a power of two", n))
+	}
+	a := make([]float64, n)
+	copy(a, x)
+	for size := 1; size < n; size <<= 1 {
+		for start := 0; start < n; start += size * 2 {
+			for j := start; j < start+size; j++ {
+				u, v := a[j], a[j+size]
+				a[j], a[j+size] = u+v, u-v
+			}
+		}
+	}
+	return a
+}
+
+// FWHTNormalized returns the orthonormal Walsh-Hadamard transform
+// (FWHT scaled by 1/sqrt(n)), which is its own inverse.
+func FWHTNormalized(x []float64) []float64 {
+	out := FWHT(x)
+	scale := 1 / math.Sqrt(float64(len(x)))
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// NextPowerOfTwo returns the smallest power of two >= n (and 1 for n <= 1).
+func NextPowerOfTwo(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << (bits.Len(uint(n - 1)))
+}

@@ -1,0 +1,293 @@
+package fourier
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func randComplex(r *xrand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return x
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	r := xrand.New(1)
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 128} {
+		x := randComplex(r, n)
+		fast := FFT(x)
+		slow := DFT(x)
+		if err := vec.CRelativeError(slow, fast); err > 1e-9 {
+			t.Fatalf("n=%d: FFT differs from DFT by %v", n, err)
+		}
+	}
+}
+
+func TestBluesteinMatchesDFT(t *testing.T) {
+	r := xrand.New(2)
+	for _, n := range []int{3, 5, 6, 7, 12, 100, 127} {
+		x := randComplex(r, n)
+		fast := FFT(x)
+		slow := DFT(x)
+		if err := vec.CRelativeError(slow, fast); err > 1e-8 {
+			t.Fatalf("n=%d: Bluestein FFT differs from DFT by %v", n, err)
+		}
+	}
+}
+
+func TestInverseFFTRoundTrip(t *testing.T) {
+	r := xrand.New(3)
+	for _, n := range []int{1, 2, 16, 64, 100, 255, 1024} {
+		x := randComplex(r, n)
+		back := InverseFFT(FFT(x))
+		if err := vec.CRelativeError(x, back); err > 1e-9 {
+			t.Fatalf("n=%d: round trip error %v", n, err)
+		}
+	}
+}
+
+func TestFFTEmptyAndSingle(t *testing.T) {
+	if got := FFT(nil); got != nil {
+		t.Error("FFT(nil) should be nil")
+	}
+	if got := InverseFFT(nil); got != nil {
+		t.Error("InverseFFT(nil) should be nil")
+	}
+	x := []complex128{3 + 4i}
+	if got := FFT(x); got[0] != x[0] {
+		t.Error("FFT of length 1 should be identity")
+	}
+}
+
+func TestFFTKnownValues(t *testing.T) {
+	// FFT of a constant signal is an impulse at frequency 0.
+	n := 16
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = 1
+	}
+	got := FFT(x)
+	if cmplx.Abs(got[0]-complex(float64(n), 0)) > 1e-9 {
+		t.Errorf("FFT[0] = %v, want %d", got[0], n)
+	}
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(got[k]) > 1e-9 {
+			t.Errorf("FFT[%d] = %v, want 0", k, got[k])
+		}
+	}
+	// FFT of a pure tone exp(2*pi*i*f0*t/n) is an impulse at f0.
+	f0 := 5
+	for i := range x {
+		x[i] = cmplxExp(2 * math.Pi * float64(f0) * float64(i) / float64(n))
+	}
+	got = FFT(x)
+	for k := 0; k < n; k++ {
+		want := 0.0
+		if k == f0 {
+			want = float64(n)
+		}
+		if math.Abs(cmplx.Abs(got[k])-want) > 1e-9 {
+			t.Errorf("tone FFT[%d] = %v, want magnitude %v", k, got[k], want)
+		}
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rr := xrand.New(seed)
+		n := 64
+		x := randComplex(rr, n)
+		y := randComplex(rr, n)
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = x[i] + y[i]
+		}
+		lhs := FFT(sum)
+		fx, fy := FFT(x), FFT(y)
+		rhs := make([]complex128, n)
+		for i := range rhs {
+			rhs[i] = fx[i] + fy[i]
+		}
+		return vec.CRelativeError(lhs, rhs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// ||FFT(x)||^2 = n * ||x||^2.
+	f := func(seed uint64) bool {
+		rr := xrand.New(seed)
+		n := 128
+		x := randComplex(rr, n)
+		fx := FFT(x)
+		lhs := vec.CNorm2(fx) * vec.CNorm2(fx)
+		rhs := float64(n) * vec.CNorm2(x) * vec.CNorm2(x)
+		return math.Abs(lhs-rhs) < 1e-6*(1+rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTReal(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	got := FFTReal(x)
+	want := DFT([]complex128{1, 2, 3, 4})
+	if vec.CRelativeError(want, got) > 1e-12 {
+		t.Fatalf("FFTReal mismatch")
+	}
+}
+
+func TestFWHTInvolution(t *testing.T) {
+	r := xrand.New(6)
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		twice := FWHT(FWHT(x))
+		for i := range twice {
+			twice[i] /= float64(n)
+		}
+		if vec.RelativeError(x, twice) > 1e-10 {
+			t.Fatalf("n=%d: FWHT applied twice / n != identity", n)
+		}
+		// Normalized version is an involution directly.
+		norm2 := FWHTNormalized(FWHTNormalized(x))
+		if vec.RelativeError(x, norm2) > 1e-10 {
+			t.Fatalf("n=%d: normalized FWHT not an involution", n)
+		}
+	}
+}
+
+func TestFWHTKnownValues(t *testing.T) {
+	// FWHT of [1,0,0,0] is all-ones (row of the Hadamard matrix).
+	got := FWHT([]float64{1, 0, 0, 0})
+	for _, v := range got {
+		if v != 1 {
+			t.Fatalf("FWHT(e0) = %v", got)
+		}
+	}
+	// FWHT of [1,1,1,1] = [4,0,0,0].
+	got = FWHT([]float64{1, 1, 1, 1})
+	if got[0] != 4 || got[1] != 0 || got[2] != 0 || got[3] != 0 {
+		t.Fatalf("FWHT(ones) = %v", got)
+	}
+}
+
+func TestFWHTPanicsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FWHT(make([]float64, 3))
+}
+
+func TestFWHTParseval(t *testing.T) {
+	r := xrand.New(7)
+	x := make([]float64, 128)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	fx := FWHTNormalized(x)
+	if math.Abs(vec.Norm2(fx)-vec.Norm2(x)) > 1e-9 {
+		t.Fatal("normalized FWHT does not preserve the l2 norm")
+	}
+}
+
+func TestPowerOfTwoHelpers(t *testing.T) {
+	if !IsPowerOfTwo(1) || !IsPowerOfTwo(64) || IsPowerOfTwo(0) || IsPowerOfTwo(12) {
+		t.Error("IsPowerOfTwo wrong")
+	}
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 5: 8, 64: 64, 65: 128}
+	for in, want := range cases {
+		if got := NextPowerOfTwo(in); got != want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestBoxcarFilter(t *testing.T) {
+	f := NewBoxcarFilter(256, 16)
+	if f.SupportLen() != 16 {
+		t.Fatalf("SupportLen = %d", f.SupportLen())
+	}
+	if len(f.Freq) != 256 {
+		t.Fatalf("Freq length %d", len(f.Freq))
+	}
+	// DC gain 1.
+	if cmplx.Abs(f.Freq[0]-1) > 1e-9 {
+		t.Errorf("boxcar DC gain %v, want 1", f.Freq[0])
+	}
+}
+
+func TestFlatWindowLeakageMuchLowerThanBoxcar(t *testing.T) {
+	n, b := 4096, 16
+	boxcar := NewBoxcarFilter(n, n/b)
+	flat := NewFlatWindowFilter(n, b, 1e-8)
+	bandwidth := n / b // pass plus transition region
+	lBox := boxcar.Leakage(bandwidth)
+	lFlat := flat.Leakage(bandwidth)
+	if lFlat >= lBox {
+		t.Fatalf("flat-window leakage %v not better than boxcar %v", lFlat, lBox)
+	}
+	if lFlat > 0.05 {
+		t.Errorf("flat-window leakage %v unexpectedly high", lFlat)
+	}
+}
+
+func TestFilterPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBoxcarFilter(16, 0) },
+		func() { NewBoxcarFilter(16, 17) },
+		func() { NewFlatWindowFilter(16, 0, 1e-6) },
+		func() { NewFlatWindowFilter(16, 4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	x := randComplex(xrand.New(1), 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFFT65536(b *testing.B) {
+	x := randComplex(xrand.New(1), 65536)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFWHT65536(b *testing.B) {
+	r := xrand.New(1)
+	x := make([]float64, 65536)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FWHT(x)
+	}
+}

@@ -1,0 +1,128 @@
+package fourier
+
+import (
+	"math"
+)
+
+// Filter is a time-domain window together with its frequency response,
+// designed so that when a signal is multiplied by the window and aliased
+// into B buckets, each bucket captures a narrow band of the spectrum with
+// controlled leakage into neighbouring buckets. This is the "careful filter
+// design" of [HIKP12a, HIKP12b] the survey highlights: boxcar windows leak
+// heavily (sinc tails), flat-window (Gaussian-convolved-with-rectangle)
+// filters make the leakage negligible.
+type Filter struct {
+	// Time holds the time-domain window coefficients (length SupportLen).
+	Time []complex128
+	// Freq holds the frequency response sampled at all n frequencies.
+	Freq []complex128
+	// N is the signal length the filter was designed for.
+	N int
+}
+
+// SupportLen returns the number of non-zero time-domain taps.
+func (f *Filter) SupportLen() int { return len(f.Time) }
+
+// NewBoxcarFilter returns the trivial filter that takes w consecutive time
+// samples with equal weight. Its frequency response is a sinc with heavy
+// side lobes — the "leaky buckets" baseline.
+func NewBoxcarFilter(n, w int) *Filter {
+	if w < 1 || w > n {
+		panic("fourier: NewBoxcarFilter requires 1 <= w <= n")
+	}
+	time := make([]complex128, w)
+	for i := range time {
+		time[i] = complex(1/float64(w), 0)
+	}
+	return &Filter{Time: time, Freq: freqResponse(time, n), N: n}
+}
+
+// NewFlatWindowFilter returns a flat-window filter for hashing a length-n
+// spectrum into b buckets: a Gaussian of standard deviation sigma truncated
+// to w taps, convolved (in frequency) with a rectangle of width about n/b.
+// The construction follows [HIKP12b]: multiply a truncated Gaussian by a
+// sinc in time, so the frequency response is (approximately) a Gaussian
+// convolved with a boxcar — flat across a bucket, with super-polynomially
+// decaying tails.
+//
+// The delta parameter controls the leakage: tails fall below roughly delta
+// of the pass-band height. Reasonable values are 1e-6..1e-9.
+func NewFlatWindowFilter(n, b int, delta float64) *Filter {
+	if b < 1 || b > n {
+		panic("fourier: NewFlatWindowFilter requires 1 <= b <= n")
+	}
+	if delta <= 0 || delta >= 1 {
+		panic("fourier: NewFlatWindowFilter requires delta in (0,1)")
+	}
+	// Width of the time-domain support: O(b * log(1/delta)).
+	w := int(math.Ceil(float64(b) * math.Log(1/delta)))
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	// Gaussian standard deviation in time chosen so that the frequency-domain
+	// Gaussian has standard deviation about n/(2*pi*sigma_t) comparable to a
+	// fraction of the bucket width n/b.
+	sigmaT := float64(w) / (2 * math.Sqrt(2*math.Log(1/delta)))
+	center := float64(w-1) / 2
+	passband := float64(n) / (2 * float64(b)) // half-width of the flat region
+	time := make([]complex128, w)
+	var norm float64
+	for i := 0; i < w; i++ {
+		t := float64(i) - center
+		gauss := math.Exp(-t * t / (2 * sigmaT * sigmaT))
+		// sinc factor spreads the Gaussian response into a flat top of width
+		// about 2*passband in frequency.
+		sinc := 1.0
+		if t != 0 {
+			arg := 2 * math.Pi * passband * t / float64(n)
+			sinc = math.Sin(arg) / arg
+		}
+		v := gauss * sinc
+		time[i] = complex(v, 0)
+		norm += v
+	}
+	// Normalize so the DC response is 1 (a coefficient centred in a bucket is
+	// passed with unit gain).
+	if norm != 0 {
+		for i := range time {
+			time[i] /= complex(norm, 0)
+		}
+	}
+	return &Filter{Time: time, Freq: freqResponse(time, n), N: n}
+}
+
+// freqResponse returns the length-n frequency response of a time-domain
+// window (zero-padded to length n).
+func freqResponse(time []complex128, n int) []complex128 {
+	padded := make([]complex128, n)
+	copy(padded, time)
+	return FFT(padded)
+}
+
+// Leakage measures how much of the filter's energy falls outside the central
+// band of +-bandwidth frequencies around zero: the ratio of out-of-band
+// energy to total energy. Smaller is better; boxcar filters have large
+// leakage, flat-window filters have nearly none.
+func (f *Filter) Leakage(bandwidth int) float64 {
+	var inBand, total float64
+	n := f.N
+	for k := 0; k < n; k++ {
+		// Distance of frequency k from 0 (circularly).
+		d := k
+		if d > n/2 {
+			d = n - d
+		}
+		e := real(f.Freq[k])*real(f.Freq[k]) + imag(f.Freq[k])*imag(f.Freq[k])
+		total += e
+		if d <= bandwidth {
+			inBand += e
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 1 - inBand/total
+}

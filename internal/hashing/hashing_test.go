@@ -1,0 +1,335 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestMod61(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{0, 0},
+		{1, 1},
+		{MersennePrime61 - 1, MersennePrime61 - 1},
+		{MersennePrime61, 0},
+		{MersennePrime61 + 1, 1},
+		{2 * MersennePrime61, 0},
+		{math.MaxUint64, math.MaxUint64 % MersennePrime61},
+	}
+	for _, c := range cases {
+		if got := mod61(c.in); got != c.want {
+			t.Errorf("mod61(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMulMod61MatchesBigIntStyle(t *testing.T) {
+	// Verify against a slow, obviously correct implementation using
+	// repeated addition decomposition for a set of structured and random cases.
+	slow := func(a, b uint64) uint64 {
+		// Compute a*b mod p via binary decomposition of b.
+		a %= MersennePrime61
+		b %= MersennePrime61
+		var res uint64
+		for b > 0 {
+			if b&1 == 1 {
+				res = mod61(res + a)
+			}
+			a = mod61(a << 1)
+			b >>= 1
+		}
+		return res
+	}
+	r := xrand.New(5)
+	for i := 0; i < 2000; i++ {
+		a := r.Uint64n(MersennePrime61)
+		b := r.Uint64n(MersennePrime61)
+		if got, want := mulmod61(a, b), slow(a, b); got != want {
+			t.Fatalf("mulmod61(%d,%d) = %d, want %d", a, b, got, want)
+		}
+	}
+	// Edge cases.
+	edges := []uint64{0, 1, 2, MersennePrime61 - 1, MersennePrime61 - 2, 1 << 60}
+	for _, a := range edges {
+		for _, b := range edges {
+			if got, want := mulmod61(a, b), slow(a, b); got != want {
+				t.Fatalf("mulmod61(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestPolyHashRange(t *testing.T) {
+	r := xrand.New(1)
+	for _, m := range []uint64{1, 2, 7, 64, 1000} {
+		h := NewPolyHash(r, 2, m)
+		if h.Range() != m {
+			t.Fatalf("Range() = %d, want %d", h.Range(), m)
+		}
+		for i := uint64(0); i < 1000; i++ {
+			if v := h.Hash(i); v >= m {
+				t.Fatalf("Hash(%d) = %d out of range %d", i, v, m)
+			}
+		}
+	}
+}
+
+func TestPolyHashDeterministic(t *testing.T) {
+	h := NewPolyHash(xrand.New(7), 3, 128)
+	for i := uint64(0); i < 100; i++ {
+		if h.Hash(i) != h.Hash(i) {
+			t.Fatalf("hash of %d not deterministic", i)
+		}
+	}
+}
+
+func TestPolyHashDegree(t *testing.T) {
+	h := NewPolyHash(xrand.New(1), 4, 16)
+	if h.Degree() != 4 {
+		t.Fatalf("Degree() = %d, want 4", h.Degree())
+	}
+}
+
+func TestPolyHashPanics(t *testing.T) {
+	for _, tc := range []struct {
+		k int
+		m uint64
+	}{{0, 10}, {2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPolyHash(k=%d,m=%d) did not panic", tc.k, tc.m)
+				}
+			}()
+			NewPolyHash(xrand.New(1), tc.k, tc.m)
+		}()
+	}
+}
+
+// TestPairwiseCollisionRate verifies the defining property of a 2-universal
+// family: Pr[h(x)=h(y)] is close to 1/m for distinct x, y, averaged over
+// random draws of the function.
+func TestPairwiseCollisionRate(t *testing.T) {
+	r := xrand.New(11)
+	const m = 64
+	const trials = 20000
+	pairs := [][2]uint64{{1, 2}, {0, math.MaxUint64}, {12345, 54321}, {7, 1 << 40}}
+	for _, pair := range pairs {
+		collisions := 0
+		for i := 0; i < trials; i++ {
+			h := NewPolyHash(r, 2, m)
+			if h.Hash(pair[0]) == h.Hash(pair[1]) {
+				collisions++
+			}
+		}
+		rate := float64(collisions) / trials
+		if math.Abs(rate-1.0/m) > 3.0/m {
+			t.Errorf("collision rate for %v = %.4f, want about %.4f", pair, rate, 1.0/m)
+		}
+	}
+}
+
+func TestSignBalance(t *testing.T) {
+	makeSigners := map[string]func() SignHasher{
+		"poly2":      func() SignHasher { return NewPolySign(xrand.New(3), 2) },
+		"poly4":      func() SignHasher { return NewPolySign(xrand.New(3), 4) },
+		"tabulation": func() SignHasher { return NewTabulationSign(xrand.New(3)) },
+	}
+	for name, mk := range makeSigners {
+		s := mk()
+		pos := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			v := s.Sign(uint64(i) * 2654435761)
+			if v != 1 && v != -1 {
+				t.Fatalf("%s: Sign returned %v", name, v)
+			}
+			if v == 1 {
+				pos++
+			}
+		}
+		if pos < n/2-n/10 || pos > n/2+n/10 {
+			t.Errorf("%s: sign imbalance, +1 fraction %.3f", name, float64(pos)/n)
+		}
+	}
+}
+
+func TestSignPairwiseUncorrelated(t *testing.T) {
+	// E[s(x)s(y)] should be about 0 for x != y over random draws of the family.
+	r := xrand.New(13)
+	const trials = 20000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		s := NewPolySign(r, 2)
+		sum += s.Sign(42) * s.Sign(1337)
+	}
+	if avg := sum / trials; math.Abs(avg) > 0.05 {
+		t.Errorf("pairwise sign correlation %.4f, want about 0", avg)
+	}
+}
+
+func TestMultiplyShiftRangePowerOfTwo(t *testing.T) {
+	r := xrand.New(17)
+	for _, m := range []uint64{1, 2, 3, 5, 64, 100, 1000} {
+		h := NewMultiplyShift(r, m)
+		got := h.Range()
+		if got < m || got&(got-1) != 0 {
+			t.Fatalf("Range() = %d for requested %d: want power of two >= m", got, m)
+		}
+		for i := uint64(0); i < 1000; i++ {
+			if v := h.Hash(i); v >= got {
+				t.Fatalf("Hash(%d) = %d out of range %d", i, v, got)
+			}
+		}
+	}
+}
+
+func TestMultiplyShiftSpreads(t *testing.T) {
+	r := xrand.New(19)
+	h := NewMultiplyShift(r, 256)
+	counts := make([]int, h.Range())
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[h.Hash(uint64(i))]++
+	}
+	expected := float64(n) / float64(len(counts))
+	for b, c := range counts {
+		if float64(c) > 4*expected {
+			t.Errorf("bucket %d grossly overloaded: %d (expected about %.0f)", b, c, expected)
+		}
+	}
+}
+
+func TestTabulationRange(t *testing.T) {
+	r := xrand.New(23)
+	h := NewTabulation(r, 100)
+	if h.Range() != 100 {
+		t.Fatalf("Range() = %d, want 100", h.Range())
+	}
+	for i := uint64(0); i < 10000; i++ {
+		if v := h.Hash(i * 0x9e3779b9); v >= 100 {
+			t.Fatalf("Hash out of range: %d", v)
+		}
+	}
+}
+
+func TestTabulationUniform(t *testing.T) {
+	r := xrand.New(29)
+	const m = 32
+	h := NewTabulation(r, m)
+	counts := make([]int, m)
+	const n = 64000
+	for i := 0; i < n; i++ {
+		counts[h.Hash(uint64(i))]++
+	}
+	expected := float64(n) / m
+	for b, c := range counts {
+		if math.Abs(float64(c)-expected) > 8*math.Sqrt(expected) {
+			t.Errorf("tabulation bucket %d count %d far from expected %.0f", b, c, expected)
+		}
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	cases := map[Family]string{
+		FamilyPoly2:         "poly2",
+		FamilyPoly4:         "poly4",
+		FamilyMultiplyShift: "multiply-shift",
+		FamilyTabulation:    "tabulation",
+		Family(99):          "family(99)",
+	}
+	for f, want := range cases {
+		if got := f.String(); got != want {
+			t.Errorf("Family(%d).String() = %q, want %q", int(f), got, want)
+		}
+	}
+}
+
+func TestNewHasherAllFamilies(t *testing.T) {
+	r := xrand.New(31)
+	for _, f := range []Family{FamilyPoly2, FamilyPoly4, FamilyMultiplyShift, FamilyTabulation} {
+		h := NewHasher(f, r, 128)
+		if h.Range() < 128 {
+			t.Errorf("%s: Range() = %d < requested 128", f, h.Range())
+		}
+		for i := uint64(0); i < 500; i++ {
+			if v := h.Hash(i); v >= h.Range() {
+				t.Errorf("%s: Hash out of range", f)
+				break
+			}
+		}
+		s := NewSigner(f, r)
+		if v := s.Sign(1); v != 1 && v != -1 {
+			t.Errorf("%s: Sign(1) = %v", f, v)
+		}
+	}
+}
+
+func TestNewHasherUnknownFamilyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHasher with unknown family did not panic")
+		}
+	}()
+	NewHasher(Family(42), xrand.New(1), 8)
+}
+
+// Property: hash values are always within range, for all families.
+func TestHashWithinRangeProperty(t *testing.T) {
+	r := xrand.New(37)
+	hashers := []Hasher{
+		NewPolyHash(r, 2, 97),
+		NewPolyHash(r, 4, 1024),
+		NewMultiplyShift(r, 512),
+		NewTabulation(r, 77),
+	}
+	f := func(key uint64) bool {
+		for _, h := range hashers {
+			if h.Hash(key) >= h.Range() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPolyHash2(b *testing.B) {
+	h := NewPolyHash(xrand.New(1), 2, 1<<16)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = h.Hash(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkPolyHash4(b *testing.B) {
+	h := NewPolyHash(xrand.New(1), 4, 1<<16)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = h.Hash(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkMultiplyShift(b *testing.B) {
+	h := NewMultiplyShift(xrand.New(1), 1<<16)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = h.Hash(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkTabulation(b *testing.B) {
+	h := NewTabulation(xrand.New(1), 1<<16)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = h.Hash(uint64(i))
+	}
+	_ = sink
+}

@@ -1,0 +1,48 @@
+package hashing
+
+// Exported modular arithmetic over GF(p) with p = 2^61-1. The polynomial
+// hash family uses these internally; the IBLT and the sparse Fourier
+// transform's index arithmetic use them to build linear, invertible cell
+// contents (sums of key*count modulo p can be divided by the count again,
+// unlike XOR-based folding).
+
+// Mod61 reduces x modulo 2^61-1.
+func Mod61(x uint64) uint64 { return mod61(x) }
+
+// AddMod61 returns (a + b) mod 2^61-1 for a, b < 2^61-1.
+func AddMod61(a, b uint64) uint64 { return mod61(a + b) }
+
+// SubMod61 returns (a - b) mod 2^61-1 for a, b < 2^61-1.
+func SubMod61(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + MersennePrime61 - b
+}
+
+// MulMod61 returns (a * b) mod 2^61-1 for a, b < 2^61-1.
+func MulMod61(a, b uint64) uint64 { return mulmod61(a, b) }
+
+// PowMod61 returns a^e mod 2^61-1 by square-and-multiply.
+func PowMod61(a, e uint64) uint64 {
+	a = mod61(a)
+	result := uint64(1)
+	for e > 0 {
+		if e&1 == 1 {
+			result = mulmod61(result, a)
+		}
+		a = mulmod61(a, a)
+		e >>= 1
+	}
+	return result
+}
+
+// InvMod61 returns the multiplicative inverse of a modulo the prime 2^61-1
+// (via Fermat's little theorem: a^(p-2)). It panics if a ≡ 0.
+func InvMod61(a uint64) uint64 {
+	a = mod61(a)
+	if a == 0 {
+		panic("hashing: InvMod61 of zero")
+	}
+	return PowMod61(a, MersennePrime61-2)
+}

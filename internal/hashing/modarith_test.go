@@ -1,0 +1,62 @@
+package hashing
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestModArithBasics(t *testing.T) {
+	if Mod61(MersennePrime61) != 0 {
+		t.Error("Mod61(p) != 0")
+	}
+	if AddMod61(MersennePrime61-1, 1) != 0 {
+		t.Error("AddMod61 wrap failed")
+	}
+	if SubMod61(0, 1) != MersennePrime61-1 {
+		t.Error("SubMod61 wrap failed")
+	}
+	if SubMod61(5, 3) != 2 {
+		t.Error("SubMod61(5,3) != 2")
+	}
+	if MulMod61(3, 5) != 15 {
+		t.Error("MulMod61(3,5) != 15")
+	}
+	if PowMod61(2, 10) != 1024 {
+		t.Error("PowMod61(2,10) != 1024")
+	}
+	if PowMod61(7, 0) != 1 {
+		t.Error("PowMod61(x,0) != 1")
+	}
+}
+
+func TestInvMod61(t *testing.T) {
+	r := xrand.New(1)
+	for i := 0; i < 500; i++ {
+		a := r.Uint64n(MersennePrime61-1) + 1
+		inv := InvMod61(a)
+		if MulMod61(a, inv) != 1 {
+			t.Fatalf("InvMod61(%d) = %d is not an inverse", a, inv)
+		}
+	}
+}
+
+func TestInvMod61PanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InvMod61(0) did not panic")
+		}
+	}()
+	InvMod61(0)
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	r := xrand.New(2)
+	for i := 0; i < 1000; i++ {
+		a := r.Uint64n(MersennePrime61)
+		b := r.Uint64n(MersennePrime61)
+		if SubMod61(AddMod61(a, b), b) != a {
+			t.Fatalf("add/sub round trip failed for %d, %d", a, b)
+		}
+	}
+}

@@ -1,0 +1,385 @@
+// Package jl implements the dimensionality-reduction maps of Section 3 of
+// the survey and the sketch-and-solve numerical linear algebra built on top
+// of them.
+//
+// Embeddings (all mapping R^n -> R^m and aiming to preserve Euclidean norms
+// to within 1±eps, per the Johnson-Lindenstrauss lemma):
+//
+//   - DenseJL: i.i.d. Gaussian matrix — the original construction, O(nm) per
+//     embedding.
+//   - SparseJL: Count-Sketch / OSNAP matrix with s non-zeros per column
+//     [DKS10, KN12] — O(s·nnz(x)) per embedding, which is the "runtime scales
+//     with the sparsity of x" property the survey emphasizes.
+//   - FeatureHashing: the hashing trick of [WDL+09, SPD+09]; identical
+//     structure to SparseJL with s=1, exposed over string features.
+//   - SRHT: subsampled randomized Hadamard transform [AC10] — structured,
+//     O(n log n) per embedding regardless of sparsity.
+//
+// Sketch-and-solve [CW13]:
+//
+//   - SketchedLeastSquares solves an overconstrained regression problem by
+//     embedding the rows and solving the much smaller sketched problem.
+//   - SketchedLowRank computes an approximate rank-r factorization from a
+//     sketched row space.
+package jl
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fourier"
+	"repro/internal/hashing"
+	"repro/internal/linalg"
+	"repro/internal/mat"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// Embedding maps vectors from R^n to R^m, approximately preserving norms.
+type Embedding interface {
+	// Name identifies the embedding in experiment tables.
+	Name() string
+	// Dims returns (m, n), the output and input dimensions.
+	Dims() (m, n int)
+	// Apply embeds a dense vector of length n.
+	Apply(x []float64) []float64
+}
+
+// TargetDimension returns the standard JL target dimension for embedding
+// `points` vectors with distortion eps: ceil(8 ln(points) / eps^2).
+func TargetDimension(points int, eps float64) int {
+	if points < 2 {
+		points = 2
+	}
+	if eps <= 0 || eps >= 1 {
+		panic("jl: TargetDimension requires eps in (0,1)")
+	}
+	return int(math.Ceil(8 * math.Log(float64(points)) / (eps * eps)))
+}
+
+// DenseJL is the dense Gaussian embedding.
+type DenseJL struct {
+	a *mat.Dense
+}
+
+// NewDenseJL creates an m x n Gaussian embedding.
+func NewDenseJL(r *xrand.Rand, m, n int) *DenseJL {
+	if m < 1 || n < 1 {
+		panic("jl: NewDenseJL requires m, n >= 1")
+	}
+	return &DenseJL{a: mat.NewGaussian(r, m, n)}
+}
+
+// Name identifies the embedding.
+func (d *DenseJL) Name() string { return "dense-gaussian" }
+
+// Dims returns the embedding dimensions.
+func (d *DenseJL) Dims() (int, int) { return d.a.Dims() }
+
+// Apply embeds x.
+func (d *DenseJL) Apply(x []float64) []float64 { return d.a.MulVec(x) }
+
+// Operator exposes the underlying matrix for sketch-and-solve uses.
+func (d *DenseJL) Operator() mat.Operator { return d.a }
+
+// SparseJL is the sparse sign embedding (Count-Sketch for s=1, OSNAP for
+// larger s): each input coordinate touches exactly s output coordinates.
+type SparseJL struct {
+	m, n    int
+	s       int
+	hashes  []hashing.Hasher
+	signs   []hashing.SignHasher
+	rowBase []int
+}
+
+// NewSparseJL creates an m x n sparse embedding with s non-zeros per column.
+// The output coordinates are partitioned into s blocks of m/s rows and each
+// block receives one non-zero per column, which keeps the column norms
+// exactly 1.
+func NewSparseJL(r *xrand.Rand, m, n, s int) *SparseJL {
+	if m < 1 || n < 1 || s < 1 || s > m {
+		panic(fmt.Sprintf("jl: NewSparseJL requires 1 <= s <= m and n >= 1 (got m=%d n=%d s=%d)", m, n, s))
+	}
+	e := &SparseJL{m: m, n: n, s: s}
+	block := m / s
+	if block == 0 {
+		block = 1
+	}
+	for b := 0; b < s; b++ {
+		e.hashes = append(e.hashes, hashing.NewPolyHash(r, 2, uint64(block)))
+		e.signs = append(e.signs, hashing.NewPolySign(r, 2))
+		e.rowBase = append(e.rowBase, b*block)
+	}
+	return e
+}
+
+// Name identifies the embedding.
+func (e *SparseJL) Name() string { return fmt.Sprintf("sparse-jl(s=%d)", e.s) }
+
+// Dims returns the embedding dimensions.
+func (e *SparseJL) Dims() (int, int) { return e.m, e.n }
+
+// Apply embeds x in time O(s · nnz(x)).
+func (e *SparseJL) Apply(x []float64) []float64 {
+	if len(x) != e.n {
+		panic(fmt.Sprintf("jl: Apply dimension mismatch: n=%d, len(x)=%d", e.n, len(x)))
+	}
+	out := make([]float64, e.m)
+	scale := 1 / math.Sqrt(float64(e.s))
+	for j, xj := range x {
+		if xj == 0 {
+			continue
+		}
+		for b := 0; b < e.s; b++ {
+			row := e.rowBase[b] + int(e.hashes[b].Hash(uint64(j)))
+			if row >= e.m {
+				row = e.m - 1
+			}
+			out[row] += e.signs[b].Sign(uint64(j)) * xj * scale
+		}
+	}
+	return out
+}
+
+// ApplySparse embeds a sparse vector, touching only its non-zero entries.
+func (e *SparseJL) ApplySparse(x *vec.Sparse) []float64 {
+	if x.Dim != e.n {
+		panic(fmt.Sprintf("jl: ApplySparse dimension mismatch: n=%d, x.Dim=%d", e.n, x.Dim))
+	}
+	out := make([]float64, e.m)
+	scale := 1 / math.Sqrt(float64(e.s))
+	for _, entry := range x.Entries {
+		if entry.Value == 0 {
+			continue
+		}
+		j := uint64(entry.Index)
+		for b := 0; b < e.s; b++ {
+			row := e.rowBase[b] + int(e.hashes[b].Hash(j))
+			if row >= e.m {
+				row = e.m - 1
+			}
+			out[row] += e.signs[b].Sign(j) * entry.Value * scale
+		}
+	}
+	return out
+}
+
+// MulVec makes SparseJL usable as a mat.Operator (forward direction).
+func (e *SparseJL) MulVec(x []float64) []float64 { return e.Apply(x) }
+
+// TMulVec applies the transpose of the embedding.
+func (e *SparseJL) TMulVec(y []float64) []float64 {
+	if len(y) != e.m {
+		panic(fmt.Sprintf("jl: TMulVec dimension mismatch: m=%d, len(y)=%d", e.m, len(y)))
+	}
+	out := make([]float64, e.n)
+	scale := 1 / math.Sqrt(float64(e.s))
+	for j := 0; j < e.n; j++ {
+		var s float64
+		for b := 0; b < e.s; b++ {
+			row := e.rowBase[b] + int(e.hashes[b].Hash(uint64(j)))
+			if row >= e.m {
+				row = e.m - 1
+			}
+			s += e.signs[b].Sign(uint64(j)) * y[row] * scale
+		}
+		out[j] = s
+	}
+	return out
+}
+
+// SRHT is the subsampled randomized Hadamard transform: x -> sqrt(n/m) · P·H·D·x
+// where D is a random ±1 diagonal, H the normalized Walsh-Hadamard transform
+// and P samples m coordinates at random. The input length is padded up to a
+// power of two internally.
+type SRHT struct {
+	m, n    int
+	padded  int
+	signs   []float64
+	samples []int
+}
+
+// NewSRHT creates an m x n subsampled randomized Hadamard transform.
+func NewSRHT(r *xrand.Rand, m, n int) *SRHT {
+	if m < 1 || n < 1 {
+		panic("jl: NewSRHT requires m, n >= 1")
+	}
+	padded := fourier.NextPowerOfTwo(n)
+	if m > padded {
+		m = padded
+	}
+	signs := make([]float64, padded)
+	for i := range signs {
+		signs[i] = r.Rademacher()
+	}
+	return &SRHT{m: m, n: n, padded: padded, signs: signs, samples: r.Sample(padded, m)}
+}
+
+// Name identifies the embedding.
+func (s *SRHT) Name() string { return "srht" }
+
+// Dims returns the embedding dimensions.
+func (s *SRHT) Dims() (int, int) { return s.m, s.n }
+
+// Apply embeds x in O(n log n) time (independent of the sparsity of x).
+func (s *SRHT) Apply(x []float64) []float64 {
+	if len(x) != s.n {
+		panic(fmt.Sprintf("jl: Apply dimension mismatch: n=%d, len(x)=%d", s.n, len(x)))
+	}
+	work := make([]float64, s.padded)
+	for i, v := range x {
+		work[i] = v * s.signs[i]
+	}
+	transformed := fourier.FWHTNormalized(work)
+	scale := math.Sqrt(float64(s.padded) / float64(s.m))
+	out := make([]float64, s.m)
+	for i, idx := range s.samples {
+		out[i] = transformed[idx] * scale
+	}
+	return out
+}
+
+// FeatureHasher implements the hashing trick for string-keyed features: a
+// feature map from strings to weights is embedded into R^m with a single
+// hash and sign per feature, so that inner products between hashed vectors
+// approximate inner products between the original (huge, sparse) feature
+// vectors.
+type FeatureHasher struct {
+	m     int
+	hash  hashing.Hasher
+	sign  hashing.SignHasher
+	mixer hashing.Hasher
+}
+
+// NewFeatureHasher creates a feature hasher with m output dimensions.
+func NewFeatureHasher(r *xrand.Rand, m int) *FeatureHasher {
+	if m < 1 {
+		panic("jl: NewFeatureHasher requires m >= 1")
+	}
+	return &FeatureHasher{
+		m:     m,
+		hash:  hashing.NewPolyHash(r, 2, uint64(m)),
+		sign:  hashing.NewPolySign(r, 2),
+		mixer: hashing.NewTabulation(r, 1<<62),
+	}
+}
+
+// Dim returns the output dimensionality.
+func (f *FeatureHasher) Dim() int { return f.m }
+
+// featureID maps a string feature name to a 64-bit key (FNV-1a mixed through
+// tabulation hashing so that adversarially chosen names still spread).
+func (f *FeatureHasher) featureID(name string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return f.mixer.Hash(h)
+}
+
+// Hash embeds a map of feature name -> weight into R^m.
+func (f *FeatureHasher) Hash(features map[string]float64) []float64 {
+	out := make([]float64, f.m)
+	for name, w := range features {
+		id := f.featureID(name)
+		out[f.hash.Hash(id)] += f.sign.Sign(id) * w
+	}
+	return out
+}
+
+// Distortion returns |  ||Ax|| / ||x||  - 1 |, the norm distortion of an
+// embedding on a particular vector (0 is perfect).
+func Distortion(e Embedding, x []float64) float64 {
+	nx := vec.Norm2(x)
+	if nx == 0 {
+		return 0
+	}
+	return math.Abs(vec.Norm2(e.Apply(x))/nx - 1)
+}
+
+// Sketch-and-solve --------------------------------------------------------
+
+// SketchedLeastSquares solves min_x ||A x - b|| approximately by embedding
+// the rows of A (and b) with a sparse JL transform of sketchRows rows and
+// solving the small sketched problem exactly. For sketchRows = O(cols/eps^2)
+// the residual is within (1+eps) of optimal [CW13].
+func SketchedLeastSquares(r *xrand.Rand, a *mat.Dense, b []float64, sketchRows int) ([]float64, error) {
+	rows, cols := a.Dims()
+	if len(b) != rows {
+		return nil, fmt.Errorf("jl: SketchedLeastSquares needs len(b)=%d, got %d", rows, len(b))
+	}
+	if sketchRows < cols {
+		return nil, fmt.Errorf("jl: sketchRows=%d must be at least the number of columns %d", sketchRows, cols)
+	}
+	if sketchRows >= rows {
+		// Sketching would not reduce the problem; solve directly.
+		return linalg.LeastSquares(a, b)
+	}
+	embed := NewSparseJL(r, sketchRows, rows, 1)
+	// Sketch every column of A and the right-hand side: S·A and S·b.
+	sa := mat.NewDense(sketchRows, cols)
+	for j := 0; j < cols; j++ {
+		col := embed.Apply(a.Col(j))
+		for i := 0; i < sketchRows; i++ {
+			sa.Set(i, j, col[i])
+		}
+	}
+	sb := embed.Apply(b)
+	return linalg.LeastSquares(sa, sb)
+}
+
+// SketchedLowRank returns an approximate rank-r factorization of A: an
+// orthonormal basis Q (n x r) of an approximate dominant row space obtained
+// by sketching the rows of A, such that ||A - A Q Qᵀ||_F is close to the best
+// rank-r error. The returned matrix holds the basis vectors as columns.
+func SketchedLowRank(r *xrand.Rand, a *mat.Dense, rank, oversample int) (*mat.Dense, error) {
+	rows, cols := a.Dims()
+	if rank < 1 || rank > cols {
+		return nil, fmt.Errorf("jl: rank %d out of range [1,%d]", rank, cols)
+	}
+	sketchRows := rank + oversample
+	if sketchRows > rows {
+		sketchRows = rows
+	}
+	// Sketch the row space: S·A where S is sparse JL over the rows.
+	embed := NewSparseJL(r, sketchRows, rows, 1)
+	sa := mat.NewDense(sketchRows, cols)
+	for j := 0; j < cols; j++ {
+		col := embed.Apply(a.Col(j))
+		for i := 0; i < sketchRows; i++ {
+			sa.Set(i, j, col[i])
+		}
+	}
+	// The dominant right singular vectors of S·A approximate those of A.
+	return linalg.TopSingularVectors(sa, rank, 40, r), nil
+}
+
+// LowRankError returns ||A - A·Q·Qᵀ||_F for an orthonormal basis Q (columns).
+func LowRankError(a *mat.Dense, q *mat.Dense) float64 {
+	rows, cols := a.Dims()
+	_, rank := q.Dims()
+	var sum float64
+	row := make([]float64, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			row[j] = a.At(i, j)
+		}
+		// projection of the row onto the basis
+		proj := make([]float64, cols)
+		for c := 0; c < rank; c++ {
+			qc := q.Col(c)
+			coef := vec.Dot(row, qc)
+			vec.AXPY(coef, qc, proj)
+		}
+		for j := 0; j < cols; j++ {
+			d := row[j] - proj[j]
+			sum += d * d
+		}
+	}
+	return math.Sqrt(sum)
+}

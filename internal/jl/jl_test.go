@@ -1,0 +1,312 @@
+package jl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+	"repro/internal/mat"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func randDense(r *xrand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	return x
+}
+
+func embeddings(r *xrand.Rand, m, n int) []Embedding {
+	return []Embedding{
+		NewDenseJL(r, m, n),
+		NewSparseJL(r, m, n, 1),
+		NewSparseJL(r, m, n, 4),
+		NewSRHT(r, m, n),
+	}
+}
+
+func TestTargetDimension(t *testing.T) {
+	d := TargetDimension(1000, 0.1)
+	if d < 5000 || d > 6000 {
+		t.Errorf("TargetDimension(1000, 0.1) = %d, want about 5526", d)
+	}
+	if TargetDimension(1, 0.5) < 1 {
+		t.Error("degenerate point count should still give a positive dimension")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("eps out of range should panic")
+		}
+	}()
+	TargetDimension(10, 0)
+}
+
+func TestEmbeddingsPreserveNormsOnAverage(t *testing.T) {
+	r := xrand.New(1)
+	n := 2048
+	m := 256
+	const trials = 40
+	for _, e := range embeddings(r, m, n) {
+		var meanDist float64
+		for i := 0; i < trials; i++ {
+			x := randDense(r, n)
+			meanDist += Distortion(e, x)
+		}
+		meanDist /= trials
+		// With m=256 the expected distortion is about 1/sqrt(m) ≈ 0.06.
+		if meanDist > 0.2 {
+			t.Errorf("%s: mean distortion %.3f too high", e.Name(), meanDist)
+		}
+		if mm, nn := e.Dims(); mm != m || nn != n {
+			t.Errorf("%s: Dims = %d,%d", e.Name(), mm, nn)
+		}
+	}
+}
+
+func TestEmbeddingsPreserveDistances(t *testing.T) {
+	// The JL use case: pairwise distances between a small point set.
+	r := xrand.New(2)
+	n, m := 1024, 256
+	points := make([][]float64, 10)
+	for i := range points {
+		points[i] = randDense(r, n)
+	}
+	for _, e := range embeddings(r, m, n) {
+		embedded := make([][]float64, len(points))
+		for i, p := range points {
+			embedded[i] = e.Apply(p)
+		}
+		var worst float64
+		for i := 0; i < len(points); i++ {
+			for j := i + 1; j < len(points); j++ {
+				orig := vec.Norm2(vec.Sub(points[i], points[j]))
+				emb := vec.Norm2(vec.Sub(embedded[i], embedded[j]))
+				d := math.Abs(emb/orig - 1)
+				if d > worst {
+					worst = d
+				}
+			}
+		}
+		if worst > 0.35 {
+			t.Errorf("%s: worst pairwise distortion %.3f", e.Name(), worst)
+		}
+	}
+}
+
+func TestSparseJLSparseInputAgreesWithDense(t *testing.T) {
+	r := xrand.New(3)
+	e := NewSparseJL(r, 128, 5000, 2)
+	sparse := vec.NewSparse(5000)
+	sparse.Set(7, 1.5)
+	sparse.Set(4999, -2)
+	sparse.Set(1234, 0.25)
+	dense := sparse.Dense()
+	a := e.Apply(dense)
+	b := e.ApplySparse(sparse)
+	if vec.Norm2(vec.Sub(a, b)) > 1e-12 {
+		t.Fatal("ApplySparse disagrees with Apply")
+	}
+}
+
+func TestSparseJLOperatorAdjoint(t *testing.T) {
+	r := xrand.New(4)
+	e := NewSparseJL(r, 64, 300, 3)
+	x := randDense(r, 300)
+	y := randDense(r, 64)
+	lhs := vec.Dot(e.MulVec(x), y)
+	rhs := vec.Dot(x, e.TMulVec(y))
+	if math.Abs(lhs-rhs) > 1e-9*(1+math.Abs(lhs)) {
+		t.Fatalf("adjoint identity violated: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestEmbeddingLinearityProperty(t *testing.T) {
+	r := xrand.New(5)
+	es := embeddings(r, 64, 256)
+	f := func(seed uint64) bool {
+		rr := xrand.New(seed)
+		x := randDense(rr, 256)
+		y := randDense(rr, 256)
+		for _, e := range es {
+			lhs := e.Apply(vec.Add(x, y))
+			rhs := vec.Add(e.Apply(x), e.Apply(y))
+			if vec.Norm2(vec.Sub(lhs, rhs)) > 1e-9*(1+vec.Norm2(lhs)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmbeddingPanics(t *testing.T) {
+	r := xrand.New(6)
+	cases := []func(){
+		func() { NewDenseJL(r, 0, 5) },
+		func() { NewSparseJL(r, 8, 5, 0) },
+		func() { NewSparseJL(r, 8, 5, 9) },
+		func() { NewSRHT(r, 0, 5) },
+		func() { NewFeatureHasher(r, 0) },
+		func() { NewSparseJL(r, 8, 5, 1).Apply(make([]float64, 3)) },
+		func() { NewSparseJL(r, 8, 5, 1).TMulVec(make([]float64, 3)) },
+		func() { NewSRHT(r, 4, 5).Apply(make([]float64, 3)) },
+		func() { NewDenseJL(r, 4, 5); NewSparseJL(r, 8, 5, 1).ApplySparse(vec.NewSparse(3)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFeatureHasherInnerProduct(t *testing.T) {
+	r := xrand.New(7)
+	fh := NewFeatureHasher(r, 4096)
+	if fh.Dim() != 4096 {
+		t.Fatalf("Dim = %d", fh.Dim())
+	}
+	// Two documents sharing half their features.
+	docA := map[string]float64{}
+	docB := map[string]float64{}
+	for i := 0; i < 200; i++ {
+		docA[fmtFeature("shared", i)] = 1
+		docB[fmtFeature("shared", i)] = 1
+		docA[fmtFeature("onlya", i)] = 1
+		docB[fmtFeature("onlyb", i)] = 1
+	}
+	ha := fh.Hash(docA)
+	hb := fh.Hash(docB)
+	gotDot := vec.Dot(ha, hb)
+	wantDot := 200.0
+	if math.Abs(gotDot-wantDot) > 60 {
+		t.Errorf("hashed inner product %.1f, want about %.0f", gotDot, wantDot)
+	}
+	// Norms approximately preserved too.
+	if math.Abs(vec.Norm2(ha)-math.Sqrt(400)) > 3 {
+		t.Errorf("hashed norm %.2f, want about 20", vec.Norm2(ha))
+	}
+}
+
+func fmtFeature(prefix string, i int) string {
+	return prefix + ":" + string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune('A'+(i/10)%26))
+}
+
+func TestFeatureHasherDeterministic(t *testing.T) {
+	fh := NewFeatureHasher(xrand.New(8), 64)
+	f := map[string]float64{"x": 1, "y": -2}
+	a := fh.Hash(f)
+	b := fh.Hash(f)
+	if vec.Norm2(vec.Sub(a, b)) != 0 {
+		t.Fatal("FeatureHasher not deterministic")
+	}
+}
+
+func TestSketchedLeastSquaresNearOptimal(t *testing.T) {
+	r := xrand.New(9)
+	rows, cols := 4000, 20
+	a := mat.NewGaussian(r, rows, cols)
+	xTrue := randDense(r, cols)
+	b := a.MulVec(xTrue)
+	// Add a little noise so the optimum is non-trivial.
+	for i := range b {
+		b[i] += 0.01 * r.NormFloat64()
+	}
+	exact, err := linalg.LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sketched, err := SketchedLeastSquares(r, a, b, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactResid := vec.Norm2(vec.Sub(b, a.MulVec(exact)))
+	sketchResid := vec.Norm2(vec.Sub(b, a.MulVec(sketched)))
+	if sketchResid > 1.2*exactResid+1e-9 {
+		t.Fatalf("sketched residual %.4f much worse than exact %.4f", sketchResid, exactResid)
+	}
+}
+
+func TestSketchedLeastSquaresErrors(t *testing.T) {
+	r := xrand.New(10)
+	a := mat.NewGaussian(r, 50, 10)
+	if _, err := SketchedLeastSquares(r, a, make([]float64, 3), 20); err == nil {
+		t.Error("bad b length should fail")
+	}
+	if _, err := SketchedLeastSquares(r, a, make([]float64, 50), 5); err == nil {
+		t.Error("sketchRows < cols should fail")
+	}
+	// sketchRows >= rows falls back to the exact solve.
+	if _, err := SketchedLeastSquares(r, a, make([]float64, 50), 100); err != nil {
+		t.Errorf("fallback solve failed: %v", err)
+	}
+}
+
+func TestSketchedLowRankCapturesStructure(t *testing.T) {
+	r := xrand.New(11)
+	rows, cols, rank := 300, 40, 3
+	// Build an (almost) rank-3 matrix.
+	basis := mat.NewGaussian(r, rank, cols)
+	a := mat.NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		coefs := randDense(r, rank)
+		for j := 0; j < cols; j++ {
+			var v float64
+			for c := 0; c < rank; c++ {
+				v += coefs[c] * basis.At(c, j)
+			}
+			a.Set(i, j, v+0.001*r.NormFloat64())
+		}
+	}
+	q, err := SketchedLowRank(r, a, rank, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errNorm := LowRankError(a, q)
+	total := vec.Norm2(a.Data)
+	if errNorm/total > 0.05 {
+		t.Fatalf("sketched low-rank error %.4f of total norm", errNorm/total)
+	}
+	if _, err := SketchedLowRank(r, a, 0, 5); err == nil {
+		t.Error("rank 0 should fail")
+	}
+}
+
+func BenchmarkDenseJLApply(b *testing.B) {
+	r := xrand.New(1)
+	e := NewDenseJL(r, 256, 4096)
+	x := randDense(r, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Apply(x)
+	}
+}
+
+func BenchmarkSparseJLApply(b *testing.B) {
+	r := xrand.New(1)
+	e := NewSparseJL(r, 256, 4096, 2)
+	x := randDense(r, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Apply(x)
+	}
+}
+
+func BenchmarkSRHTApply(b *testing.B) {
+	r := xrand.New(1)
+	e := NewSRHT(r, 256, 4096)
+	x := randDense(r, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Apply(x)
+	}
+}

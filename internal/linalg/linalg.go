@@ -1,0 +1,272 @@
+// Package linalg provides the small dense numerical linear algebra kernels
+// needed by the compressed-sensing and sketch-and-solve packages: least
+// squares via conjugate gradients on the normal equations, Cholesky-based
+// solves for small systems, Gram matrices, and power iteration for dominant
+// subspaces.
+//
+// Nothing here is meant to compete with LAPACK; the matrices involved are
+// either small (restricted to a sparse support of size k) or tall-and-skinny
+// sketched systems, and the stdlib-only implementations below are adequate
+// and deterministic.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// ErrSingular is returned when a solve encounters a (numerically) singular
+// system.
+var ErrSingular = errors.New("linalg: singular or indefinite system")
+
+// Gram returns A^T A for a dense matrix A (size cols x cols).
+func Gram(a *mat.Dense) *mat.Dense {
+	return a.Transpose().MulMat(a)
+}
+
+// Cholesky computes the lower-triangular Cholesky factor L of a symmetric
+// positive-definite matrix (a is not modified). It returns ErrSingular if a
+// pivot drops below a tiny threshold.
+func Cholesky(a *mat.Dense) (*mat.Dense, error) {
+	n, m := a.Dims()
+	if n != m {
+		return nil, fmt.Errorf("linalg: Cholesky requires a square matrix, got %dx%d", n, m)
+	}
+	l := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 1e-12 {
+					return nil, ErrSingular
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A x = b for symmetric positive-definite A using the
+// Cholesky factorization.
+func SolveCholesky(a *mat.Dense, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n, _ := a.Dims()
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: SolveCholesky dimension mismatch")
+	}
+	// Forward substitution L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * y[k]
+		}
+		y[i] = sum / l.At(i, i)
+	}
+	// Back substitution L^T x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x, nil
+}
+
+// LeastSquares solves min_x ||A x - b||_2 for a dense A (rows >= cols) via
+// the normal equations with a small ridge term for numerical stability.
+func LeastSquares(a *mat.Dense, b []float64) ([]float64, error) {
+	rows, cols := a.Dims()
+	if len(b) != rows {
+		return nil, fmt.Errorf("linalg: LeastSquares needs len(b)=%d, got %d", rows, len(b))
+	}
+	g := Gram(a)
+	// Ridge regularization scaled to the trace keeps near-singular Gram
+	// matrices solvable without noticeably biasing well-posed systems.
+	trace := 0.0
+	for i := 0; i < cols; i++ {
+		trace += g.At(i, i)
+	}
+	ridge := 1e-12 * (trace + 1)
+	for i := 0; i < cols; i++ {
+		g.Set(i, i, g.At(i, i)+ridge)
+	}
+	rhs := a.TMulVec(b)
+	return SolveCholesky(g, rhs)
+}
+
+// CGNormal solves min_x ||A x - b||_2 for any operator A by running
+// conjugate gradients on the normal equations A^T A x = A^T b (CGNR). It
+// stops when the residual of the normal equations drops below tol or after
+// maxIter iterations, and returns the iterate together with the number of
+// iterations performed.
+func CGNormal(a mat.Operator, b []float64, maxIter int, tol float64) ([]float64, int) {
+	m, n := a.Dims()
+	if len(b) != m {
+		panic(fmt.Sprintf("linalg: CGNormal needs len(b)=%d, got %d", m, len(b)))
+	}
+	if maxIter <= 0 {
+		maxIter = 2 * n
+	}
+	x := make([]float64, n)
+	// r = A^T b - A^T A x = A^T b initially (x = 0).
+	r := a.TMulVec(b)
+	p := vec.Clone(r)
+	rsOld := vec.Dot(r, r)
+	if math.Sqrt(rsOld) < tol {
+		return x, 0
+	}
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		ap := a.TMulVec(a.MulVec(p))
+		denom := vec.Dot(p, ap)
+		if denom <= 0 {
+			break
+		}
+		alpha := rsOld / denom
+		vec.AXPY(alpha, p, x)
+		vec.AXPY(-alpha, ap, r)
+		rsNew := vec.Dot(r, r)
+		if math.Sqrt(rsNew) < tol {
+			iter++
+			break
+		}
+		beta := rsNew / rsOld
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rsOld = rsNew
+	}
+	return x, iter
+}
+
+// LeastSquaresOnSupport solves the restricted least-squares problem
+// min_z ||A_S z - b||_2 where A_S is A restricted to the columns in support,
+// and scatters the solution back into a length-n vector. This is the
+// workhorse of OMP and of the debiasing step in sparse recovery.
+func LeastSquaresOnSupport(a mat.Operator, b []float64, support []int) ([]float64, error) {
+	m, n := a.Dims()
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: LeastSquaresOnSupport needs len(b)=%d, got %d", m, len(b))
+	}
+	k := len(support)
+	if k == 0 {
+		return make([]float64, n), nil
+	}
+	// Materialize A_S column by column via unit-vector products.
+	sub := mat.NewDense(m, k)
+	e := make([]float64, n)
+	for c, j := range support {
+		if j < 0 || j >= n {
+			return nil, fmt.Errorf("linalg: support index %d out of range", j)
+		}
+		e[j] = 1
+		col := a.MulVec(e)
+		e[j] = 0
+		for i := 0; i < m; i++ {
+			sub.Set(i, c, col[i])
+		}
+	}
+	z, err := LeastSquares(sub, b)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for c, j := range support {
+		out[j] = z[c]
+	}
+	return out, nil
+}
+
+// PowerIteration returns an approximation of the top singular vector pair of
+// the operator A (unit-norm right singular vector v, singular value sigma).
+// It runs the given number of iterations of v <- normalize(A^T A v).
+func PowerIteration(a mat.Operator, iters int, r *xrand.Rand) (v []float64, sigma float64) {
+	_, n := a.Dims()
+	v = make([]float64, n)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	normalize(v)
+	for it := 0; it < iters; it++ {
+		w := a.TMulVec(a.MulVec(v))
+		nw := vec.Norm2(w)
+		if nw == 0 {
+			return v, 0
+		}
+		vec.ScaleInPlace(1/nw, w)
+		v = w
+	}
+	return v, vec.Norm2(a.MulVec(v))
+}
+
+// TopSingularVectors returns approximations of the top-k right singular
+// vectors of A via orthogonal (block power) iteration. The returned vectors
+// are the columns of an n×k orthonormal matrix.
+func TopSingularVectors(a mat.Operator, k, iters int, r *xrand.Rand) *mat.Dense {
+	_, n := a.Dims()
+	if k > n {
+		k = n
+	}
+	// Start from a random n×k block.
+	block := mat.NewDense(n, k)
+	for i := range block.Data {
+		block.Data[i] = r.NormFloat64()
+	}
+	orthonormalize(block)
+	for it := 0; it < iters; it++ {
+		// block <- A^T A block, then re-orthonormalize.
+		next := mat.NewDense(n, k)
+		for c := 0; c < k; c++ {
+			col := block.Col(c)
+			w := a.TMulVec(a.MulVec(col))
+			for i := 0; i < n; i++ {
+				next.Set(i, c, w[i])
+			}
+		}
+		orthonormalize(next)
+		block = next
+	}
+	return block
+}
+
+// normalize scales x to unit l2 norm (no-op for the zero vector).
+func normalize(x []float64) {
+	n := vec.Norm2(x)
+	if n > 0 {
+		vec.ScaleInPlace(1/n, x)
+	}
+}
+
+// orthonormalize applies modified Gram-Schmidt to the columns of a in place.
+func orthonormalize(a *mat.Dense) {
+	rows, cols := a.Dims()
+	for c := 0; c < cols; c++ {
+		col := a.Col(c)
+		for prev := 0; prev < c; prev++ {
+			p := a.Col(prev)
+			proj := vec.Dot(col, p)
+			vec.AXPY(-proj, p, col)
+		}
+		normalize(col)
+		for i := 0; i < rows; i++ {
+			a.Set(i, c, col[i])
+		}
+	}
+}

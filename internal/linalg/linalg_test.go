@@ -1,0 +1,259 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func denseFrom(rows, cols int, data []float64) *mat.Dense {
+	a := mat.NewDense(rows, cols)
+	copy(a.Data, data)
+	return a
+}
+
+func TestCholeskyKnownFactor(t *testing.T) {
+	// A = [[4,2],[2,3]] has L = [[2,0],[1,sqrt(2)]].
+	a := denseFrom(2, 2, []float64{4, 2, 2, 3})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.At(0, 0)-2) > 1e-12 || math.Abs(l.At(1, 0)-1) > 1e-12 ||
+		math.Abs(l.At(1, 1)-math.Sqrt2) > 1e-12 || l.At(0, 1) != 0 {
+		t.Fatalf("Cholesky factor wrong: %v", l.Data)
+	}
+}
+
+func TestCholeskyErrors(t *testing.T) {
+	if _, err := Cholesky(mat.NewDense(2, 3)); err == nil {
+		t.Error("non-square matrix should fail")
+	}
+	// Singular matrix.
+	a := denseFrom(2, 2, []float64{1, 1, 1, 1})
+	if _, err := Cholesky(a); err == nil {
+		t.Error("singular matrix should fail")
+	}
+}
+
+func TestSolveCholesky(t *testing.T) {
+	a := denseFrom(2, 2, []float64{4, 2, 2, 3})
+	x, err := SolveCholesky(a, []float64{10, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x+2y=10, 2x+3y=9 -> x=1.5, y=2.
+	if math.Abs(x[0]-1.5) > 1e-10 || math.Abs(x[1]-2) > 1e-10 {
+		t.Fatalf("SolveCholesky = %v", x)
+	}
+	if _, err := SolveCholesky(a, []float64{1}); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestLeastSquaresExactSystem(t *testing.T) {
+	// Overdetermined but consistent system: A x* = b exactly.
+	r := xrand.New(1)
+	a := mat.NewGaussian(r, 30, 5)
+	xTrue := []float64{1, -2, 3, 0.5, -1}
+	b := a.MulVec(xTrue)
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.Norm2(vec.Sub(x, xTrue)) > 1e-6 {
+		t.Fatalf("LeastSquares = %v, want %v", x, xTrue)
+	}
+}
+
+func TestLeastSquaresResidualOrthogonality(t *testing.T) {
+	// For the LS solution, A^T (b - A x) must be (nearly) zero.
+	r := xrand.New(2)
+	a := mat.NewGaussian(r, 40, 6)
+	b := make([]float64, 40)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resid := vec.Sub(b, a.MulVec(x))
+	if g := vec.Norm2(a.TMulVec(resid)); g > 1e-6 {
+		t.Fatalf("normal-equation residual %v not near zero", g)
+	}
+}
+
+func TestLeastSquaresDimensionError(t *testing.T) {
+	if _, err := LeastSquares(mat.NewDense(3, 2), []float64{1, 2}); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestCGNormalMatchesDirectSolve(t *testing.T) {
+	r := xrand.New(3)
+	a := mat.NewGaussian(r, 50, 10)
+	xTrue := make([]float64, 10)
+	for i := range xTrue {
+		xTrue[i] = r.NormFloat64()
+	}
+	b := a.MulVec(xTrue)
+	x, iters := CGNormal(a, b, 200, 1e-12)
+	if iters == 0 {
+		t.Fatal("CG did no iterations")
+	}
+	if vec.Norm2(vec.Sub(x, xTrue)) > 1e-6 {
+		t.Fatalf("CGNormal error %v", vec.Norm2(vec.Sub(x, xTrue)))
+	}
+}
+
+func TestCGNormalWorksWithSparseOperator(t *testing.T) {
+	r := xrand.New(4)
+	a := mat.NewSparseSign(r, 60, 20, 4)
+	xTrue := make([]float64, 20)
+	for i := range xTrue {
+		xTrue[i] = r.NormFloat64()
+	}
+	b := a.MulVec(xTrue)
+	x, _ := CGNormal(a, b, 500, 1e-12)
+	if vec.Norm2(vec.Sub(x, xTrue)) > 1e-5 {
+		t.Fatalf("CGNormal sparse error %v", vec.Norm2(vec.Sub(x, xTrue)))
+	}
+}
+
+func TestCGNormalZeroRHS(t *testing.T) {
+	r := xrand.New(5)
+	a := mat.NewGaussian(r, 10, 4)
+	x, iters := CGNormal(a, make([]float64, 10), 100, 1e-10)
+	if iters != 0 || vec.Norm2(x) != 0 {
+		t.Fatalf("zero rhs should give zero solution immediately, got iters=%d", iters)
+	}
+}
+
+func TestCGNormalPanicsOnDimension(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CGNormal(mat.NewDense(3, 2), []float64{1, 2}, 10, 1e-6)
+}
+
+func TestLeastSquaresOnSupport(t *testing.T) {
+	r := xrand.New(6)
+	a := mat.NewGaussian(r, 40, 100)
+	x := make([]float64, 100)
+	x[7] = 3
+	x[42] = -2
+	b := a.MulVec(x)
+	got, err := LeastSquaresOnSupport(a, b, []int{7, 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.Norm2(vec.Sub(got, x)) > 1e-6 {
+		t.Fatalf("support-restricted LS error %v", vec.Norm2(vec.Sub(got, x)))
+	}
+	// Empty support returns all zeros.
+	zero, err := LeastSquaresOnSupport(a, b, nil)
+	if err != nil || vec.Norm2(zero) != 0 {
+		t.Fatal("empty support should return zero vector")
+	}
+	// Bad support index.
+	if _, err := LeastSquaresOnSupport(a, b, []int{1000}); err == nil {
+		t.Error("out-of-range support should fail")
+	}
+	if _, err := LeastSquaresOnSupport(a, []float64{1}, []int{0}); err == nil {
+		t.Error("bad b length should fail")
+	}
+}
+
+func TestPowerIterationFindsDominantDirection(t *testing.T) {
+	// Diagonal operator with one dominant direction.
+	a := mat.NewDense(5, 5)
+	diag := []float64{10, 1, 0.5, 0.2, 0.1}
+	for i, d := range diag {
+		a.Set(i, i, d)
+	}
+	r := xrand.New(7)
+	v, sigma := PowerIteration(a, 100, r)
+	if math.Abs(math.Abs(v[0])-1) > 1e-6 {
+		t.Fatalf("power iteration did not converge to e1: %v", v)
+	}
+	if math.Abs(sigma-10) > 1e-6 {
+		t.Fatalf("sigma = %v, want 10", sigma)
+	}
+}
+
+func TestTopSingularVectorsOrthonormal(t *testing.T) {
+	r := xrand.New(8)
+	a := mat.NewGaussian(r, 30, 12)
+	v := TopSingularVectors(a, 4, 30, r)
+	rows, cols := v.Dims()
+	if rows != 12 || cols != 4 {
+		t.Fatalf("Dims = %d,%d", rows, cols)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			dot := vec.Dot(v.Col(i), v.Col(j))
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-8 {
+				t.Fatalf("columns %d,%d not orthonormal: dot=%v", i, j, dot)
+			}
+		}
+	}
+}
+
+func TestTopSingularVectorsCapturesEnergy(t *testing.T) {
+	// Build a matrix with an exactly rank-2 structure plus small noise; the
+	// top-2 singular subspace should capture almost all the energy.
+	r := xrand.New(9)
+	n := 20
+	u1 := make([]float64, n)
+	u2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		u1[i] = r.NormFloat64()
+		u2[i] = r.NormFloat64()
+	}
+	a := mat.NewDense(50, n)
+	for i := 0; i < 50; i++ {
+		c1 := r.NormFloat64() * 10
+		c2 := r.NormFloat64() * 5
+		for j := 0; j < n; j++ {
+			a.Set(i, j, c1*u1[j]+c2*u2[j]+0.01*r.NormFloat64())
+		}
+	}
+	v := TopSingularVectors(a, 2, 50, r)
+	// Project every row of A onto the subspace and compare energy.
+	var total, captured float64
+	for i := 0; i < 50; i++ {
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			row[j] = a.At(i, j)
+		}
+		total += vec.Dot(row, row)
+		for c := 0; c < 2; c++ {
+			p := vec.Dot(row, v.Col(c))
+			captured += p * p
+		}
+	}
+	if captured/total < 0.99 {
+		t.Fatalf("top-2 subspace captured only %.3f of the energy", captured/total)
+	}
+}
+
+func TestGram(t *testing.T) {
+	a := denseFrom(3, 2, []float64{1, 0, 0, 1, 1, 1})
+	g := Gram(a)
+	want := []float64{2, 1, 1, 2}
+	for i, v := range want {
+		if math.Abs(g.Data[i]-v) > 1e-12 {
+			t.Fatalf("Gram = %v, want %v", g.Data, want)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package mat provides the dense and sparse matrix types used as measurement
+// operators throughout the repository.
+//
+// The survey contrasts two kinds of measurement matrices:
+//
+//   - dense random matrices (i.i.d. Gaussian or Bernoulli entries), which
+//     achieve the optimal O(k log(n/k)) measurement bound but cost O(nm) per
+//     matrix-vector product, and
+//   - sparse hashing-based matrices (a constant number of non-zeros per
+//     column), which support O(nnz) products and streaming updates.
+//
+// Both are provided here behind a common Operator interface so that the
+// compressed-sensing and dimensionality-reduction packages can be written
+// against either.
+package mat
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// Operator is a linear map R^n -> R^m that supports forward and adjoint
+// (transpose) application. All measurement matrices implement it.
+type Operator interface {
+	// Dims returns (m, n): the output and input dimensions.
+	Dims() (rows, cols int)
+	// MulVec returns A*x (length m). x must have length n.
+	MulVec(x []float64) []float64
+	// TMulVec returns A^T*y (length n). y must have length m.
+	TMulVec(y []float64) []float64
+}
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[i*Cols+j] = A[i][j]
+}
+
+// NewDense allocates a zero Rows x Cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic("mat: negative dimension")
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns A[i][j].
+func (a *Dense) At(i, j int) float64 { return a.Data[i*a.Cols+j] }
+
+// Set assigns A[i][j] = v.
+func (a *Dense) Set(i, j int, v float64) { a.Data[i*a.Cols+j] = v }
+
+// Dims returns the matrix dimensions.
+func (a *Dense) Dims() (int, int) { return a.Rows, a.Cols }
+
+// MulVec returns A*x.
+func (a *Dense) MulVec(x []float64) []float64 {
+	if len(x) != a.Cols {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch: %d cols vs %d vector", a.Cols, len(x)))
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TMulVec returns A^T*y.
+func (a *Dense) TMulVec(y []float64) []float64 {
+	if len(y) != a.Rows {
+		panic(fmt.Sprintf("mat: TMulVec dimension mismatch: %d rows vs %d vector", a.Rows, len(y)))
+	}
+	out := make([]float64, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		yi := y[i]
+		if yi == 0 {
+			continue
+		}
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range row {
+			out[j] += v * yi
+		}
+	}
+	return out
+}
+
+// Col returns a copy of column j.
+func (a *Dense) Col(j int) []float64 {
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		out[i] = a.At(i, j)
+	}
+	return out
+}
+
+// MulMat returns A*B as a new dense matrix.
+func (a *Dense) MulMat(b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulMat dimension mismatch: %dx%d times %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += aik * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns A^T as a new dense matrix.
+func (a *Dense) Transpose() *Dense {
+	out := NewDense(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Set(j, i, a.At(i, j))
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the matrix.
+func (a *Dense) Clone() *Dense {
+	out := NewDense(a.Rows, a.Cols)
+	copy(out.Data, a.Data)
+	return out
+}
+
+// CSR is a compressed sparse row matrix.
+type CSR struct {
+	RowsN, ColsN int
+	RowPtr       []int     // len RowsN+1
+	ColIdx       []int     // len nnz
+	Values       []float64 // len nnz
+}
+
+// Dims returns the matrix dimensions.
+func (a *CSR) Dims() (int, int) { return a.RowsN, a.ColsN }
+
+// NNZ returns the number of stored non-zeros.
+func (a *CSR) NNZ() int { return len(a.Values) }
+
+// MulVec returns A*x.
+func (a *CSR) MulVec(x []float64) []float64 {
+	if len(x) != a.ColsN {
+		panic(fmt.Sprintf("mat: CSR MulVec dimension mismatch: %d cols vs %d vector", a.ColsN, len(x)))
+	}
+	out := make([]float64, a.RowsN)
+	for i := 0; i < a.RowsN; i++ {
+		var s float64
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			s += a.Values[p] * x[a.ColIdx[p]]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TMulVec returns A^T*y.
+func (a *CSR) TMulVec(y []float64) []float64 {
+	if len(y) != a.RowsN {
+		panic(fmt.Sprintf("mat: CSR TMulVec dimension mismatch: %d rows vs %d vector", a.RowsN, len(y)))
+	}
+	out := make([]float64, a.ColsN)
+	for i := 0; i < a.RowsN; i++ {
+		yi := y[i]
+		if yi == 0 {
+			continue
+		}
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			out[a.ColIdx[p]] += a.Values[p] * yi
+		}
+	}
+	return out
+}
+
+// Dense expands the CSR matrix to a dense matrix (for tests and small cases).
+func (a *CSR) Dense() *Dense {
+	out := NewDense(a.RowsN, a.ColsN)
+	for i := 0; i < a.RowsN; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			out.Set(i, a.ColIdx[p], out.At(i, a.ColIdx[p])+a.Values[p])
+		}
+	}
+	return out
+}
+
+// COO is a coordinate-format triplet list used to build CSR matrices.
+type COO struct {
+	Rows, Cols int
+	I, J       []int
+	V          []float64
+}
+
+// NewCOO returns an empty triplet accumulator with the given dimensions.
+func NewCOO(rows, cols int) *COO {
+	return &COO{Rows: rows, Cols: cols}
+}
+
+// Add appends the triplet (i, j, v).
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.Rows || j < 0 || j >= c.Cols {
+		panic(fmt.Sprintf("mat: COO index (%d,%d) out of range %dx%d", i, j, c.Rows, c.Cols))
+	}
+	c.I = append(c.I, i)
+	c.J = append(c.J, j)
+	c.V = append(c.V, v)
+}
+
+// ToCSR converts the triplets to CSR form. Duplicate entries are kept as
+// separate stored values (they sum implicitly during MulVec).
+func (c *COO) ToCSR() *CSR {
+	nnz := len(c.V)
+	rowCount := make([]int, c.Rows+1)
+	for _, i := range c.I {
+		rowCount[i+1]++
+	}
+	for i := 0; i < c.Rows; i++ {
+		rowCount[i+1] += rowCount[i]
+	}
+	colIdx := make([]int, nnz)
+	values := make([]float64, nnz)
+	next := make([]int, c.Rows)
+	copy(next, rowCount[:c.Rows])
+	for t := 0; t < nnz; t++ {
+		i := c.I[t]
+		p := next[i]
+		colIdx[p] = c.J[t]
+		values[p] = c.V[t]
+		next[i]++
+	}
+	return &CSR{RowsN: c.Rows, ColsN: c.Cols, RowPtr: rowCount, ColIdx: colIdx, Values: values}
+}
+
+// Random measurement matrices ------------------------------------------------
+
+// NewGaussian returns an m x n matrix with i.i.d. N(0, 1/m) entries: the
+// classic dense compressed-sensing / Johnson-Lindenstrauss matrix.
+func NewGaussian(r *xrand.Rand, m, n int) *Dense {
+	a := NewDense(m, n)
+	scale := 1.0 / math.Sqrt(float64(m))
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64() * scale
+	}
+	return a
+}
+
+// NewBernoulli returns an m x n matrix with i.i.d. ±1/sqrt(m) entries.
+func NewBernoulli(r *xrand.Rand, m, n int) *Dense {
+	a := NewDense(m, n)
+	scale := 1.0 / math.Sqrt(float64(m))
+	for i := range a.Data {
+		a.Data[i] = r.Rademacher() * scale
+	}
+	return a
+}
+
+// NewSparseBinary returns an m x n sparse matrix with exactly d ones per
+// column, placed in d distinct rows chosen uniformly at random. This is the
+// adjacency matrix of a random bipartite d-regular graph — the expander-style
+// matrix of [BGI+08, BIR08] and the multi-row Count-Min matrix.
+func NewSparseBinary(r *xrand.Rand, m, n, d int) *CSR {
+	if d < 1 || d > m {
+		panic(fmt.Sprintf("mat: NewSparseBinary requires 1 <= d <= m, got d=%d m=%d", d, m))
+	}
+	coo := NewCOO(m, n)
+	for j := 0; j < n; j++ {
+		for _, i := range r.Sample(m, d) {
+			coo.Add(i, j, 1)
+		}
+	}
+	return coo.ToCSR()
+}
+
+// NewSparseSign returns an m x n sparse matrix with exactly d non-zeros per
+// column, each ±1/sqrt(d), in distinct random rows. With d=1 this is exactly
+// the Count-Sketch / sparse JL matrix of [DKS10, KN12]; larger d is the
+// OSNAP-style embedding.
+func NewSparseSign(r *xrand.Rand, m, n, d int) *CSR {
+	if d < 1 || d > m {
+		panic(fmt.Sprintf("mat: NewSparseSign requires 1 <= d <= m, got d=%d m=%d", d, m))
+	}
+	coo := NewCOO(m, n)
+	scale := 1.0 / math.Sqrt(float64(d))
+	for j := 0; j < n; j++ {
+		for _, i := range r.Sample(m, d) {
+			coo.Add(i, j, r.Rademacher()*scale)
+		}
+	}
+	return coo.ToCSR()
+}

@@ -1,0 +1,337 @@
+package mat
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+func TestDenseAtSet(t *testing.T) {
+	a := NewDense(2, 3)
+	a.Set(1, 2, 5)
+	if a.At(1, 2) != 5 {
+		t.Fatalf("At(1,2) = %v, want 5", a.At(1, 2))
+	}
+	if r, c := a.Dims(); r != 2 || c != 3 {
+		t.Fatalf("Dims = %d,%d", r, c)
+	}
+}
+
+func TestDenseMulVec(t *testing.T) {
+	a := NewDense(2, 3)
+	// A = [1 2 3; 4 5 6]
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	got := a.MulVec([]float64{1, 1, 1})
+	if !reflect.DeepEqual(got, []float64{6, 15}) {
+		t.Fatalf("MulVec = %v", got)
+	}
+	gotT := a.TMulVec([]float64{1, 1})
+	if !reflect.DeepEqual(gotT, []float64{5, 7, 9}) {
+		t.Fatalf("TMulVec = %v", gotT)
+	}
+}
+
+func TestDenseMulVecPanics(t *testing.T) {
+	a := NewDense(2, 3)
+	for _, f := range []func(){
+		func() { a.MulVec([]float64{1, 2}) },
+		func() { a.TMulVec([]float64{1, 2, 3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("dimension mismatch did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDenseColTransposeClone(t *testing.T) {
+	a := NewDense(2, 2)
+	copy(a.Data, []float64{1, 2, 3, 4})
+	if got := a.Col(1); !reflect.DeepEqual(got, []float64{2, 4}) {
+		t.Errorf("Col(1) = %v", got)
+	}
+	at := a.Transpose()
+	if at.At(0, 1) != 3 || at.At(1, 0) != 2 {
+		t.Errorf("Transpose wrong: %v", at.Data)
+	}
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) == 99 {
+		t.Error("Clone did not deep copy")
+	}
+}
+
+func TestDenseMulMat(t *testing.T) {
+	a := NewDense(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	b := NewDense(3, 2)
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	got := a.MulMat(b)
+	want := []float64{58, 64, 139, 154}
+	if !reflect.DeepEqual(got.Data, want) {
+		t.Fatalf("MulMat = %v, want %v", got.Data, want)
+	}
+}
+
+func TestMulMatPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulMat mismatch did not panic")
+		}
+	}()
+	NewDense(2, 3).MulMat(NewDense(2, 2))
+}
+
+func TestCOOToCSRAndMulVec(t *testing.T) {
+	coo := NewCOO(3, 4)
+	coo.Add(0, 1, 2)
+	coo.Add(2, 3, -1)
+	coo.Add(0, 1, 3) // duplicate: should sum during MulVec
+	coo.Add(1, 0, 5)
+	csr := coo.ToCSR()
+	if csr.NNZ() != 4 {
+		t.Fatalf("NNZ = %d, want 4", csr.NNZ())
+	}
+	x := []float64{1, 1, 1, 1}
+	got := csr.MulVec(x)
+	want := []float64{5, 5, -1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("CSR MulVec = %v, want %v", got, want)
+	}
+	gotT := csr.TMulVec([]float64{1, 1, 1})
+	wantT := []float64{5, 5, 0, -1}
+	if !reflect.DeepEqual(gotT, wantT) {
+		t.Fatalf("CSR TMulVec = %v, want %v", gotT, wantT)
+	}
+}
+
+func TestCOOAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("COO.Add out of range did not panic")
+		}
+	}()
+	NewCOO(2, 2).Add(2, 0, 1)
+}
+
+func TestCSRDenseAgreesWithCSR(t *testing.T) {
+	r := xrand.New(3)
+	csr := NewSparseSign(r, 8, 20, 3)
+	dense := csr.Dense()
+	x := make([]float64, 20)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	got := csr.MulVec(x)
+	want := dense.MulVec(x)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("CSR and Dense disagree at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCSRMulVecPanics(t *testing.T) {
+	csr := NewSparseBinary(xrand.New(1), 4, 6, 2)
+	for _, f := range []func(){
+		func() { csr.MulVec(make([]float64, 5)) },
+		func() { csr.TMulVec(make([]float64, 5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("CSR dimension mismatch did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNewGaussianShapeAndScale(t *testing.T) {
+	r := xrand.New(5)
+	m, n := 64, 200
+	a := NewGaussian(r, m, n)
+	if rr, cc := a.Dims(); rr != m || cc != n {
+		t.Fatalf("Dims = %d,%d", rr, cc)
+	}
+	// Column norms should concentrate around 1 (each column is N(0,1/m)^m).
+	var sum float64
+	for j := 0; j < n; j++ {
+		sum += vec.Norm2(a.Col(j))
+	}
+	if avg := sum / float64(n); math.Abs(avg-1) > 0.1 {
+		t.Errorf("average column norm %.3f, want about 1", avg)
+	}
+}
+
+func TestNewBernoulliEntries(t *testing.T) {
+	r := xrand.New(7)
+	m := 16
+	a := NewBernoulli(r, m, 10)
+	want := 1 / math.Sqrt(float64(m))
+	for _, v := range a.Data {
+		if math.Abs(math.Abs(v)-want) > 1e-12 {
+			t.Fatalf("Bernoulli entry %v, want ±%v", v, want)
+		}
+	}
+}
+
+func TestNewSparseBinaryColumnDegree(t *testing.T) {
+	r := xrand.New(9)
+	m, n, d := 32, 100, 4
+	a := NewSparseBinary(r, m, n, d)
+	if a.NNZ() != n*d {
+		t.Fatalf("NNZ = %d, want %d", a.NNZ(), n*d)
+	}
+	// Each column must have exactly d entries, all equal to 1, in distinct rows.
+	colCount := make([]int, n)
+	dense := a.Dense()
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			v := dense.At(i, j)
+			if v != 0 && v != 1 {
+				t.Fatalf("sparse binary entry %v not in {0,1}", v)
+			}
+			if v == 1 {
+				colCount[j]++
+			}
+		}
+	}
+	for j, c := range colCount {
+		if c != d {
+			t.Fatalf("column %d has %d ones, want %d", j, c, d)
+		}
+	}
+}
+
+func TestNewSparseSignColumnNorm(t *testing.T) {
+	r := xrand.New(11)
+	m, n, d := 32, 50, 4
+	a := NewSparseSign(r, m, n, d)
+	dense := a.Dense()
+	for j := 0; j < n; j++ {
+		norm := vec.Norm2(dense.Col(j))
+		if math.Abs(norm-1) > 1e-9 {
+			t.Fatalf("column %d norm %v, want 1", j, norm)
+		}
+	}
+}
+
+func TestSparseConstructorsPanic(t *testing.T) {
+	r := xrand.New(1)
+	for _, f := range []func(){
+		func() { NewSparseBinary(r, 4, 10, 0) },
+		func() { NewSparseBinary(r, 4, 10, 5) },
+		func() { NewSparseSign(r, 4, 10, 0) },
+		func() { NewSparseSign(r, 4, 10, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad d did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: for any operator A in the package, <Ax, y> == <x, A^T y>
+// (the defining adjoint identity), up to floating point error.
+func TestAdjointIdentityProperty(t *testing.T) {
+	r := xrand.New(13)
+	ops := []Operator{
+		NewGaussian(r, 10, 25),
+		NewBernoulli(r, 10, 25),
+		NewSparseBinary(r, 10, 25, 3),
+		NewSparseSign(r, 10, 25, 3),
+	}
+	f := func(seed uint64) bool {
+		rr := xrand.New(seed)
+		for _, op := range ops {
+			m, n := op.Dims()
+			x := make([]float64, n)
+			y := make([]float64, m)
+			for i := range x {
+				x[i] = rr.NormFloat64()
+			}
+			for i := range y {
+				y[i] = rr.NormFloat64()
+			}
+			lhs := vec.Dot(op.MulVec(x), y)
+			rhs := vec.Dot(x, op.TMulVec(y))
+			if math.Abs(lhs-rhs) > 1e-8*(1+math.Abs(lhs)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: operators are linear: A(x+y) = Ax + Ay.
+func TestOperatorLinearityProperty(t *testing.T) {
+	r := xrand.New(17)
+	ops := []Operator{
+		NewGaussian(r, 12, 30),
+		NewSparseSign(r, 12, 30, 2),
+	}
+	f := func(seed uint64) bool {
+		rr := xrand.New(seed)
+		for _, op := range ops {
+			_, n := op.Dims()
+			x := make([]float64, n)
+			y := make([]float64, n)
+			for i := range x {
+				x[i] = rr.NormFloat64()
+				y[i] = rr.NormFloat64()
+			}
+			lhs := op.MulVec(vec.Add(x, y))
+			rhs := vec.Add(op.MulVec(x), op.MulVec(y))
+			if vec.Norm2(vec.Sub(lhs, rhs)) > 1e-9*(1+vec.Norm2(lhs)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDenseMulVec(b *testing.B) {
+	r := xrand.New(1)
+	a := NewGaussian(r, 256, 4096)
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(x)
+	}
+}
+
+func BenchmarkSparseSignMulVec(b *testing.B) {
+	r := xrand.New(1)
+	a := NewSparseSign(r, 256, 4096, 4)
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(x)
+	}
+}

@@ -1,0 +1,109 @@
+package sfft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/fourier"
+	"repro/internal/xrand"
+)
+
+// Failure-injection tests for the sparse FFT: spectra whose support is
+// clustered (adjacent frequencies) defeat any binning whose collisions are
+// not randomized, because neighbouring coefficients start in the same chunk.
+
+func TestExactRecoversClusteredFrequencies(t *testing.T) {
+	r := xrand.New(1)
+	n := 4096
+	// Ten coefficients packed into consecutive frequencies around 1000.
+	spec := make([]complex128, n)
+	var truth []Coefficient
+	for i := 0; i < 10; i++ {
+		f := 1000 + i
+		v := cmplx.Rect(1+r.Float64(), 2*math.Pi*r.Float64())
+		spec[f] = v
+		truth = append(truth, Coefficient{Freq: f, Value: v})
+	}
+	x := fourier.InverseFFT(spec)
+	got, err := Exact(x, 10, Config{Rounds: 12}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortCoefficients(truth)
+	if e := coefficientError(truth, got, n); e > 1e-6 {
+		t.Fatalf("clustered spectrum recovery error %v", e)
+	}
+}
+
+func TestExactRecoversPeriodicSupport(t *testing.T) {
+	// Frequencies spaced exactly n/B apart all alias to the same residue
+	// class mod B; the chunk binning plus random dilation must still separate
+	// them.
+	r := xrand.New(2)
+	n := 4096
+	k := 8
+	spacing := n / 32 // default B for k=8 is 32
+	spec := make([]complex128, n)
+	var truth []Coefficient
+	for i := 0; i < k; i++ {
+		f := (i*spacing + 5) % n
+		v := cmplx.Rect(2, 2*math.Pi*r.Float64())
+		spec[f] = v
+		truth = append(truth, Coefficient{Freq: f, Value: v})
+	}
+	x := fourier.InverseFFT(spec)
+	got, err := Exact(x, k, Config{Rounds: 12}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortCoefficients(truth)
+	if e := coefficientError(truth, got, n); e > 1e-6 {
+		t.Fatalf("periodic-support recovery error %v", e)
+	}
+}
+
+func TestRobustDoesNotHallucinateOnPureNoise(t *testing.T) {
+	// A signal that is pure noise has no significant coefficients; the robust
+	// algorithm must not report large ones.
+	r := xrand.New(3)
+	n := 2048
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	got, err := Robust(x, 5, Config{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The true spectrum has typical coefficient magnitude sqrt(2n); anything
+	// reported should not exceed a few times that.
+	limit := 5 * math.Sqrt(2*float64(n))
+	for _, c := range got {
+		if cmplx.Abs(c.Value) > limit {
+			t.Fatalf("robust sFFT hallucinated a coefficient of magnitude %v on pure noise", cmplx.Abs(c.Value))
+		}
+	}
+}
+
+func TestExactSingleToneAtEveryOctave(t *testing.T) {
+	// Frequencies at powers of two (including 0 and n/2) exercise the phase
+	// estimation edge cases.
+	r := xrand.New(4)
+	n := 1024
+	for _, f := range []int{0, 1, 2, 4, 256, 512, 1023} {
+		spec := make([]complex128, n)
+		spec[f] = 3 + 4i
+		x := fourier.InverseFFT(spec)
+		got, err := Exact(x, 1, Config{}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0].Freq != f {
+			t.Fatalf("tone at %d recovered as %v", f, got)
+		}
+		if cmplx.Abs(got[0].Value-(3+4i)) > 1e-6 {
+			t.Fatalf("tone at %d value %v", f, got[0].Value)
+		}
+	}
+}

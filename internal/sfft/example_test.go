@@ -1,0 +1,48 @@
+package sfft_test
+
+import (
+	"fmt"
+
+	"repro/internal/fourier"
+	"repro/internal/sfft"
+	"repro/internal/xrand"
+)
+
+// ExampleExact recovers a 3-sparse spectrum without computing a full FFT.
+func ExampleExact() {
+	r := xrand.New(1)
+	const n = 1024
+
+	// A spectrum with three tones.
+	spec := make([]complex128, n)
+	spec[17] = 2
+	spec[300] = 1i
+	spec[900] = -1.5
+	signal := fourier.InverseFFT(spec)
+
+	coeffs, err := sfft.Exact(signal, 3, sfft.Config{}, r)
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range coeffs {
+		fmt.Printf("freq %d magnitude %.1f\n", c.Freq, magnitude(c.Value))
+	}
+	// Output:
+	// freq 17 magnitude 2.0
+	// freq 900 magnitude 1.5
+	// freq 300 magnitude 1.0
+}
+
+func magnitude(v complex128) float64 {
+	re, im := real(v), imag(v)
+	if re < 0 {
+		re = -re
+	}
+	if im < 0 {
+		im = -im
+	}
+	if re > im {
+		return re
+	}
+	return im
+}

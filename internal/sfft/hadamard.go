@@ -1,0 +1,224 @@
+package sfft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/fourier"
+	"repro/internal/xrand"
+)
+
+// HadamardCoefficient is a recovered Walsh-Hadamard (Boolean-cube Fourier)
+// coefficient: the character index S (a bitmask over the m input bits) and
+// the coefficient value.
+type HadamardCoefficient struct {
+	S     uint64
+	Value float64
+}
+
+// KMConfig controls the Kushilevitz-Mansour search.
+type KMConfig struct {
+	// OuterSamples is the number of z samples per weight estimate (default 64).
+	OuterSamples int
+	// InnerSamples is the number of y samples per z (default 16).
+	InnerSamples int
+	// LeafSamples is the number of samples for the final coefficient
+	// estimates (default 2048).
+	LeafSamples int
+	// MaxCandidates aborts the search if the candidate set explodes (default
+	// 4096), which indicates the threshold is too low for the sample budget.
+	MaxCandidates int
+}
+
+func (c KMConfig) outer() int {
+	if c.OuterSamples <= 0 {
+		return 64
+	}
+	return c.OuterSamples
+}
+func (c KMConfig) inner() int {
+	if c.InnerSamples <= 0 {
+		return 16
+	}
+	return c.InnerSamples
+}
+func (c KMConfig) leaf() int {
+	if c.LeafSamples <= 0 {
+		return 2048
+	}
+	return c.LeafSamples
+}
+func (c KMConfig) maxCand() int {
+	if c.MaxCandidates <= 0 {
+		return 4096
+	}
+	return c.MaxCandidates
+}
+
+// parity returns (-1)^{popcount(x)} as a float.
+func parity(x uint64) float64 {
+	if bits.OnesCount64(x)%2 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// KMSparseHadamard finds (with high probability) every Walsh-Hadamard
+// coefficient of f with magnitude at least threshold, by the
+// Kushilevitz-Mansour prefix search [KM91] (cf. Goldreich-Levin [GL89]): the
+// coefficient index space {0,1}^m is explored as a binary tree of prefixes,
+// and the total squared coefficient weight under each prefix is estimated by
+// random sampling of f. Only prefixes whose estimated weight reaches
+// threshold^2/2 are expanded, so the work scales with the number of large
+// coefficients rather than with 2^m.
+//
+// The input f has length 2^m and uses the convention
+// fhat(s) = 2^{-m} Σ_x f(x)·(-1)^{s·x}.
+func KMSparseHadamard(f []float64, threshold float64, cfg KMConfig, r *xrand.Rand) ([]HadamardCoefficient, error) {
+	n := len(f)
+	if !fourier.IsPowerOfTwo(n) {
+		return nil, fmt.Errorf("sfft: KMSparseHadamard requires a power-of-two length, got %d", n)
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("sfft: KMSparseHadamard requires a positive threshold")
+	}
+	m := bits.TrailingZeros(uint(n))
+	if m == 0 {
+		// Single-point function: its only coefficient is f[0].
+		if math.Abs(f[0]) >= threshold {
+			return []HadamardCoefficient{{S: 0, Value: f[0]}}, nil
+		}
+		return nil, nil
+	}
+
+	// Candidate prefixes over the low-order l bits of s.
+	type prefix struct {
+		bitsVal uint64
+		length  int
+	}
+	candidates := []prefix{{0, 0}}
+	for l := 1; l <= m; l++ {
+		var next []prefix
+		for _, p := range candidates {
+			for _, bit := range []uint64{0, 1} {
+				cand := prefix{bitsVal: p.bitsVal | bit<<uint(l-1), length: l}
+				w := estimatePrefixWeight(f, m, cand.bitsVal, l, cfg, r)
+				if w >= threshold*threshold/2 {
+					next = append(next, cand)
+				}
+			}
+		}
+		if len(next) > cfg.maxCand() {
+			return nil, fmt.Errorf("sfft: KM search exceeded %d candidates at depth %d; raise the threshold or the sample budget", cfg.maxCand(), l)
+		}
+		candidates = next
+		if len(candidates) == 0 {
+			return nil, nil
+		}
+	}
+
+	// Final estimation of each surviving full-length index.
+	var out []HadamardCoefficient
+	leaf := cfg.leaf()
+	for _, p := range candidates {
+		var sum float64
+		for i := 0; i < leaf; i++ {
+			x := uint64(r.Intn(n))
+			sum += f[x] * parity(p.bitsVal&x)
+		}
+		est := sum / float64(leaf)
+		if math.Abs(est) >= threshold/2 {
+			out = append(out, HadamardCoefficient{S: p.bitsVal, Value: est})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		mi, mj := math.Abs(out[i].Value), math.Abs(out[j].Value)
+		if mi != mj {
+			return mi > mj
+		}
+		return out[i].S < out[j].S
+	})
+	return out, nil
+}
+
+// estimatePrefixWeight estimates Σ_{s: s agrees with the prefix on its low l
+// bits} fhat(s)^2 by sampling: for the split x = (y, z) with y the low l bits,
+// the weight equals E_z[ g(z)^2 ] with g(z) = E_y[ f(y,z)·(-1)^{prefix·y} ].
+func estimatePrefixWeight(f []float64, m int, prefixBits uint64, l int, cfg KMConfig, r *xrand.Rand) float64 {
+	n := len(f)
+	yCount := 1 << uint(l)
+	zCount := n >> uint(l)
+	outer := cfg.outer()
+	inner := cfg.inner()
+	if inner > yCount {
+		inner = yCount
+	}
+	var acc float64
+	for o := 0; o < outer; o++ {
+		z := uint64(r.Intn(zCount))
+		// Two independent inner estimates multiplied together give an
+		// unbiased estimate of g(z)^2 (avoids the positive bias of squaring
+		// a single noisy estimate).
+		g1 := innerEstimate(f, prefixBits, l, z, inner, yCount, r)
+		g2 := innerEstimate(f, prefixBits, l, z, inner, yCount, r)
+		acc += g1 * g2
+	}
+	est := acc / float64(outer)
+	if est < 0 {
+		est = 0
+	}
+	return est
+}
+
+// innerEstimate estimates g(z) = E_y[f(y,z)·(-1)^{prefix·y}] by sampling
+// inner values of y (or exactly if inner == yCount).
+func innerEstimate(f []float64, prefixBits uint64, l int, z uint64, inner, yCount int, r *xrand.Rand) float64 {
+	var sum float64
+	if inner >= yCount {
+		for y := 0; y < yCount; y++ {
+			x := z<<uint(l) | uint64(y)
+			sum += f[x] * parity(prefixBits&uint64(y))
+		}
+		return sum / float64(yCount)
+	}
+	for i := 0; i < inner; i++ {
+		y := uint64(r.Intn(yCount))
+		x := z<<uint(l) | y
+		sum += f[x] * parity(prefixBits&y)
+	}
+	return sum / float64(inner)
+}
+
+// DenseHadamardTopK is the baseline: compute the full FWHT and return the k
+// largest-magnitude coefficients (with the 2^{-m} normalization matching
+// KMSparseHadamard).
+func DenseHadamardTopK(f []float64, k int) []HadamardCoefficient {
+	n := len(f)
+	spec := fourier.FWHT(f)
+	inv := 1 / float64(n)
+	type sm struct {
+		s uint64
+		v float64
+	}
+	all := make([]sm, n)
+	for s := 0; s < n; s++ {
+		all[s] = sm{s: uint64(s), v: spec[s] * inv}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		mi, mj := math.Abs(all[i].v), math.Abs(all[j].v)
+		if mi != mj {
+			return mi > mj
+		}
+		return all[i].s < all[j].s
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]HadamardCoefficient, k)
+	for i := 0; i < k; i++ {
+		out[i] = HadamardCoefficient{S: all[i].s, Value: all[i].v}
+	}
+	return out
+}

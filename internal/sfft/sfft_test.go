@@ -1,0 +1,389 @@
+package sfft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/fourier"
+	"repro/internal/vec"
+	"repro/internal/xrand"
+)
+
+// makeSparseSpectrumSignal builds a time-domain signal whose spectrum has
+// exactly k non-zero coefficients at distinct random frequencies with unit-ish
+// magnitudes, and returns the signal together with the true coefficients.
+func makeSparseSpectrumSignal(r *xrand.Rand, n, k int) ([]complex128, []Coefficient) {
+	freqs := r.Sample(n, k)
+	coeffs := make([]Coefficient, k)
+	spec := make([]complex128, n)
+	for i, f := range freqs {
+		phase := 2 * math.Pi * r.Float64()
+		mag := 1 + r.Float64()
+		v := cmplx.Rect(mag, phase)
+		coeffs[i] = Coefficient{Freq: f, Value: v}
+		spec[f] = v
+	}
+	x := fourier.InverseFFT(spec)
+	SortCoefficients(coeffs)
+	return x, coeffs
+}
+
+// coefficientError returns the relative l2 error between a recovered
+// coefficient list and the ground truth, measured on dense spectra.
+func coefficientError(truth, got []Coefficient, n int) float64 {
+	return vec.CRelativeError(ToDense(truth, n), ToDense(got, n))
+}
+
+func TestModInverse(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 1024, 1 << 16} {
+		for _, a := range []int{1, 3, 5, 7, 17, n - 1} {
+			if a >= n {
+				continue
+			}
+			inv := modInverse(a, n)
+			if a*inv%n != 1 {
+				t.Fatalf("modInverse(%d, %d) = %d is not an inverse", a, n, inv)
+			}
+		}
+	}
+}
+
+func TestPhaseToFreq(t *testing.T) {
+	n := 256
+	for _, f := range []int{0, 1, 5, 127, 128, 200, 255} {
+		ratio := omega(float64(f), float64(n))
+		if got := phaseToFreq(ratio, n); got != f {
+			t.Errorf("phaseToFreq for f=%d returned %d", f, got)
+		}
+	}
+}
+
+func TestBucketizeAliasing(t *testing.T) {
+	// With sigma=1 and a single tone at frequency f, bucket f mod B must hold
+	// (B/n) * X[f] and the others must be ~0.
+	n, B := 256, 16
+	f0 := 37
+	spec := make([]complex128, n)
+	spec[f0] = 3 + 4i
+	x := fourier.InverseFFT(spec)
+	buckets := bucketize(x, 1, 0, B)
+	for b := 0; b < B; b++ {
+		want := complex(0, 0)
+		if b == f0%B {
+			want = (3 + 4i) * complex(float64(B)/float64(n), 0)
+		}
+		if cmplx.Abs(buckets[b]-want) > 1e-9 {
+			t.Fatalf("bucket %d = %v, want %v", b, buckets[b], want)
+		}
+	}
+	// Shifted bucketization multiplies by omega^{f*s}.
+	buckets1 := bucketize(x, 1, 1, B)
+	want := (3 + 4i) * complex(float64(B)/float64(n), 0) * omega(float64(f0), float64(n))
+	if cmplx.Abs(buckets1[f0%B]-want) > 1e-9 {
+		t.Fatalf("shifted bucket = %v, want %v", buckets1[f0%B], want)
+	}
+}
+
+func TestExactRecoversSparseSpectrum(t *testing.T) {
+	r := xrand.New(1)
+	for _, tc := range []struct{ n, k int }{{256, 1}, {1024, 5}, {4096, 20}, {16384, 50}} {
+		x, truth := makeSparseSpectrumSignal(r, tc.n, tc.k)
+		got, err := Exact(x, tc.k, Config{}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := coefficientError(truth, got, tc.n); e > 1e-6 {
+			t.Errorf("n=%d k=%d: recovery error %v", tc.n, tc.k, e)
+		}
+	}
+}
+
+func TestExactMatchesFFTTopK(t *testing.T) {
+	r := xrand.New(2)
+	n, k := 2048, 10
+	x, _ := makeSparseSpectrumSignal(r, n, k)
+	exact, err := Exact(x, k, Config{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := FFTTopK(x, k)
+	if e := coefficientError(baseline, exact, n); e > 1e-6 {
+		t.Fatalf("Exact and FFTTopK disagree by %v", e)
+	}
+}
+
+func TestExactErrors(t *testing.T) {
+	r := xrand.New(3)
+	if _, err := Exact(make([]complex128, 100), 4, Config{}, r); err == nil {
+		t.Error("non-power-of-two length should fail")
+	}
+	if _, err := Exact(make([]complex128, 128), 0, Config{}, r); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := Robust(make([]complex128, 100), 4, Config{}, r); err == nil {
+		t.Error("robust: non-power-of-two length should fail")
+	}
+	if _, err := Robust(make([]complex128, 128), 0, Config{}, r); err == nil {
+		t.Error("robust: k=0 should fail")
+	}
+}
+
+func TestExactZeroSignal(t *testing.T) {
+	r := xrand.New(4)
+	got, err := Exact(make([]complex128, 512), 5, Config{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("zero signal should recover no coefficients, got %v", got)
+	}
+}
+
+func TestExactKLargerThanSparsity(t *testing.T) {
+	// Asking for more coefficients than exist should still return only the
+	// true ones.
+	r := xrand.New(5)
+	n := 1024
+	x, truth := makeSparseSpectrumSignal(r, n, 3)
+	got, err := Exact(x, 10, Config{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := coefficientError(truth, got, n); e > 1e-6 {
+		t.Fatalf("recovery error %v", e)
+	}
+}
+
+func TestRobustRecoversUnderNoise(t *testing.T) {
+	r := xrand.New(6)
+	n, k := 4096, 8
+	x, truth := makeSparseSpectrumSignal(r, n, k)
+	// Add time-domain white noise well below the tone energy.
+	noisy := make([]complex128, n)
+	noiseStd := 0.01 / math.Sqrt(float64(n))
+	for i := range x {
+		noisy[i] = x[i] + complex(noiseStd*r.NormFloat64(), noiseStd*r.NormFloat64())
+	}
+	got, err := Robust(noisy, k, Config{Rounds: 10}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All true frequencies must be located.
+	gotFreqs := map[int]bool{}
+	for _, c := range got {
+		gotFreqs[c.Freq] = true
+	}
+	for _, c := range truth {
+		if !gotFreqs[c.Freq] {
+			t.Fatalf("robust sFFT missed frequency %d (recovered %v)", c.Freq, got)
+		}
+	}
+	if e := coefficientError(truth, got, n); e > 0.15 {
+		t.Errorf("robust recovery error %v", e)
+	}
+}
+
+func TestRobustOnNoiselessSignal(t *testing.T) {
+	r := xrand.New(7)
+	n, k := 2048, 6
+	x, truth := makeSparseSpectrumSignal(r, n, k)
+	got, err := Robust(x, k, Config{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := coefficientError(truth, got, n); e > 1e-3 {
+		t.Errorf("robust on clean signal error %v", e)
+	}
+}
+
+func TestFFTTopK(t *testing.T) {
+	n := 256
+	spec := make([]complex128, n)
+	spec[3] = 10
+	spec[100] = 5i
+	spec[200] = 1
+	x := fourier.InverseFFT(spec)
+	top := FFTTopK(x, 2)
+	if len(top) != 2 {
+		t.Fatalf("FFTTopK returned %d coefficients", len(top))
+	}
+	if top[0].Freq != 3 || top[1].Freq != 100 {
+		t.Fatalf("FFTTopK = %v", top)
+	}
+	if k := len(FFTTopK(x, 1000)); k != n {
+		t.Fatalf("FFTTopK with huge k returned %d", k)
+	}
+}
+
+func TestToDenseAndSort(t *testing.T) {
+	cs := []Coefficient{{Freq: 1, Value: 1}, {Freq: 3, Value: 5}, {Freq: 1, Value: 2}}
+	dense := ToDense(cs, 4)
+	if dense[1] != 3 || dense[3] != 5 {
+		t.Fatalf("ToDense = %v", dense)
+	}
+	SortCoefficients(cs)
+	if cs[0].Freq != 3 {
+		t.Fatalf("SortCoefficients = %v", cs)
+	}
+}
+
+func TestFilteredBinsLeakage(t *testing.T) {
+	// Plant one tone per bucket (well separated) and compare per-bucket
+	// estimation error between the boxcar filter and the flat-window filter.
+	r := xrand.New(8)
+	n, B := 4096, 16
+	width := n / B
+	coeffs := make([]Coefficient, 0, B/2)
+	spec := make([]complex128, n)
+	for b := 0; b < B; b += 2 {
+		f := b*width + r.Intn(width/4) - width/8 // near the bucket centre
+		f = ((f % n) + n) % n
+		v := cmplx.Rect(1+r.Float64(), 2*math.Pi*r.Float64())
+		spec[f] += v
+		coeffs = append(coeffs, Coefficient{Freq: f, Value: spec[f]})
+	}
+	x := fourier.InverseFFT(spec)
+
+	boxcar := fourier.NewBoxcarFilter(n, width)
+	flat := fourier.NewFlatWindowFilter(n, B, 1e-8)
+
+	boxErr, err := LeakageExperimentResult(x, coeffs, boxcar, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatErr, err := LeakageExperimentResult(x, coeffs, flat, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flatErr >= boxErr {
+		t.Fatalf("flat-window estimation error %v not better than boxcar %v", flatErr, boxErr)
+	}
+	if flatErr > 0.05 {
+		t.Errorf("flat-window estimation error %v unexpectedly high", flatErr)
+	}
+}
+
+func TestFilteredBinsErrors(t *testing.T) {
+	filter := fourier.NewBoxcarFilter(64, 8)
+	if _, err := FilteredBins(make([]complex128, 128), filter, 8); err == nil {
+		t.Error("mismatched filter length should fail")
+	}
+	if _, err := FilteredBins(make([]complex128, 64), filter, 7); err == nil {
+		t.Error("B not dividing n should fail")
+	}
+}
+
+func TestKMSparseHadamardRecoversPlantedCoefficients(t *testing.T) {
+	r := xrand.New(9)
+	m := 10
+	n := 1 << m
+	// Plant 4 large coefficients.
+	planted := map[uint64]float64{
+		0x005: 1.0,
+		0x123: -1.0,
+		0x380: 0.9,
+		0x0ff: -1.1,
+	}
+	f := make([]float64, n)
+	for x := 0; x < n; x++ {
+		for s, v := range planted {
+			f[x] += v * parity(s&uint64(x))
+		}
+	}
+	cfg := KMConfig{OuterSamples: 512, InnerSamples: 64, LeafSamples: 8192}
+	got, err := KMSparseHadamard(f, 0.5, cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[uint64]float64{}
+	for _, c := range got {
+		found[c.S] = c.Value
+	}
+	for s, v := range planted {
+		est, ok := found[s]
+		if !ok {
+			t.Fatalf("KM missed planted coefficient %#x (got %v)", s, got)
+		}
+		if math.Abs(est-v) > 0.15 {
+			t.Errorf("KM coefficient %#x = %v, want %v", s, est, v)
+		}
+	}
+}
+
+func TestKMSparseHadamardAgreesWithDenseBaseline(t *testing.T) {
+	r := xrand.New(10)
+	m := 8
+	n := 1 << m
+	planted := map[uint64]float64{0x11: 2.0, 0x80: -1.5}
+	f := make([]float64, n)
+	for x := 0; x < n; x++ {
+		for s, v := range planted {
+			f[x] += v * parity(s&uint64(x))
+		}
+	}
+	dense := DenseHadamardTopK(f, 2)
+	km, err := KMSparseHadamard(f, 1.0, KMConfig{OuterSamples: 512, InnerSamples: 64, LeafSamples: 8192}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dense) != 2 || len(km) != 2 {
+		t.Fatalf("expected 2 coefficients from both: dense %v km %v", dense, km)
+	}
+	for i := range dense {
+		if dense[i].S != km[i].S {
+			t.Fatalf("dense and KM disagree on support: %v vs %v", dense, km)
+		}
+		if math.Abs(dense[i].Value-km[i].Value) > 0.1 {
+			t.Errorf("coefficient %#x: dense %v km %v", dense[i].S, dense[i].Value, km[i].Value)
+		}
+	}
+}
+
+func TestKMSparseHadamardErrors(t *testing.T) {
+	r := xrand.New(11)
+	if _, err := KMSparseHadamard(make([]float64, 100), 0.5, KMConfig{}, r); err == nil {
+		t.Error("non-power-of-two length should fail")
+	}
+	if _, err := KMSparseHadamard(make([]float64, 64), 0, KMConfig{}, r); err == nil {
+		t.Error("zero threshold should fail")
+	}
+	// Length-1 function.
+	got, err := KMSparseHadamard([]float64{3}, 1, KMConfig{}, r)
+	if err != nil || len(got) != 1 || got[0].Value != 3 {
+		t.Errorf("length-1 KM = %v, %v", got, err)
+	}
+}
+
+func TestDenseHadamardTopK(t *testing.T) {
+	// f = 4 * chi_5 over {0,1}^3: FWHT coefficient 5 should dominate.
+	n := 8
+	f := make([]float64, n)
+	for x := 0; x < n; x++ {
+		f[x] = 4 * parity(5&uint64(x))
+	}
+	top := DenseHadamardTopK(f, 1)
+	if len(top) != 1 || top[0].S != 5 || math.Abs(top[0].Value-4) > 1e-12 {
+		t.Fatalf("DenseHadamardTopK = %v", top)
+	}
+}
+
+func BenchmarkExactSFFT(b *testing.B) {
+	r := xrand.New(1)
+	x, _ := makeSparseSpectrumSignal(r, 1<<16, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exact(x, 32, Config{}, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullFFTBaseline(b *testing.B) {
+	r := xrand.New(1)
+	x, _ := makeSparseSpectrumSignal(r, 1<<16, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFTTopK(x, 32)
+	}
+}

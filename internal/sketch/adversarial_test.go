@@ -1,0 +1,107 @@
+package sketch
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+// Failure-injection tests: structured and adversarial inputs that defeat
+// naive hashing or naive counters must not break the guarantees.
+
+func TestCountMinOnAdversarialStream(t *testing.T) {
+	r := xrand.New(1)
+	s, heavy := stream.Adversarial(r, 100000, 200000)
+	cm := NewCountMin(xrand.New(2), 2048, 5)
+	exact := stream.NewExactCounter()
+	for _, u := range s.Updates {
+		cm.Update(u.Item, float64(u.Delta))
+		exact.Update(u.Item, u.Delta)
+	}
+	// One-sided error must survive consecutive-integer keys.
+	for item := uint64(0); item < 2000; item += 13 {
+		if cm.Estimate(item) < float64(exact.Count(item))-1e-9 {
+			t.Fatalf("underestimate on adversarial stream for item %d", item)
+		}
+	}
+	// The planted heavy item must dominate every sampled light item.
+	heavyEst := cm.Estimate(heavy)
+	for item := uint64(0); item < 100; item++ {
+		if item == heavy {
+			continue
+		}
+		if cm.Estimate(item) > heavyEst {
+			t.Fatalf("light item %d estimated above the heavy item", item)
+		}
+	}
+}
+
+func TestTrackerOnAdversarialStream(t *testing.T) {
+	r := xrand.New(3)
+	s, heavy := stream.Adversarial(r, 100000, 100000)
+	tr := NewHeavyHitterTracker(xrand.New(4), 2048, 4, 10)
+	for _, u := range s.Updates {
+		tr.Update(u.Item, float64(u.Delta))
+	}
+	top := tr.TopK()
+	if len(top) == 0 || top[0].Item != heavy {
+		t.Fatalf("tracker top item %v, want %d", top, heavy)
+	}
+}
+
+func TestMisraGriesDuplicateHeavyStream(t *testing.T) {
+	// A stream that is one item repeated many times with sparse background
+	// noise: the single counter assigned to the heavy item must never be
+	// evicted.
+	mg := NewMisraGries(4)
+	for i := 0; i < 10000; i++ {
+		mg.Update(7, 1)
+		if i%10 == 0 {
+			mg.Update(uint64(1000+i), 1)
+		}
+	}
+	if est := mg.Estimate(7); est < 8000 {
+		t.Fatalf("Misra-Gries lost the dominant item: estimate %d", est)
+	}
+}
+
+func TestSpectralBloomAdversarialKeys(t *testing.T) {
+	// Consecutive keys with identical low bits stress weak hash mixing.
+	r := xrand.New(5)
+	sb := NewSpectralBloom(r, 1<<14, 4)
+	exact := map[uint64]float64{}
+	for i := uint64(0); i < 5000; i++ {
+		key := i << 32 // all the entropy in the high bits
+		sb.Add(key, 1)
+		exact[key]++
+	}
+	for key, want := range exact {
+		if got := sb.Estimate(key); got < want {
+			t.Fatalf("underestimate for high-bit key %d", key)
+		}
+	}
+}
+
+func TestIBLTAdversarialInterleaving(t *testing.T) {
+	// Insertions and deletions interleaved in the worst order (delete before
+	// the matching insert) must still cancel exactly.
+	r := xrand.New(6)
+	table := NewIBLT(r, 128, 4)
+	for i := uint64(0); i < 1000; i++ {
+		table.Delete(i)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		table.Insert(i)
+	}
+	for i := uint64(0); i < 30; i++ {
+		table.Insert(5000 + i)
+	}
+	got, err := table.ListEntries()
+	if err != nil {
+		t.Fatalf("decode failed: %v", err)
+	}
+	if len(got) != 30 {
+		t.Fatalf("expected 30 surviving keys, got %d", len(got))
+	}
+}

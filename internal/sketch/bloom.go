@@ -1,0 +1,150 @@
+package sketch
+
+import (
+	"math"
+
+	"repro/internal/hashing"
+	"repro/internal/xrand"
+)
+
+// BloomFilter is the classic membership filter of [FCAB98, BM04]: k hash
+// functions into a bit array of m bits. It never reports false negatives;
+// the false-positive rate after inserting n items is about
+// (1 - e^{-kn/m})^k.
+type BloomFilter struct {
+	bits   []uint64
+	m      uint64
+	hashes []hashing.Hasher
+	count  int
+}
+
+// NewBloomFilter creates a filter with m bits and k hash functions.
+func NewBloomFilter(r *xrand.Rand, m uint64, k int) *BloomFilter {
+	if m < 1 || k < 1 {
+		panic("sketch: NewBloomFilter requires m >= 1 and k >= 1")
+	}
+	bf := &BloomFilter{
+		bits:   make([]uint64, (m+63)/64),
+		m:      m,
+		hashes: make([]hashing.Hasher, k),
+	}
+	for i := range bf.hashes {
+		bf.hashes[i] = hashing.NewPolyHash(r, 2, m)
+	}
+	return bf
+}
+
+// NewBloomFilterForItems sizes the filter for n expected items and target
+// false-positive rate p: m = -n ln p / (ln 2)^2, k = (m/n) ln 2.
+func NewBloomFilterForItems(r *xrand.Rand, n int, p float64) *BloomFilter {
+	if n < 1 || p <= 0 || p >= 1 {
+		panic("sketch: NewBloomFilterForItems requires n >= 1 and p in (0,1)")
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	if m < 1 {
+		m = 1
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return NewBloomFilter(r, m, k)
+}
+
+// Add inserts an item.
+func (bf *BloomFilter) Add(item uint64) {
+	for _, h := range bf.hashes {
+		b := h.Hash(item)
+		bf.bits[b/64] |= 1 << (b % 64)
+	}
+	bf.count++
+}
+
+// Contains reports whether the item may have been inserted. False positives
+// are possible; false negatives are not.
+func (bf *BloomFilter) Contains(item uint64) bool {
+	for _, h := range bf.hashes {
+		b := h.Hash(item)
+		if bf.bits[b/64]&(1<<(b%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bits returns the number of bits in the filter.
+func (bf *BloomFilter) Bits() uint64 { return bf.m }
+
+// HashCount returns the number of hash functions.
+func (bf *BloomFilter) HashCount() int { return len(bf.hashes) }
+
+// Count returns the number of Add calls.
+func (bf *BloomFilter) Count() int { return bf.count }
+
+// EstimatedFalsePositiveRate returns the analytic false-positive rate for the
+// current load.
+func (bf *BloomFilter) EstimatedFalsePositiveRate() float64 {
+	k := float64(len(bf.hashes))
+	n := float64(bf.count)
+	m := float64(bf.m)
+	return math.Pow(1-math.Exp(-k*n/m), k)
+}
+
+// SpectralBloom is the spectral Bloom filter of Cohen and Matias [CM03a]: the
+// bit array is replaced with counters and a query returns the minimum
+// counter, giving multiplicity estimates rather than plain membership. It is
+// the structural midpoint between a Bloom filter and a Count-Min sketch
+// (Count-Min with a single shared counter array).
+type SpectralBloom struct {
+	counters []float64
+	m        uint64
+	hashes   []hashing.Hasher
+	total    float64
+}
+
+// NewSpectralBloom creates a spectral Bloom filter with m counters and k
+// hash functions.
+func NewSpectralBloom(r *xrand.Rand, m uint64, k int) *SpectralBloom {
+	if m < 1 || k < 1 {
+		panic("sketch: NewSpectralBloom requires m >= 1 and k >= 1")
+	}
+	sb := &SpectralBloom{
+		counters: make([]float64, m),
+		m:        m,
+		hashes:   make([]hashing.Hasher, k),
+	}
+	for i := range sb.hashes {
+		sb.hashes[i] = hashing.NewPolyHash(r, 2, m)
+	}
+	return sb
+}
+
+// Add increases the item's multiplicity by delta (delta must be >= 0; the
+// minimum-selection estimate is only valid for non-negative streams).
+func (sb *SpectralBloom) Add(item uint64, delta float64) {
+	if delta < 0 {
+		panic("sketch: SpectralBloom.Add requires delta >= 0")
+	}
+	for _, h := range sb.hashes {
+		sb.counters[h.Hash(item)] += delta
+	}
+	sb.total += delta
+}
+
+// Estimate returns the estimated multiplicity of the item (minimum counter
+// over its hash positions); it never underestimates.
+func (sb *SpectralBloom) Estimate(item uint64) float64 {
+	est := math.Inf(1)
+	for _, h := range sb.hashes {
+		if v := sb.counters[h.Hash(item)]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Size returns the number of counters.
+func (sb *SpectralBloom) Size() uint64 { return sb.m }
+
+// Total returns the total mass added.
+func (sb *SpectralBloom) Total() float64 { return sb.total }

@@ -1,0 +1,213 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hashing"
+	"repro/internal/xrand"
+)
+
+// CountMin is the Count-Min sketch of Cormode and Muthukrishnan [CM04]: a
+// d x w array of counters, one pairwise-independent hash function per row.
+// An update (item, delta) adds delta to one counter per row; a point query
+// returns the minimum counter over the rows, which for non-negative streams
+// overestimates the true count by at most eps*||x||_1 with probability at
+// least 1-delta when w = ceil(e/eps) and d = ceil(ln(1/delta)).
+type CountMin struct {
+	width  int
+	depth  int
+	counts [][]float64
+	hashes []hashing.Hasher
+	// conservative enables conservative update (only raise the counters that
+	// are below the new lower bound); only valid for non-negative deltas.
+	conservative bool
+	totalMass    float64
+}
+
+// CountMinOption configures a CountMin sketch at construction time.
+type CountMinOption func(*countMinConfig)
+
+type countMinConfig struct {
+	family       hashing.Family
+	conservative bool
+}
+
+// WithConservativeUpdate enables the conservative-update heuristic
+// (Estan-Varghese), which reduces overestimation for insertion-only streams.
+func WithConservativeUpdate() CountMinOption {
+	return func(c *countMinConfig) { c.conservative = true }
+}
+
+// WithCountMinHashFamily selects the hash family used for the rows.
+func WithCountMinHashFamily(f hashing.Family) CountMinOption {
+	return func(c *countMinConfig) { c.family = f }
+}
+
+// NewCountMin creates a Count-Min sketch with the given width (counters per
+// row) and depth (number of rows).
+func NewCountMin(r *xrand.Rand, width, depth int, opts ...CountMinOption) *CountMin {
+	if width < 1 || depth < 1 {
+		panic(fmt.Sprintf("sketch: NewCountMin requires width, depth >= 1 (got %d, %d)", width, depth))
+	}
+	cfg := countMinConfig{family: hashing.FamilyPoly2}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cm := &CountMin{
+		width:        width,
+		depth:        depth,
+		counts:       make([][]float64, depth),
+		hashes:       make([]hashing.Hasher, depth),
+		conservative: cfg.conservative,
+	}
+	for i := 0; i < depth; i++ {
+		cm.counts[i] = make([]float64, width)
+		cm.hashes[i] = hashing.NewHasher(cfg.family, r, uint64(width))
+	}
+	return cm
+}
+
+// NewCountMinWithError creates a Count-Min sketch sized for additive error
+// eps*||x||_1 with failure probability delta: width = ceil(e/eps),
+// depth = ceil(ln(1/delta)).
+func NewCountMinWithError(r *xrand.Rand, eps, delta float64, opts ...CountMinOption) *CountMin {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		panic("sketch: NewCountMinWithError requires eps, delta in (0,1)")
+	}
+	width := int(math.Ceil(math.E / eps))
+	depth := int(math.Ceil(math.Log(1 / delta)))
+	if depth < 1 {
+		depth = 1
+	}
+	return NewCountMin(r, width, depth, opts...)
+}
+
+// Width returns the number of counters per row.
+func (cm *CountMin) Width() int { return cm.width }
+
+// Depth returns the number of rows.
+func (cm *CountMin) Depth() int { return cm.depth }
+
+// Size returns the total number of counters (the sketch's space in words).
+func (cm *CountMin) Size() int { return cm.width * cm.depth }
+
+// bucket returns the bucket index of item in row. Hash ranges may be rounded
+// up to a power of two (multiply-shift), so reduce modulo width.
+func (cm *CountMin) bucket(row int, item uint64) int {
+	return int(cm.hashes[row].Hash(item) % uint64(cm.width))
+}
+
+// Update adds delta to the item's count. Negative deltas are allowed only
+// when conservative update is disabled.
+func (cm *CountMin) Update(item uint64, delta float64) {
+	if cm.conservative {
+		if delta < 0 {
+			panic("sketch: conservative-update CountMin cannot process negative deltas")
+		}
+		// Conservative update: the new lower bound for the item's count is
+		// estimate + delta; raise only the counters that are below it.
+		est := cm.Estimate(item)
+		target := est + delta
+		for row := 0; row < cm.depth; row++ {
+			b := cm.bucket(row, item)
+			if cm.counts[row][b] < target {
+				cm.counts[row][b] = target
+			}
+		}
+		cm.totalMass += delta
+		return
+	}
+	for row := 0; row < cm.depth; row++ {
+		cm.counts[row][cm.bucket(row, item)] += delta
+	}
+	cm.totalMass += delta
+}
+
+// Estimate returns the estimated count of item (the row minimum). For
+// non-negative streams this never underestimates.
+func (cm *CountMin) Estimate(item uint64) float64 {
+	est := math.Inf(1)
+	for row := 0; row < cm.depth; row++ {
+		if v := cm.counts[row][cm.bucket(row, item)]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// TotalMass returns the sum of all deltas processed.
+func (cm *CountMin) TotalMass() float64 { return cm.totalMass }
+
+// InnerProduct estimates the inner product <x, y> of the frequency vectors
+// summarized by cm and other. Both sketches must have been created with the
+// same dimensions and the same hash functions (use Clone for that); the
+// estimate is the minimum over rows of the row-wise counter dot products.
+func (cm *CountMin) InnerProduct(other *CountMin) (float64, error) {
+	if cm.width != other.width || cm.depth != other.depth {
+		return 0, fmt.Errorf("sketch: inner product requires equal dimensions (%dx%d vs %dx%d)",
+			cm.depth, cm.width, other.depth, other.width)
+	}
+	est := math.Inf(1)
+	for row := 0; row < cm.depth; row++ {
+		var s float64
+		for j := 0; j < cm.width; j++ {
+			s += cm.counts[row][j] * other.counts[row][j]
+		}
+		if s < est {
+			est = s
+		}
+	}
+	return est, nil
+}
+
+// Merge adds the counters of other into cm. The sketches must share hash
+// functions (i.e. other must have been created by cm.Clone()); merging
+// sketches with different hash functions silently produces garbage, so the
+// dimensions are checked and the caller is trusted for the rest, as in
+// production Count-Min implementations.
+func (cm *CountMin) Merge(other *CountMin) error {
+	if cm.width != other.width || cm.depth != other.depth {
+		return fmt.Errorf("sketch: cannot merge CountMin of different dimensions")
+	}
+	if cm.conservative || other.conservative {
+		return fmt.Errorf("sketch: conservative-update CountMin sketches are not mergeable")
+	}
+	for row := 0; row < cm.depth; row++ {
+		for j := 0; j < cm.width; j++ {
+			cm.counts[row][j] += other.counts[row][j]
+		}
+	}
+	cm.totalMass += other.totalMass
+	return nil
+}
+
+// Clone returns an empty sketch sharing cm's hash functions, suitable for
+// sketching a second stream and then merging or taking inner products.
+func (cm *CountMin) Clone() *CountMin {
+	out := &CountMin{
+		width:        cm.width,
+		depth:        cm.depth,
+		counts:       make([][]float64, cm.depth),
+		hashes:       cm.hashes,
+		conservative: cm.conservative,
+	}
+	for i := range out.counts {
+		out.counts[i] = make([]float64, cm.width)
+	}
+	return out
+}
+
+// Counters returns the raw counter matrix (rows x width). The slice is the
+// live backing store; callers must not modify it. Exposed for the core
+// package's matrix view and for tests.
+func (cm *CountMin) Counters() [][]float64 { return cm.counts }
+
+// RowBucket exposes the bucket an item maps to in a given row; used by the
+// core package to materialize the sketch as an explicit sparse matrix.
+func (cm *CountMin) RowBucket(row int, item uint64) int {
+	if row < 0 || row >= cm.depth {
+		panic("sketch: RowBucket row out of range")
+	}
+	return cm.bucket(row, item)
+}

@@ -1,0 +1,229 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hashing"
+	"repro/internal/xrand"
+)
+
+// CountSketch is the sketch of Charikar, Chen and Farach-Colton [CCF02]:
+// like Count-Min it keeps d rows of w counters, but each update is
+// multiplied by a pairwise-independent ±1 sign, and the point-query
+// estimator is the median over rows of sign-corrected counters.
+//
+// The signed increments make the estimator unbiased, and its error scales
+// with the l2 norm of the residual frequency vector rather than the l1 norm,
+// which is why the survey singles it out as the sketch behind compressed
+// sensing with sparse matrices [CM06].
+type CountSketch struct {
+	width  int
+	depth  int
+	counts [][]float64
+	hashes []hashing.Hasher
+	signs  []hashing.SignHasher
+}
+
+// CountSketchOption configures a CountSketch at construction time.
+type CountSketchOption func(*countSketchConfig)
+
+type countSketchConfig struct {
+	family hashing.Family
+}
+
+// WithCountSketchHashFamily selects the hash family used for buckets/signs.
+func WithCountSketchHashFamily(f hashing.Family) CountSketchOption {
+	return func(c *countSketchConfig) { c.family = f }
+}
+
+// NewCountSketch creates a Count-Sketch with the given width and depth.
+func NewCountSketch(r *xrand.Rand, width, depth int, opts ...CountSketchOption) *CountSketch {
+	if width < 1 || depth < 1 {
+		panic(fmt.Sprintf("sketch: NewCountSketch requires width, depth >= 1 (got %d, %d)", width, depth))
+	}
+	cfg := countSketchConfig{family: hashing.FamilyPoly2}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cs := &CountSketch{
+		width:  width,
+		depth:  depth,
+		counts: make([][]float64, depth),
+		hashes: make([]hashing.Hasher, depth),
+		signs:  make([]hashing.SignHasher, depth),
+	}
+	for i := 0; i < depth; i++ {
+		cs.counts[i] = make([]float64, width)
+		cs.hashes[i] = hashing.NewHasher(cfg.family, r, uint64(width))
+		cs.signs[i] = hashing.NewSigner(cfg.family, r)
+	}
+	return cs
+}
+
+// NewCountSketchWithError creates a Count-Sketch sized so that point-query
+// error is at most eps*||x||_2 with probability at least 1-delta:
+// width = ceil(3/eps^2), depth = ceil(ln(1/delta)) rounded to odd.
+func NewCountSketchWithError(r *xrand.Rand, eps, delta float64, opts ...CountSketchOption) *CountSketch {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		panic("sketch: NewCountSketchWithError requires eps, delta in (0,1)")
+	}
+	width := int(math.Ceil(3 / (eps * eps)))
+	depth := int(math.Ceil(math.Log(1 / delta)))
+	if depth < 1 {
+		depth = 1
+	}
+	if depth%2 == 0 {
+		depth++ // odd depth gives a well-defined median
+	}
+	return NewCountSketch(r, width, depth, opts...)
+}
+
+// Width returns the number of counters per row.
+func (cs *CountSketch) Width() int { return cs.width }
+
+// Depth returns the number of rows.
+func (cs *CountSketch) Depth() int { return cs.depth }
+
+// Size returns the total number of counters.
+func (cs *CountSketch) Size() int { return cs.width * cs.depth }
+
+func (cs *CountSketch) bucket(row int, item uint64) int {
+	return int(cs.hashes[row].Hash(item) % uint64(cs.width))
+}
+
+// Update adds delta to the item's count. Deltas of any sign are supported
+// (turnstile model).
+func (cs *CountSketch) Update(item uint64, delta float64) {
+	for row := 0; row < cs.depth; row++ {
+		cs.counts[row][cs.bucket(row, item)] += cs.signs[row].Sign(item) * delta
+	}
+}
+
+// Estimate returns the estimated count of item: the median over rows of the
+// sign-corrected counter values. The estimate is unbiased.
+func (cs *CountSketch) Estimate(item uint64) float64 {
+	ests := make([]float64, cs.depth)
+	for row := 0; row < cs.depth; row++ {
+		ests[row] = cs.signs[row].Sign(item) * cs.counts[row][cs.bucket(row, item)]
+	}
+	return median(ests)
+}
+
+// EstimateRow returns the row-r estimate alone (used by recovery algorithms
+// that need per-row values).
+func (cs *CountSketch) EstimateRow(row int, item uint64) float64 {
+	return cs.signs[row].Sign(item) * cs.counts[row][cs.bucket(row, item)]
+}
+
+// F2 returns an estimate of the second frequency moment ||x||_2^2 of the
+// sketched vector: the median over rows of the sum of squared counters
+// (the AMS estimator specialized to the Count-Sketch layout). The estimate
+// is unbiased per row and concentrates as the width grows.
+func (cs *CountSketch) F2() float64 {
+	rows := make([]float64, cs.depth)
+	for row := 0; row < cs.depth; row++ {
+		var s float64
+		for _, v := range cs.counts[row] {
+			s += v * v
+		}
+		rows[row] = s
+	}
+	return median(rows)
+}
+
+// InnerProduct estimates <x, y> between the vectors summarized by cs and
+// other, as the median over rows of the row-wise counter dot products. The
+// sketches must share hash and sign functions (other created via Clone).
+func (cs *CountSketch) InnerProduct(other *CountSketch) (float64, error) {
+	if cs.width != other.width || cs.depth != other.depth {
+		return 0, fmt.Errorf("sketch: inner product requires equal dimensions (%dx%d vs %dx%d)",
+			cs.depth, cs.width, other.depth, other.width)
+	}
+	rows := make([]float64, cs.depth)
+	for row := 0; row < cs.depth; row++ {
+		var s float64
+		for j := 0; j < cs.width; j++ {
+			s += cs.counts[row][j] * other.counts[row][j]
+		}
+		rows[row] = s
+	}
+	return median(rows), nil
+}
+
+// Merge adds the counters of other into cs. Both sketches must share hash
+// functions (other created via Clone) and equal dimensions.
+func (cs *CountSketch) Merge(other *CountSketch) error {
+	if cs.width != other.width || cs.depth != other.depth {
+		return fmt.Errorf("sketch: cannot merge CountSketch of different dimensions")
+	}
+	for row := 0; row < cs.depth; row++ {
+		for j := 0; j < cs.width; j++ {
+			cs.counts[row][j] += other.counts[row][j]
+		}
+	}
+	return nil
+}
+
+// Clone returns an empty sketch sharing cs's hash and sign functions.
+func (cs *CountSketch) Clone() *CountSketch {
+	out := &CountSketch{
+		width:  cs.width,
+		depth:  cs.depth,
+		counts: make([][]float64, cs.depth),
+		hashes: cs.hashes,
+		signs:  cs.signs,
+	}
+	for i := range out.counts {
+		out.counts[i] = make([]float64, cs.width)
+	}
+	return out
+}
+
+// Counters returns the raw counter matrix; callers must not modify it.
+func (cs *CountSketch) Counters() [][]float64 { return cs.counts }
+
+// RowBucket exposes the bucket an item maps to in a row (for the matrix view).
+func (cs *CountSketch) RowBucket(row int, item uint64) int {
+	if row < 0 || row >= cs.depth {
+		panic("sketch: RowBucket row out of range")
+	}
+	return cs.bucket(row, item)
+}
+
+// RowSign exposes the ±1 sign of an item in a row (for the matrix view).
+func (cs *CountSketch) RowSign(row int, item uint64) float64 {
+	if row < 0 || row >= cs.depth {
+		panic("sketch: RowSign row out of range")
+	}
+	return cs.signs[row].Sign(item)
+}
+
+// median returns the median of values; for even counts it averages the two
+// middle elements, which keeps the estimator unbiased. The input slice is
+// sorted in place (it is always a scratch slice here).
+func median(values []float64) float64 {
+	n := len(values)
+	if n == 0 {
+		panic("sketch: median of empty slice")
+	}
+	insertionSort(values)
+	if n%2 == 1 {
+		return values[n/2]
+	}
+	return (values[n/2-1] + values[n/2]) / 2
+}
+
+// insertionSort sorts a small slice in place; sketch depths are tiny (< 30)
+// so this is faster than sort.Float64s and allocation-free.
+func insertionSort(a []float64) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

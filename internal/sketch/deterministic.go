@@ -1,0 +1,198 @@
+package sketch
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// MisraGries is the deterministic frequent-items algorithm: it keeps at most
+// k counters; when a new item arrives and all counters are occupied, every
+// counter is decremented. Any item with true frequency above N/(k+1) is
+// guaranteed to be present at the end, and each reported count underestimates
+// the true count by at most N/(k+1).
+//
+// It serves as the deterministic, insertion-only baseline the randomized
+// sketches are compared against in experiment E1/E2.
+type MisraGries struct {
+	k        int
+	counters map[uint64]int64
+	total    int64
+}
+
+// NewMisraGries creates a Misra-Gries summary with k counters.
+func NewMisraGries(k int) *MisraGries {
+	if k < 1 {
+		panic("sketch: NewMisraGries requires k >= 1")
+	}
+	return &MisraGries{k: k, counters: make(map[uint64]int64, k+1)}
+}
+
+// Update processes one occurrence of item. Only +1 updates are supported
+// (the algorithm is defined for insertion-only streams); count must be >= 1
+// and is applied as `count` repetitions collapsed into counter arithmetic.
+func (mg *MisraGries) Update(item uint64, count int64) {
+	if count < 1 {
+		panic("sketch: MisraGries.Update requires count >= 1")
+	}
+	mg.total += count
+	if c, ok := mg.counters[item]; ok {
+		mg.counters[item] = c + count
+		return
+	}
+	if len(mg.counters) < mg.k {
+		mg.counters[item] = count
+		return
+	}
+	// Decrement all counters by the largest amount that keeps them >= 0 and
+	// consumes the incoming count, i.e. min(count, min counter value).
+	dec := count
+	for _, c := range mg.counters {
+		if c < dec {
+			dec = c
+		}
+	}
+	if dec > 0 {
+		for it, c := range mg.counters {
+			if c-dec == 0 {
+				delete(mg.counters, it)
+			} else {
+				mg.counters[it] = c - dec
+			}
+		}
+	}
+	remaining := count - dec
+	if remaining > 0 {
+		// After decrementing, there is room (at least one counter was removed)
+		// unless dec was limited by count itself (remaining == 0).
+		if len(mg.counters) < mg.k {
+			mg.counters[item] = remaining
+		}
+	}
+}
+
+// Estimate returns the (under)estimate of the item's count; 0 if untracked.
+func (mg *MisraGries) Estimate(item uint64) int64 { return mg.counters[item] }
+
+// Size returns the number of counters currently held.
+func (mg *MisraGries) Size() int { return len(mg.counters) }
+
+// Capacity returns k, the maximum number of counters.
+func (mg *MisraGries) Capacity() int { return mg.k }
+
+// Candidates returns all currently tracked items with their counter values,
+// sorted by decreasing counter.
+func (mg *MisraGries) Candidates() []stream.ItemCount {
+	out := make([]stream.ItemCount, 0, len(mg.counters))
+	for item, c := range mg.counters {
+		out = append(out, stream.ItemCount{Item: item, Count: c})
+	}
+	stream.SortItemCounts(out)
+	return out
+}
+
+// HeavyHitters returns tracked items whose counter is at least
+// phi*total - total/(k+1), the standard certified threshold.
+func (mg *MisraGries) HeavyHitters(phi float64) []stream.ItemCount {
+	threshold := phi*float64(mg.total) - float64(mg.total)/float64(mg.k+1)
+	var out []stream.ItemCount
+	for item, c := range mg.counters {
+		if float64(c) >= threshold {
+			out = append(out, stream.ItemCount{Item: item, Count: c})
+		}
+	}
+	stream.SortItemCounts(out)
+	return out
+}
+
+// SpaceSaving is the Metwally-Agrawal-El Abbadi frequent-items algorithm: it
+// keeps exactly k counters; a new item replaces the current minimum counter
+// and inherits its value (plus one). Reported counts overestimate the truth
+// by at most the value of the minimum counter.
+type SpaceSaving struct {
+	k        int
+	counters map[uint64]int64
+	errors   map[uint64]int64
+	total    int64
+}
+
+// NewSpaceSaving creates a SpaceSaving summary with k counters.
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k < 1 {
+		panic("sketch: NewSpaceSaving requires k >= 1")
+	}
+	return &SpaceSaving{
+		k:        k,
+		counters: make(map[uint64]int64, k),
+		errors:   make(map[uint64]int64, k),
+	}
+}
+
+// Update processes `count` occurrences of item (count >= 1).
+func (ss *SpaceSaving) Update(item uint64, count int64) {
+	if count < 1 {
+		panic("sketch: SpaceSaving.Update requires count >= 1")
+	}
+	ss.total += count
+	if c, ok := ss.counters[item]; ok {
+		ss.counters[item] = c + count
+		return
+	}
+	if len(ss.counters) < ss.k {
+		ss.counters[item] = count
+		ss.errors[item] = 0
+		return
+	}
+	// Evict the minimum counter.
+	var minItem uint64
+	minVal := int64(-1)
+	for it, c := range ss.counters {
+		if minVal < 0 || c < minVal || (c == minVal && it < minItem) {
+			minItem, minVal = it, c
+		}
+	}
+	delete(ss.counters, minItem)
+	delete(ss.errors, minItem)
+	ss.counters[item] = minVal + count
+	ss.errors[item] = minVal
+}
+
+// Estimate returns the (over)estimate of the item's count; 0 if untracked.
+func (ss *SpaceSaving) Estimate(item uint64) int64 { return ss.counters[item] }
+
+// GuaranteedCount returns a certified lower bound: estimate minus the
+// eviction error recorded for the item.
+func (ss *SpaceSaving) GuaranteedCount(item uint64) int64 {
+	return ss.counters[item] - ss.errors[item]
+}
+
+// Size returns the number of counters currently held.
+func (ss *SpaceSaving) Size() int { return len(ss.counters) }
+
+// Candidates returns all tracked items sorted by decreasing estimate.
+func (ss *SpaceSaving) Candidates() []stream.ItemCount {
+	out := make([]stream.ItemCount, 0, len(ss.counters))
+	for item, c := range ss.counters {
+		out = append(out, stream.ItemCount{Item: item, Count: c})
+	}
+	stream.SortItemCounts(out)
+	return out
+}
+
+// HeavyHitters returns the tracked items whose estimate reaches phi*total.
+func (ss *SpaceSaving) HeavyHitters(phi float64) []stream.ItemCount {
+	threshold := phi * float64(ss.total)
+	var out []stream.ItemCount
+	for item, c := range ss.counters {
+		if float64(c) >= threshold {
+			out = append(out, stream.ItemCount{Item: item, Count: c})
+		}
+	}
+	stream.SortItemCounts(out)
+	return out
+}
+
+// String describes the summary briefly (for logs and demos).
+func (ss *SpaceSaving) String() string {
+	return fmt.Sprintf("SpaceSaving(k=%d, tracked=%d, total=%d)", ss.k, len(ss.counters), ss.total)
+}

@@ -1,0 +1,170 @@
+package sketch
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+func TestMisraGriesGuarantee(t *testing.T) {
+	// Every item with frequency > N/(k+1) must be tracked, and estimates
+	// must underestimate by at most N/(k+1).
+	r := xrand.New(1)
+	const k = 20
+	mg := NewMisraGries(k)
+	s := stream.Zipf(r, 10000, 50000, 1.2)
+	exact := stream.NewExactCounter()
+	for _, u := range s.Updates {
+		mg.Update(u.Item, u.Delta)
+		exact.Update(u.Item, u.Delta)
+	}
+	n := exact.Total()
+	slack := n / int64(k+1)
+	for _, ic := range exact.TopK(exact.DistinctItems()) {
+		if ic.Count > slack {
+			est := mg.Estimate(ic.Item)
+			if est == 0 {
+				t.Errorf("item %d with count %d (> N/(k+1)=%d) not tracked", ic.Item, ic.Count, slack)
+			}
+			if est > ic.Count {
+				t.Errorf("MisraGries overestimated item %d: %d > %d", ic.Item, est, ic.Count)
+			}
+			if ic.Count-est > slack {
+				t.Errorf("MisraGries underestimate too large for %d: %d vs %d", ic.Item, est, ic.Count)
+			}
+		}
+	}
+	if mg.Size() > mg.Capacity() {
+		t.Errorf("MisraGries holds %d counters, capacity %d", mg.Size(), mg.Capacity())
+	}
+}
+
+func TestMisraGriesWeightedUpdates(t *testing.T) {
+	mg := NewMisraGries(2)
+	mg.Update(1, 10)
+	mg.Update(2, 5)
+	mg.Update(3, 4) // forces decrement by min(4, min(10,5)) = 4
+	if got := mg.Estimate(1); got != 6 {
+		t.Errorf("Estimate(1) = %d, want 6", got)
+	}
+	if got := mg.Estimate(2); got != 1 {
+		t.Errorf("Estimate(2) = %d, want 1", got)
+	}
+	if got := mg.Estimate(3); got != 0 {
+		t.Errorf("Estimate(3) = %d, want 0 (fully absorbed)", got)
+	}
+}
+
+func TestMisraGriesCandidatesSorted(t *testing.T) {
+	mg := NewMisraGries(5)
+	mg.Update(1, 10)
+	mg.Update(2, 20)
+	mg.Update(3, 5)
+	c := mg.Candidates()
+	if len(c) != 3 || c[0].Item != 2 || c[2].Item != 3 {
+		t.Fatalf("Candidates = %v", c)
+	}
+	hh := mg.HeavyHitters(0.5)
+	if len(hh) != 1 || hh[0].Item != 2 {
+		t.Fatalf("HeavyHitters(0.5) = %v", hh)
+	}
+}
+
+func TestMisraGriesPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewMisraGries(0) },
+		func() { NewMisraGries(2).Update(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSpaceSavingNeverUnderestimatesTracked(t *testing.T) {
+	r := xrand.New(3)
+	const k = 50
+	ss := NewSpaceSaving(k)
+	s := stream.Zipf(r, 5000, 40000, 1.2)
+	exact := stream.NewExactCounter()
+	for _, u := range s.Updates {
+		ss.Update(u.Item, u.Delta)
+		exact.Update(u.Item, u.Delta)
+	}
+	if ss.Size() > k {
+		t.Fatalf("SpaceSaving holds %d > k=%d counters", ss.Size(), k)
+	}
+	// For tracked items: estimate >= true count >= guaranteed count.
+	for _, ic := range ss.Candidates() {
+		truth := exact.Count(ic.Item)
+		if ic.Count < truth {
+			t.Errorf("SpaceSaving underestimated tracked item %d: %d < %d", ic.Item, ic.Count, truth)
+		}
+		if g := ss.GuaranteedCount(ic.Item); g > truth {
+			t.Errorf("guaranteed count %d exceeds truth %d for item %d", g, truth, ic.Item)
+		}
+	}
+	// The true top-5 items must all be tracked (SpaceSaving guarantee for
+	// sufficiently skewed streams with k much larger than 5).
+	tracked := map[uint64]bool{}
+	for _, ic := range ss.Candidates() {
+		tracked[ic.Item] = true
+	}
+	for _, ic := range exact.TopK(5) {
+		if !tracked[ic.Item] {
+			t.Errorf("true top item %d (count %d) not tracked", ic.Item, ic.Count)
+		}
+	}
+}
+
+func TestSpaceSavingHeavyHitters(t *testing.T) {
+	ss := NewSpaceSaving(3)
+	ss.Update(1, 60)
+	ss.Update(2, 30)
+	ss.Update(3, 10)
+	hh := ss.HeavyHitters(0.5)
+	if len(hh) != 1 || hh[0].Item != 1 {
+		t.Fatalf("HeavyHitters = %v", hh)
+	}
+	if ss.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestSpaceSavingEviction(t *testing.T) {
+	ss := NewSpaceSaving(2)
+	ss.Update(1, 5)
+	ss.Update(2, 3)
+	ss.Update(3, 1) // evicts item 2 (min=3), item 3 gets 3+1=4 with error 3
+	if ss.Estimate(3) != 4 {
+		t.Errorf("Estimate(3) = %d, want 4", ss.Estimate(3))
+	}
+	if ss.GuaranteedCount(3) != 1 {
+		t.Errorf("GuaranteedCount(3) = %d, want 1", ss.GuaranteedCount(3))
+	}
+	if ss.Estimate(2) != 0 {
+		t.Errorf("evicted item still tracked: %d", ss.Estimate(2))
+	}
+}
+
+func TestSpaceSavingPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSpaceSaving(0) },
+		func() { NewSpaceSaving(2).Update(1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,27 @@
+// Package sketch implements the hashing-based streaming summaries that the
+// survey's Section 1 builds its narrative on, together with the classical
+// deterministic and membership summaries they are compared against.
+//
+// Randomized linear sketches (the survey's focus):
+//
+//   - CountMin: d rows of w counters, pairwise-independent bucket hashes,
+//     +delta updates, min estimator; supports the conservative-update
+//     variant for insertion-only streams. [CM04]
+//   - CountSketch: like Count-Min but with ±1 signed increments and a median
+//     estimator, which makes the estimate unbiased. [CCF02]
+//   - IBLT: invertible Bloom lookup table, which can list the entire
+//     (small) sketched multiset exactly. [GM11]
+//   - Dyadic: a hierarchy of Count-Min sketches over dyadic ranges that
+//     answers range queries, quantiles, and finds heavy hitters without
+//     enumerating the universe.
+//
+// Deterministic comparison baselines:
+//
+//   - MisraGries and SpaceSaving: counter-based frequent-item algorithms.
+//   - BloomFilter and SpectralBloom: membership and multiplicity filters.
+//
+// All randomized sketches are linear: Update(item, d1) followed by
+// Update(item, d2) is identical to Update(item, d1+d2), and two sketches
+// built with the same hash functions can be merged by adding their counter
+// arrays. The core package exposes this linearity as an explicit matrix.
+package sketch

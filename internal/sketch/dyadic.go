@@ -1,0 +1,298 @@
+package sketch
+
+import (
+	"container/heap"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+// Dyadic maintains one Count-Min sketch per dyadic level of the universe
+// [0, 2^logU). Level l summarizes the counts of dyadic intervals of length
+// 2^l. This is the structure of [CM03b, CM04] that answers range-sum
+// queries, finds heavy hitters without enumerating the universe, and
+// computes approximate quantiles — the "identify the elements mapped to
+// heavy buckets" step of the survey made efficient.
+type Dyadic struct {
+	logU     int
+	levels   []*CountMin // levels[l] sketches prefixes of length 2^l
+	universe uint64
+}
+
+// NewDyadic creates a dyadic Count-Min hierarchy over the universe
+// [0, 2^logU), with each level's sketch having the given width and depth.
+func NewDyadic(r *xrand.Rand, logU, width, depth int) *Dyadic {
+	if logU < 1 || logU > 63 {
+		panic(fmt.Sprintf("sketch: NewDyadic requires 1 <= logU <= 63, got %d", logU))
+	}
+	d := &Dyadic{
+		logU:     logU,
+		levels:   make([]*CountMin, logU+1),
+		universe: 1 << uint(logU),
+	}
+	for l := 0; l <= logU; l++ {
+		d.levels[l] = NewCountMin(r, width, depth)
+	}
+	return d
+}
+
+// NewDyadicForUniverse creates a dyadic hierarchy large enough to cover the
+// universe [0, universe), rounding the number of levels up to the next power
+// of two.
+func NewDyadicForUniverse(r *xrand.Rand, universe uint64, width, depth int) *Dyadic {
+	logU := log2Ceil(universe)
+	if logU < 1 {
+		logU = 1
+	}
+	return NewDyadic(r, logU, width, depth)
+}
+
+// Universe returns the size of the item universe (2^logU).
+func (d *Dyadic) Universe() uint64 { return d.universe }
+
+// Update adds delta to item's count at every level of the hierarchy.
+func (d *Dyadic) Update(item uint64, delta float64) {
+	if item >= d.universe {
+		panic(fmt.Sprintf("sketch: Dyadic item %d outside universe %d", item, d.universe))
+	}
+	for l := 0; l <= d.logU; l++ {
+		d.levels[l].Update(item>>uint(l), delta)
+	}
+}
+
+// Estimate returns the estimated count of a single item.
+func (d *Dyadic) Estimate(item uint64) float64 {
+	return d.levels[0].Estimate(item)
+}
+
+// prefixEstimate returns the estimated count of the dyadic interval
+// [p*2^l, (p+1)*2^l).
+func (d *Dyadic) prefixEstimate(level int, prefix uint64) float64 {
+	return d.levels[level].Estimate(prefix)
+}
+
+// RangeSum estimates the total count of items in [lo, hi] by decomposing the
+// range into at most 2*logU dyadic intervals and summing their estimates.
+func (d *Dyadic) RangeSum(lo, hi uint64) float64 {
+	if lo > hi || hi >= d.universe {
+		panic(fmt.Sprintf("sketch: RangeSum invalid range [%d,%d] in universe %d", lo, hi, d.universe))
+	}
+	var sum float64
+	// Decompose [lo, hi] greedily into maximal dyadic intervals.
+	for lo <= hi {
+		// Largest level such that lo is aligned and the interval fits.
+		l := 0
+		for l < d.logU {
+			size := uint64(1) << uint(l+1)
+			if lo%size != 0 || lo+size-1 > hi {
+				break
+			}
+			l++
+		}
+		sum += d.prefixEstimate(l, lo>>uint(l))
+		step := uint64(1) << uint(l)
+		if lo+step < lo { // overflow guard
+			break
+		}
+		lo += step
+	}
+	return sum
+}
+
+// HeavyHitters returns every item whose estimated count is at least
+// phi * total mass. It descends the dyadic tree, expanding only prefixes
+// whose estimated mass reaches the threshold, so the work is proportional to
+// the number of heavy prefixes rather than the universe size. The returned
+// counts are the Count-Min estimates (never underestimates for insertion-only
+// streams), sorted by decreasing count.
+func (d *Dyadic) HeavyHitters(phi float64) []stream.ItemCount {
+	total := d.levels[0].TotalMass()
+	threshold := phi * total
+	if threshold <= 0 {
+		threshold = 1e-12 // expand everything non-empty but avoid zero-mass explosion
+	}
+	var out []stream.ItemCount
+	// Depth-first descent from the root level.
+	type node struct {
+		level  int
+		prefix uint64
+	}
+	stack := []node{{level: d.logU, prefix: 0}}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		est := d.prefixEstimate(n.level, n.prefix)
+		if est < threshold {
+			continue
+		}
+		if n.level == 0 {
+			out = append(out, stream.ItemCount{Item: n.prefix, Count: int64(est + 0.5)})
+			continue
+		}
+		stack = append(stack,
+			node{level: n.level - 1, prefix: n.prefix * 2},
+			node{level: n.level - 1, prefix: n.prefix*2 + 1},
+		)
+	}
+	stream.SortItemCounts(out)
+	return out
+}
+
+// Quantile returns an item q such that the estimated rank of q (number of
+// stream elements with value <= q) is approximately phi * total. It binary
+// searches the dyadic structure using prefix sums.
+func (d *Dyadic) Quantile(phi float64) uint64 {
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	target := phi * d.levels[0].TotalMass()
+	// Walk down from the root choosing left/right child by accumulated mass.
+	var prefix uint64
+	var acc float64
+	for l := d.logU - 1; l >= 0; l-- {
+		left := prefix * 2
+		leftMass := d.prefixEstimate(l, left)
+		if acc+leftMass >= target {
+			prefix = left
+		} else {
+			acc += leftMass
+			prefix = left + 1
+		}
+	}
+	return prefix
+}
+
+// TotalMass returns the total mass of the stream seen so far.
+func (d *Dyadic) TotalMass() float64 { return d.levels[0].TotalMass() }
+
+// SizeCounters returns the total number of counters across all levels.
+func (d *Dyadic) SizeCounters() int {
+	s := 0
+	for _, cm := range d.levels {
+		s += cm.Size()
+	}
+	return s
+}
+
+// LogUniverse returns the number of dyadic levels minus one.
+func (d *Dyadic) LogUniverse() int { return d.logU }
+
+// HeavyHitterTracker combines a Count-Min sketch with a candidate heap so
+// that heavy hitters can be reported after a single pass without a second
+// pass over the stream and without knowing the universe. This is the
+// practical structure used by the "heavy bucket" narrative of the survey:
+// the sketch supplies estimated counts, the heap remembers which items
+// currently look heavy.
+type HeavyHitterTracker struct {
+	cm         *CountMin
+	k          int
+	candidates *candidateHeap
+	inHeap     map[uint64]*candidate
+}
+
+type candidate struct {
+	item  uint64
+	count float64
+	index int
+}
+
+type candidateHeap []*candidate
+
+func (h candidateHeap) Len() int           { return len(h) }
+func (h candidateHeap) Less(i, j int) bool { return h[i].count < h[j].count }
+func (h candidateHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *candidateHeap) Push(x interface{}) {
+	c := x.(*candidate)
+	c.index = len(*h)
+	*h = append(*h, c)
+}
+func (h *candidateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return c
+}
+
+// NewHeavyHitterTracker creates a tracker that keeps the k items with the
+// largest estimated counts, backed by a Count-Min of the given dimensions.
+func NewHeavyHitterTracker(r *xrand.Rand, width, depth, k int) *HeavyHitterTracker {
+	if k < 1 {
+		panic("sketch: NewHeavyHitterTracker requires k >= 1")
+	}
+	h := &HeavyHitterTracker{
+		cm:         NewCountMin(r, width, depth),
+		k:          k,
+		candidates: &candidateHeap{},
+		inHeap:     make(map[uint64]*candidate),
+	}
+	heap.Init(h.candidates)
+	return h
+}
+
+// Update processes one update and refreshes the candidate heap.
+func (t *HeavyHitterTracker) Update(item uint64, delta float64) {
+	t.cm.Update(item, delta)
+	est := t.cm.Estimate(item)
+	if c, ok := t.inHeap[item]; ok {
+		c.count = est
+		heap.Fix(t.candidates, c.index)
+		return
+	}
+	if t.candidates.Len() < t.k {
+		c := &candidate{item: item, count: est}
+		heap.Push(t.candidates, c)
+		t.inHeap[item] = c
+		return
+	}
+	if min := (*t.candidates)[0]; est > min.count {
+		heap.Pop(t.candidates)
+		delete(t.inHeap, min.item)
+		c := &candidate{item: item, count: est}
+		heap.Push(t.candidates, c)
+		t.inHeap[item] = c
+	}
+}
+
+// Estimate returns the sketch estimate for an item.
+func (t *HeavyHitterTracker) Estimate(item uint64) float64 { return t.cm.Estimate(item) }
+
+// TopK returns the current candidate set sorted by decreasing estimate.
+func (t *HeavyHitterTracker) TopK() []stream.ItemCount {
+	out := make([]stream.ItemCount, 0, t.candidates.Len())
+	for _, c := range *t.candidates {
+		out = append(out, stream.ItemCount{Item: c.item, Count: int64(c.count + 0.5)})
+	}
+	stream.SortItemCounts(out)
+	return out
+}
+
+// HeavyHitters returns candidates whose estimate reaches phi * total mass.
+func (t *HeavyHitterTracker) HeavyHitters(phi float64) []stream.ItemCount {
+	threshold := phi * t.cm.TotalMass()
+	var out []stream.ItemCount
+	for _, c := range *t.candidates {
+		if c.count >= threshold {
+			out = append(out, stream.ItemCount{Item: c.item, Count: int64(c.count + 0.5)})
+		}
+	}
+	stream.SortItemCounts(out)
+	return out
+}
+
+// SpaceCounters returns the number of counters used by the backing sketch.
+func (t *HeavyHitterTracker) SpaceCounters() int { return t.cm.Size() }
+
+// log2Ceil returns ceil(log2(x)) for x >= 1.
+func log2Ceil(x uint64) int {
+	if x <= 1 {
+		return 0
+	}
+	return 64 - bits.LeadingZeros64(x-1)
+}

@@ -1,0 +1,70 @@
+package sketch_test
+
+import (
+	"fmt"
+
+	"repro/internal/sketch"
+	"repro/internal/xrand"
+)
+
+// ExampleCountMin shows the basic single-pass frequency estimation workflow.
+func ExampleCountMin() {
+	r := xrand.New(1)
+	cm := sketch.NewCountMin(r, 1024, 4)
+
+	// One pass over the stream: item 42 occurs 1000 times, others once.
+	cm.Update(42, 1000)
+	for i := uint64(0); i < 500; i++ {
+		cm.Update(100+i, 1)
+	}
+
+	fmt.Printf("item 42 >= 1000: %v\n", cm.Estimate(42) >= 1000)
+	fmt.Printf("absent item small: %v\n", cm.Estimate(9999) <= 5)
+	// Output:
+	// item 42 >= 1000: true
+	// absent item small: true
+}
+
+// ExampleIBLT shows exact set reconciliation via an invertible sketch.
+func ExampleIBLT() {
+	r := xrand.New(2)
+	table := sketch.NewIBLT(r, 64, 4)
+
+	// Replica A inserts its keys, replica B deletes its own; what remains is
+	// the symmetric difference.
+	for _, k := range []uint64{1, 2, 3, 4, 5} {
+		table.Insert(k)
+	}
+	for _, k := range []uint64{3, 4, 5, 6} {
+		table.Delete(k)
+	}
+
+	diff, err := table.ListEntries()
+	fmt.Println("decode error:", err)
+	fmt.Println("only in A:", diff[1], diff[2])
+	fmt.Println("only in B:", diff[6])
+	// Output:
+	// decode error: <nil>
+	// only in A: 1 1
+	// only in B: -1
+}
+
+// ExampleMisraGries shows the deterministic frequent-items baseline.
+func ExampleMisraGries() {
+	mg := sketch.NewMisraGries(2)
+	for i := 0; i < 60; i++ {
+		mg.Update(7, 1)
+	}
+	for i := 0; i < 30; i++ {
+		mg.Update(8, 1)
+	}
+	for i := uint64(0); i < 10; i++ {
+		mg.Update(100+i, 1)
+	}
+	top := mg.Candidates()
+	fmt.Println("tracked items:", len(top))
+	fmt.Println("most frequent:", top[0].Item)
+	// Output:
+	// tracked items: 2
+	// most frequent: 7
+}

@@ -1,0 +1,200 @@
+package sketch
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hashing"
+	"repro/internal/xrand"
+)
+
+// IBLT is an invertible Bloom lookup table [GM11]: each cell keeps the net
+// count of the (key, delta) updates hashed into it together with two
+// field-valued accumulators — sum(delta * key) and sum(delta * checksum(key))
+// modulo the prime 2^61-1. All three fields are linear in the updates, so the
+// table supports insertions and deletions in any order and any grouping of
+// deltas. As long as the number of stored keys with non-zero net count is a
+// constant factor below the number of cells, the whole table can be decoded
+// by repeatedly peeling "pure" cells (cells whose contents are consistent
+// with a single key).
+//
+// In the survey's framing the IBLT is a sketch that supports not just point
+// queries but full recovery of a sparse frequency vector, which is exactly
+// the compressed-sensing use of hashing.
+//
+// Keys must be smaller than 2^61-1 (they are interpreted as field elements).
+type IBLT struct {
+	cells  []ibltCell
+	hashes []hashing.Hasher
+	check  hashing.Hasher
+	k      int
+}
+
+type ibltCell struct {
+	count   int64
+	keySum  uint64 // sum of delta*key mod 2^61-1
+	hashSum uint64 // sum of delta*checksum(key) mod 2^61-1
+}
+
+// ErrDecodeFailed is returned by ListEntries when peeling gets stuck before
+// the table is empty (the load factor was too high for full recovery).
+var ErrDecodeFailed = errors.New("sketch: IBLT decode failed; load too high")
+
+// NewIBLT creates a table with m cells and k hash functions. Standard
+// parameterization is k in {3,4} and m at least about 1.3–1.5 times the
+// expected number of distinct keys.
+func NewIBLT(r *xrand.Rand, m int, k int) *IBLT {
+	if m < 1 || k < 1 {
+		panic("sketch: NewIBLT requires m >= 1 and k >= 1")
+	}
+	t := &IBLT{
+		cells:  make([]ibltCell, m),
+		hashes: make([]hashing.Hasher, k),
+		check:  hashing.NewPolyHash(r, 3, hashing.MersennePrime61),
+		k:      k,
+	}
+	for i := range t.hashes {
+		t.hashes[i] = hashing.NewPolyHash(r, 2, uint64(m))
+	}
+	return t
+}
+
+// cellsFor returns the distinct cell indices for a key. Distinctness is
+// enforced by linear probing on collisions so that a key always touches
+// exactly k cells (otherwise a key could contribute twice to one cell and
+// break the per-cell accounting).
+func (t *IBLT) cellsFor(key uint64) []int {
+	m := len(t.cells)
+	out := make([]int, 0, t.k)
+	for _, h := range t.hashes {
+		c := int(h.Hash(key))
+	probe:
+		for {
+			for _, prev := range out {
+				if prev == c {
+					c = (c + 1) % m
+					continue probe
+				}
+			}
+			break
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// deltaResidue maps a signed delta to its residue modulo 2^61-1.
+func deltaResidue(delta int64) uint64 {
+	if delta >= 0 {
+		return hashing.Mod61(uint64(delta))
+	}
+	return hashing.SubMod61(0, hashing.Mod61(uint64(-delta)))
+}
+
+// Update adds delta to the key's count (negative deltas encode deletions).
+func (t *IBLT) Update(key uint64, delta int64) {
+	if key >= hashing.MersennePrime61 {
+		panic(fmt.Sprintf("sketch: IBLT key %d exceeds maximum %d", key, uint64(hashing.MersennePrime61)-1))
+	}
+	if delta == 0 {
+		return
+	}
+	d := deltaResidue(delta)
+	check := t.check.Hash(key)
+	keyTerm := hashing.MulMod61(d, key)
+	checkTerm := hashing.MulMod61(d, check)
+	for _, c := range t.cellsFor(key) {
+		cell := &t.cells[c]
+		cell.count += delta
+		cell.keySum = hashing.AddMod61(cell.keySum, keyTerm)
+		cell.hashSum = hashing.AddMod61(cell.hashSum, checkTerm)
+	}
+}
+
+// Insert adds one occurrence of key.
+func (t *IBLT) Insert(key uint64) { t.Update(key, 1) }
+
+// Delete removes one occurrence of key.
+func (t *IBLT) Delete(key uint64) { t.Update(key, -1) }
+
+// Size returns the number of cells.
+func (t *IBLT) Size() int { return len(t.cells) }
+
+// isEmpty reports whether the cell holds no net content.
+func (c ibltCell) isEmpty() bool {
+	return c.count == 0 && c.keySum == 0 && c.hashSum == 0
+}
+
+// decodeCell attempts to interpret cell i as holding a single key with a
+// non-zero net count. It returns the key and count with ok=true on success.
+func (t *IBLT) decodeCell(i int) (key uint64, count int64, ok bool) {
+	cell := t.cells[i]
+	if cell.count == 0 {
+		return 0, 0, false
+	}
+	cm := deltaResidue(cell.count)
+	if cm == 0 {
+		return 0, 0, false
+	}
+	inv := hashing.InvMod61(cm)
+	key = hashing.MulMod61(cell.keySum, inv)
+	// Verify the checksum: hashSum must equal count * checksum(key).
+	if hashing.MulMod61(cm, t.check.Hash(key)) != cell.hashSum {
+		return 0, 0, false
+	}
+	return key, cell.count, true
+}
+
+// ListEntries attempts to recover every (key, net count) pair stored in the
+// table by peeling. On success the table is left empty. On failure it
+// returns ErrDecodeFailed together with the entries recovered so far (the
+// table is left partially peeled).
+func (t *IBLT) ListEntries() (map[uint64]int64, error) {
+	out := make(map[uint64]int64)
+	queue := make([]int, 0, len(t.cells))
+	for i := range t.cells {
+		queue = append(queue, i)
+	}
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		key, count, ok := t.decodeCell(i)
+		if !ok {
+			continue
+		}
+		out[key] += count
+		// Remove the pair from the table; this may create new pure cells.
+		t.Update(key, -count)
+		queue = append(queue, t.cellsFor(key)...)
+	}
+	for i := range t.cells {
+		if !t.cells[i].isEmpty() {
+			return out, ErrDecodeFailed
+		}
+	}
+	// Drop zero-net-count keys (possible only if a false-positive decode was
+	// later cancelled; harmless to filter).
+	for k, v := range out {
+		if v == 0 {
+			delete(out, k)
+		}
+	}
+	return out, nil
+}
+
+// Get attempts a point query for a single key without decoding the whole
+// table: if any of the key's cells is empty the key's net count is 0; if any
+// of its cells decodes to the key itself, that cell's count is returned.
+// ok=false means the query could not be answered (not that the key is
+// absent).
+func (t *IBLT) Get(key uint64) (count int64, ok bool) {
+	for _, c := range t.cellsFor(key) {
+		if t.cells[c].isEmpty() {
+			return 0, true
+		}
+		if k, cnt, pure := t.decodeCell(c); pure && k == key {
+			return cnt, true
+		}
+	}
+	return 0, false
+}

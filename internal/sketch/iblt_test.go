@@ -1,0 +1,168 @@
+package sketch
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestIBLTListEntriesRecoversAll(t *testing.T) {
+	r := xrand.New(1)
+	table := NewIBLT(r, 200, 4)
+	want := map[uint64]int64{}
+	for i := 0; i < 100; i++ {
+		key := uint64(i*31 + 7)
+		count := int64(1 + i%5)
+		table.Update(key, count)
+		want[key] += count
+	}
+	got, err := table.ListEntries()
+	if err != nil {
+		t.Fatalf("ListEntries: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %d: got %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestIBLTInsertDeleteCancels(t *testing.T) {
+	r := xrand.New(2)
+	table := NewIBLT(r, 64, 3)
+	table.Insert(42)
+	table.Insert(42)
+	table.Delete(42)
+	table.Delete(42)
+	table.Insert(7)
+	got, err := table.ListEntries()
+	if err != nil {
+		t.Fatalf("ListEntries: %v", err)
+	}
+	if len(got) != 1 || got[7] != 1 {
+		t.Fatalf("ListEntries = %v, want only {7:1}", got)
+	}
+}
+
+func TestIBLTSetDifferenceStyle(t *testing.T) {
+	// The classic IBLT application: sketch set A with +1, set B with -1; the
+	// decode returns exactly the symmetric difference with signed counts.
+	r := xrand.New(3)
+	table := NewIBLT(r, 128, 4)
+	for i := uint64(0); i < 500; i++ {
+		table.Update(i, 1) // set A = {0..499}
+	}
+	for i := uint64(10); i < 510; i++ {
+		table.Update(i, -1) // set B = {10..509}
+	}
+	got, err := table.ListEntries()
+	if err != nil {
+		t.Fatalf("ListEntries: %v", err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("symmetric difference size %d, want 20", len(got))
+	}
+	for i := uint64(0); i < 10; i++ {
+		if got[i] != 1 {
+			t.Errorf("A-only key %d has count %d, want +1", i, got[i])
+		}
+		if got[500+i] != -1 {
+			t.Errorf("B-only key %d has count %d, want -1", 500+i, got[500+i])
+		}
+	}
+}
+
+func TestIBLTOverloadFails(t *testing.T) {
+	r := xrand.New(4)
+	table := NewIBLT(r, 50, 3)
+	for i := uint64(0); i < 500; i++ {
+		table.Insert(i)
+	}
+	if _, err := table.ListEntries(); err == nil {
+		t.Fatal("expected decode failure for overloaded table")
+	}
+}
+
+func TestIBLTGet(t *testing.T) {
+	r := xrand.New(5)
+	table := NewIBLT(r, 256, 3)
+	table.Update(99, 7)
+	if c, ok := table.Get(99); !ok || c != 7 {
+		t.Errorf("Get(99) = %d,%v want 7,true", c, ok)
+	}
+	// An absent key that maps to at least one empty cell is reported as 0.
+	if c, ok := table.Get(123456); ok && c != 0 {
+		t.Errorf("Get(absent) = %d,%v", c, ok)
+	}
+	if table.Size() != 256 {
+		t.Errorf("Size = %d", table.Size())
+	}
+}
+
+func TestIBLTZeroDeltaIgnored(t *testing.T) {
+	r := xrand.New(6)
+	table := NewIBLT(r, 32, 3)
+	table.Update(5, 0)
+	got, err := table.ListEntries()
+	if err != nil || len(got) != 0 {
+		t.Fatalf("table with only zero-delta updates should decode empty, got %v err %v", got, err)
+	}
+}
+
+func TestIBLTPanics(t *testing.T) {
+	r := xrand.New(1)
+	for _, f := range []func(){
+		func() { NewIBLT(r, 0, 3) },
+		func() { NewIBLT(r, 8, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIBLTDecodeThresholdSweep(t *testing.T) {
+	// Decode succeeds reliably below about 70% load with k=4 and fails well
+	// above 100% load; check the two regimes.
+	successesLow, successesHigh := 0, 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		r := xrand.New(uint64(trial) + 100)
+		low := NewIBLT(r, 100, 4)
+		for i := uint64(0); i < 50; i++ { // 50% load
+			low.Insert(i + uint64(trial)*1000)
+		}
+		if _, err := low.ListEntries(); err == nil {
+			successesLow++
+		}
+		high := NewIBLT(r, 100, 4)
+		for i := uint64(0); i < 200; i++ { // 200% load
+			high.Insert(i + uint64(trial)*1000)
+		}
+		if _, err := high.ListEntries(); err == nil {
+			successesHigh++
+		}
+	}
+	if successesLow < trials-2 {
+		t.Errorf("low-load decode succeeded only %d/%d times", successesLow, trials)
+	}
+	if successesHigh > 0 {
+		t.Errorf("high-load decode unexpectedly succeeded %d times", successesHigh)
+	}
+}
+
+func BenchmarkIBLTInsert(b *testing.B) {
+	table := NewIBLT(xrand.New(1), 1<<16, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table.Insert(uint64(i))
+	}
+}

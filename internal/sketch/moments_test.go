@@ -1,0 +1,95 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+func TestCountSketchF2Accuracy(t *testing.T) {
+	r := xrand.New(1)
+	cs := NewCountSketch(r, 4096, 7)
+	s := stream.Zipf(r, 100000, 200000, 1.1)
+	exact := stream.NewExactCounter()
+	for _, u := range s.Updates {
+		cs.Update(u.Item, float64(u.Delta))
+		exact.Update(u.Item, u.Delta)
+	}
+	var trueF2 float64
+	for _, ic := range exact.TopK(exact.DistinctItems()) {
+		trueF2 += float64(ic.Count) * float64(ic.Count)
+	}
+	got := cs.F2()
+	if math.Abs(got-trueF2)/trueF2 > 0.05 {
+		t.Fatalf("F2 estimate %.0f, true %.0f (relative error %.3f)", got, trueF2, math.Abs(got-trueF2)/trueF2)
+	}
+}
+
+func TestCountSketchF2ExactForSingleItem(t *testing.T) {
+	r := xrand.New(2)
+	cs := NewCountSketch(r, 64, 3)
+	cs.Update(7, 5)
+	if got := cs.F2(); math.Abs(got-25) > 1e-9 {
+		t.Fatalf("F2 of a single item with count 5 = %v, want 25", got)
+	}
+}
+
+func TestCountSketchInnerProduct(t *testing.T) {
+	r := xrand.New(3)
+	a := NewCountSketch(r, 4096, 7)
+	b := a.Clone()
+	// Two overlapping frequency vectors.
+	xa := map[uint64]float64{1: 100, 2: 50, 3: 10, 4: -20}
+	xb := map[uint64]float64{1: 3, 3: 7, 4: 2, 9: 1000}
+	var want float64
+	for item, v := range xa {
+		a.Update(item, v)
+		if w, ok := xb[item]; ok {
+			want += v * w
+		}
+	}
+	for item, v := range xb {
+		b.Update(item, v)
+	}
+	got, err := a.InnerProduct(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// want = 300 + 70 - 40 = 330; allow noise from the 1000-weight item.
+	if math.Abs(got-want) > 60 {
+		t.Fatalf("InnerProduct = %v, want about %v", got, want)
+	}
+	if _, err := a.InnerProduct(NewCountSketch(r, 128, 3)); err == nil {
+		t.Error("inner product across different dimensions should fail")
+	}
+}
+
+func TestCountSketchInnerProductUnbiased(t *testing.T) {
+	// Average the inner-product estimate over independent sketches.
+	xa := map[uint64]float64{1: 10, 2: 4}
+	xb := map[uint64]float64{1: 2, 2: -1, 5: 7}
+	want := 10.0*2 + 4.0*(-1)
+	const trials = 200
+	var sum float64
+	for trial := 0; trial < trials; trial++ {
+		r := xrand.New(uint64(trial) + 10)
+		a := NewCountSketch(r, 32, 1)
+		b := a.Clone()
+		for item, v := range xa {
+			a.Update(item, v)
+		}
+		for item, v := range xb {
+			b.Update(item, v)
+		}
+		got, err := a.InnerProduct(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += got
+	}
+	if avg := sum / trials; math.Abs(avg-want) > 8 {
+		t.Fatalf("inner product mean %v, want about %v", avg, want)
+	}
+}

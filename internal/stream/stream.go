@@ -1,0 +1,262 @@
+// Package stream defines the data-stream model the sketches operate on and
+// provides workload generators and exact reference counters.
+//
+// The survey's opening example is a large multiset S ⊆ {1..n} observed one
+// element at a time in a single pass. We model this as a sequence of Update
+// records (item, delta). Insertion-only streams use delta=+1; the turnstile
+// model allows arbitrary positive and negative deltas, which is what makes
+// the "sketch = linear map" view powerful (deletions are just negative
+// updates to the frequency vector x).
+//
+// The paper's motivating workloads (iceberg queries in databases, per-flow
+// traffic accounting in networks) use proprietary traces; the generators
+// here synthesize streams with the same structural property that matters —
+// heavy-tailed frequency distributions with a small number of "elephant"
+// items — so the sketching code paths are exercised identically.
+package stream
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Update is a single stream record: item identifier plus a signed count
+// delta. In the insertion-only (cash-register) model Delta is always +1.
+type Update struct {
+	Item  uint64
+	Delta int64
+}
+
+// Stream is a finite sequence of updates over a universe of size N.
+type Stream struct {
+	Universe uint64
+	Updates  []Update
+}
+
+// Len returns the number of updates in the stream.
+func (s *Stream) Len() int { return len(s.Updates) }
+
+// TotalCount returns the sum of all deltas (the l1 mass for insertion-only
+// streams).
+func (s *Stream) TotalCount() int64 {
+	var total int64
+	for _, u := range s.Updates {
+		total += u.Delta
+	}
+	return total
+}
+
+// FrequencyVector materializes the stream's frequency vector x of length
+// Universe, where x[i] is the net count of item i. Only valid when Universe
+// fits in memory; used by tests and small experiments.
+func (s *Stream) FrequencyVector() []float64 {
+	x := make([]float64, s.Universe)
+	for _, u := range s.Updates {
+		x[u.Item] += float64(u.Delta)
+	}
+	return x
+}
+
+// ExactCounter maintains exact frequencies with a hash map; it is the ground
+// truth the sketches are compared against (and the thing whose memory
+// footprint the sketches avoid).
+type ExactCounter struct {
+	counts map[uint64]int64
+	total  int64
+}
+
+// NewExactCounter returns an empty exact counter.
+func NewExactCounter() *ExactCounter {
+	return &ExactCounter{counts: make(map[uint64]int64)}
+}
+
+// Update applies a single (item, delta) record.
+func (c *ExactCounter) Update(item uint64, delta int64) {
+	c.counts[item] += delta
+	c.total += delta
+	if c.counts[item] == 0 {
+		delete(c.counts, item)
+	}
+}
+
+// Count returns the exact count of item.
+func (c *ExactCounter) Count(item uint64) int64 { return c.counts[item] }
+
+// Total returns the total mass of the stream seen so far.
+func (c *ExactCounter) Total() int64 { return c.total }
+
+// DistinctItems returns the number of items with non-zero count.
+func (c *ExactCounter) DistinctItems() int { return len(c.counts) }
+
+// ItemCount is an (item, count) pair used in heavy-hitter reports.
+type ItemCount struct {
+	Item  uint64
+	Count int64
+}
+
+// HeavyHitters returns all items whose count is at least phi * total mass,
+// sorted by decreasing count (ties by increasing item id). This is the exact
+// answer that sketch-based heavy-hitter algorithms approximate.
+func (c *ExactCounter) HeavyHitters(phi float64) []ItemCount {
+	threshold := phi * float64(c.total)
+	var out []ItemCount
+	for item, count := range c.counts {
+		if float64(count) >= threshold {
+			out = append(out, ItemCount{Item: item, Count: count})
+		}
+	}
+	SortItemCounts(out)
+	return out
+}
+
+// TopK returns the k most frequent items, sorted by decreasing count.
+func (c *ExactCounter) TopK(k int) []ItemCount {
+	all := make([]ItemCount, 0, len(c.counts))
+	for item, count := range c.counts {
+		all = append(all, ItemCount{Item: item, Count: count})
+	}
+	SortItemCounts(all)
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// SortItemCounts sorts in place by decreasing count, breaking ties by
+// increasing item id so results are deterministic.
+func SortItemCounts(items []ItemCount) {
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].Count != items[b].Count {
+			return items[a].Count > items[b].Count
+		}
+		return items[a].Item < items[b].Item
+	})
+}
+
+// Generators -----------------------------------------------------------------
+
+// Zipf generates an insertion-only stream of length records over a universe
+// of size universe, with item frequencies following a Zipf(alpha)
+// distribution. Item ranks are mapped to identifiers via a random permutation
+// so that heavy items are not simply the smallest identifiers.
+func Zipf(r *xrand.Rand, universe uint64, length int, alpha float64) *Stream {
+	z := xrand.NewZipf(r, int(universe), alpha)
+	perm := r.Perm(int(universe))
+	updates := make([]Update, length)
+	for i := range updates {
+		updates[i] = Update{Item: uint64(perm[z.Next()]), Delta: 1}
+	}
+	return &Stream{Universe: universe, Updates: updates}
+}
+
+// Uniform generates an insertion-only stream with items drawn uniformly from
+// the universe: the hardest case for heavy-hitter detection (there are none).
+func Uniform(r *xrand.Rand, universe uint64, length int) *Stream {
+	updates := make([]Update, length)
+	for i := range updates {
+		updates[i] = Update{Item: r.Uint64n(universe), Delta: 1}
+	}
+	return &Stream{Universe: universe, Updates: updates}
+}
+
+// PlantedHeavyHitters generates a stream where k designated items each
+// receive heavyFraction/k of the mass and the rest is uniform background
+// noise. It returns the stream and the planted items sorted by identifier.
+// This gives experiments an unambiguous ground-truth heavy-hitter set.
+func PlantedHeavyHitters(r *xrand.Rand, universe uint64, length, k int, heavyFraction float64) (*Stream, []uint64) {
+	if heavyFraction < 0 || heavyFraction > 1 {
+		panic("stream: heavyFraction must be in [0,1]")
+	}
+	heavyItems := make([]uint64, k)
+	chosen := r.Sample(int(universe), k)
+	for i, v := range chosen {
+		heavyItems[i] = uint64(v)
+	}
+	heavyUpdates := int(float64(length) * heavyFraction)
+	updates := make([]Update, 0, length)
+	for i := 0; i < heavyUpdates; i++ {
+		updates = append(updates, Update{Item: heavyItems[i%k], Delta: 1})
+	}
+	for len(updates) < length {
+		updates = append(updates, Update{Item: r.Uint64n(universe), Delta: 1})
+	}
+	r.Shuffle(len(updates), func(i, j int) { updates[i], updates[j] = updates[j], updates[i] })
+	sort.Slice(heavyItems, func(a, b int) bool { return heavyItems[a] < heavyItems[b] })
+	return &Stream{Universe: universe, Updates: updates}, heavyItems
+}
+
+// Flows generates a synthetic packet-trace-like stream: numFlows flows whose
+// sizes follow a Pareto-style heavy-tailed distribution (a few elephant
+// flows, many mice), with packets interleaved in random order. This stands in
+// for the proprietary network traces used by the traffic-measurement papers
+// the survey cites ([EV02, FCAB98]).
+func Flows(r *xrand.Rand, universe uint64, numFlows int, meanSize float64, tailIndex float64) *Stream {
+	if tailIndex <= 1 {
+		panic("stream: tailIndex must exceed 1 for a finite mean")
+	}
+	var updates []Update
+	scale := meanSize * (tailIndex - 1) / tailIndex // Pareto x_min for the requested mean
+	for f := 0; f < numFlows; f++ {
+		flowID := r.Uint64n(universe)
+		u := r.Float64Open()
+		size := int(scale / math.Pow(u, 1/tailIndex))
+		if size < 1 {
+			size = 1
+		}
+		for p := 0; p < size; p++ {
+			updates = append(updates, Update{Item: flowID, Delta: 1})
+		}
+	}
+	r.Shuffle(len(updates), func(i, j int) { updates[i], updates[j] = updates[j], updates[i] })
+	return &Stream{Universe: universe, Updates: updates}
+}
+
+// Turnstile generates a stream with both insertions and deletions: each of
+// the `items` chosen items receives a burst of insertions followed later by a
+// partial deletion, leaving a known residual frequency vector. It returns the
+// stream and the exact residual counts.
+func Turnstile(r *xrand.Rand, universe uint64, items int, maxCount int) (*Stream, map[uint64]int64) {
+	residual := make(map[uint64]int64)
+	var updates []Update
+	chosen := r.Sample(int(universe), items)
+	for _, c := range chosen {
+		item := uint64(c)
+		inserted := int64(1 + r.Intn(maxCount))
+		deleted := int64(r.Intn(int(inserted) + 1))
+		for i := int64(0); i < inserted; i++ {
+			updates = append(updates, Update{Item: item, Delta: 1})
+		}
+		for i := int64(0); i < deleted; i++ {
+			updates = append(updates, Update{Item: item, Delta: -1})
+		}
+		if inserted-deleted != 0 {
+			residual[item] = inserted - deleted
+		}
+	}
+	r.Shuffle(len(updates), func(i, j int) { updates[i], updates[j] = updates[j], updates[i] })
+	return &Stream{Universe: universe, Updates: updates}, residual
+}
+
+// Adversarial generates an insertion-only stream designed to stress sketches:
+// a single item receives half the mass, and the remaining mass is spread over
+// items that are consecutive integers (which defeats weak hash functions that
+// are not random enough on structured keys).
+func Adversarial(r *xrand.Rand, universe uint64, length int) (*Stream, uint64) {
+	heavy := r.Uint64n(universe)
+	updates := make([]Update, 0, length)
+	for i := 0; i < length/2; i++ {
+		updates = append(updates, Update{Item: heavy, Delta: 1})
+	}
+	next := uint64(0)
+	for len(updates) < length {
+		if next == heavy {
+			next++
+		}
+		updates = append(updates, Update{Item: next % universe, Delta: 1})
+		next++
+	}
+	r.Shuffle(len(updates), func(i, j int) { updates[i], updates[j] = updates[j], updates[i] })
+	return &Stream{Universe: universe, Updates: updates}, heavy
+}

@@ -1,0 +1,200 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestExactCounterBasics(t *testing.T) {
+	c := NewExactCounter()
+	c.Update(5, 3)
+	c.Update(7, 1)
+	c.Update(5, 2)
+	if c.Count(5) != 5 {
+		t.Errorf("Count(5) = %d, want 5", c.Count(5))
+	}
+	if c.Count(99) != 0 {
+		t.Errorf("Count(99) = %d, want 0", c.Count(99))
+	}
+	if c.Total() != 6 {
+		t.Errorf("Total = %d, want 6", c.Total())
+	}
+	if c.DistinctItems() != 2 {
+		t.Errorf("DistinctItems = %d, want 2", c.DistinctItems())
+	}
+	c.Update(7, -1)
+	if c.DistinctItems() != 1 {
+		t.Errorf("after deletion DistinctItems = %d, want 1", c.DistinctItems())
+	}
+}
+
+func TestExactCounterHeavyHitters(t *testing.T) {
+	c := NewExactCounter()
+	c.Update(1, 50)
+	c.Update(2, 30)
+	c.Update(3, 15)
+	c.Update(4, 5)
+	hh := c.HeavyHitters(0.2) // threshold 20
+	if len(hh) != 2 || hh[0].Item != 1 || hh[1].Item != 2 {
+		t.Fatalf("HeavyHitters(0.2) = %v", hh)
+	}
+	top := c.TopK(3)
+	if len(top) != 3 || top[0].Item != 1 || top[2].Item != 3 {
+		t.Fatalf("TopK(3) = %v", top)
+	}
+	if got := c.TopK(100); len(got) != 4 {
+		t.Fatalf("TopK(100) returned %d items", len(got))
+	}
+}
+
+func TestSortItemCountsDeterministicTies(t *testing.T) {
+	items := []ItemCount{{Item: 9, Count: 5}, {Item: 3, Count: 5}, {Item: 1, Count: 7}}
+	SortItemCounts(items)
+	if items[0].Item != 1 || items[1].Item != 3 || items[2].Item != 9 {
+		t.Fatalf("SortItemCounts = %v", items)
+	}
+}
+
+func TestZipfStream(t *testing.T) {
+	r := xrand.New(1)
+	s := Zipf(r, 1000, 5000, 1.2)
+	if s.Len() != 5000 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.TotalCount() != 5000 {
+		t.Fatalf("TotalCount = %d", s.TotalCount())
+	}
+	c := NewExactCounter()
+	for _, u := range s.Updates {
+		if u.Item >= 1000 {
+			t.Fatalf("item %d out of universe", u.Item)
+		}
+		c.Update(u.Item, u.Delta)
+	}
+	top := c.TopK(1)
+	// The most frequent item in a Zipf(1.2) stream of 5000 must be substantial.
+	if top[0].Count < 100 {
+		t.Errorf("Zipf stream top item only has count %d; distribution not skewed", top[0].Count)
+	}
+}
+
+func TestUniformStream(t *testing.T) {
+	r := xrand.New(2)
+	s := Uniform(r, 100, 1000)
+	if s.Len() != 1000 || s.TotalCount() != 1000 {
+		t.Fatalf("bad uniform stream: len=%d total=%d", s.Len(), s.TotalCount())
+	}
+	for _, u := range s.Updates {
+		if u.Item >= 100 || u.Delta != 1 {
+			t.Fatalf("bad update %v", u)
+		}
+	}
+}
+
+func TestPlantedHeavyHitters(t *testing.T) {
+	r := xrand.New(3)
+	s, heavy := PlantedHeavyHitters(r, 10000, 20000, 5, 0.5)
+	if len(heavy) != 5 {
+		t.Fatalf("expected 5 heavy items, got %d", len(heavy))
+	}
+	c := NewExactCounter()
+	for _, u := range s.Updates {
+		c.Update(u.Item, u.Delta)
+	}
+	// Each planted item gets about 10% of the mass; all must exceed 5%.
+	for _, h := range heavy {
+		if float64(c.Count(h)) < 0.05*float64(c.Total()) {
+			t.Errorf("planted heavy item %d has only count %d of total %d", h, c.Count(h), c.Total())
+		}
+	}
+	// Heavy items must be sorted.
+	for i := 1; i < len(heavy); i++ {
+		if heavy[i-1] >= heavy[i] {
+			t.Errorf("heavy items not sorted: %v", heavy)
+		}
+	}
+}
+
+func TestPlantedHeavyHittersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad heavyFraction did not panic")
+		}
+	}()
+	PlantedHeavyHitters(xrand.New(1), 100, 100, 2, 1.5)
+}
+
+func TestFlowsHeavyTail(t *testing.T) {
+	r := xrand.New(5)
+	s := Flows(r, 1<<20, 2000, 10, 1.5)
+	if s.Len() == 0 {
+		t.Fatal("empty flow stream")
+	}
+	c := NewExactCounter()
+	for _, u := range s.Updates {
+		c.Update(u.Item, u.Delta)
+	}
+	top := c.TopK(10)
+	// Heavy-tailed flow sizes: the largest flow should be much bigger than the mean.
+	mean := float64(c.Total()) / float64(c.DistinctItems())
+	if float64(top[0].Count) < 3*mean {
+		t.Errorf("largest flow %d not heavy relative to mean %.1f", top[0].Count, mean)
+	}
+}
+
+func TestFlowsPanicsOnBadTail(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tailIndex <= 1 did not panic")
+		}
+	}()
+	Flows(xrand.New(1), 100, 10, 5, 1.0)
+}
+
+func TestTurnstileResidualsMatch(t *testing.T) {
+	r := xrand.New(7)
+	s, residual := Turnstile(r, 5000, 200, 50)
+	c := NewExactCounter()
+	for _, u := range s.Updates {
+		c.Update(u.Item, u.Delta)
+	}
+	if c.DistinctItems() != len(residual) {
+		t.Fatalf("distinct items %d != residual map size %d", c.DistinctItems(), len(residual))
+	}
+	for item, want := range residual {
+		if got := c.Count(item); got != want {
+			t.Errorf("item %d residual %d, want %d", item, got, want)
+		}
+	}
+}
+
+func TestAdversarialStream(t *testing.T) {
+	r := xrand.New(9)
+	s, heavy := Adversarial(r, 1000, 2000)
+	c := NewExactCounter()
+	for _, u := range s.Updates {
+		c.Update(u.Item, u.Delta)
+	}
+	if float64(c.Count(heavy)) < 0.4*float64(c.Total()) {
+		t.Errorf("adversarial heavy item has count %d of %d", c.Count(heavy), c.Total())
+	}
+}
+
+func TestFrequencyVector(t *testing.T) {
+	s := &Stream{Universe: 5, Updates: []Update{{1, 2}, {3, -1}, {1, 1}}}
+	x := s.FrequencyVector()
+	if x[1] != 3 || x[3] != -1 || x[0] != 0 {
+		t.Fatalf("FrequencyVector = %v", x)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Zipf(xrand.New(42), 500, 1000, 1.1)
+	b := Zipf(xrand.New(42), 500, 1000, 1.1)
+	for i := range a.Updates {
+		if a.Updates[i] != b.Updates[i] {
+			t.Fatal("Zipf generator not deterministic for equal seeds")
+		}
+	}
+}

@@ -1,0 +1,395 @@
+// Package vec provides the dense, sparse and complex vector operations used
+// by the sketching, compressed-sensing, dimensionality-reduction and sparse
+// Fourier transform packages.
+//
+// Everything is plain float64 / complex128 slices; the package adds the
+// handful of numerical routines (norms, top-k selection, sparse
+// representations, error metrics) the rest of the repository needs, with no
+// external dependencies.
+package vec
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// Entry is a single (index, value) pair of a sparse vector.
+type Entry struct {
+	Index int
+	Value float64
+}
+
+// Sparse is a sparse real vector: a list of entries plus the ambient
+// dimension. Entries are kept sorted by index with no duplicates once
+// Normalize has been called.
+type Sparse struct {
+	Dim     int
+	Entries []Entry
+}
+
+// NewSparse returns an empty sparse vector of dimension dim.
+func NewSparse(dim int) *Sparse {
+	return &Sparse{Dim: dim}
+}
+
+// Set appends or overwrites the value at index i. Appending out-of-order is
+// allowed; call Normalize before relying on ordering.
+func (s *Sparse) Set(i int, v float64) {
+	if i < 0 || i >= s.Dim {
+		panic(fmt.Sprintf("vec: sparse index %d out of range [0,%d)", i, s.Dim))
+	}
+	for j := range s.Entries {
+		if s.Entries[j].Index == i {
+			s.Entries[j].Value = v
+			return
+		}
+	}
+	s.Entries = append(s.Entries, Entry{Index: i, Value: v})
+}
+
+// Normalize sorts entries by index, merges duplicates by summation and drops
+// explicit zeros.
+func (s *Sparse) Normalize() {
+	sort.Slice(s.Entries, func(a, b int) bool { return s.Entries[a].Index < s.Entries[b].Index })
+	out := s.Entries[:0]
+	for _, e := range s.Entries {
+		if len(out) > 0 && out[len(out)-1].Index == e.Index {
+			out[len(out)-1].Value += e.Value
+			continue
+		}
+		out = append(out, e)
+	}
+	filtered := out[:0]
+	for _, e := range out {
+		if e.Value != 0 {
+			filtered = append(filtered, e)
+		}
+	}
+	s.Entries = filtered
+}
+
+// NNZ returns the number of stored (possibly zero) entries.
+func (s *Sparse) NNZ() int { return len(s.Entries) }
+
+// Dense expands the sparse vector to a dense slice of length Dim.
+func (s *Sparse) Dense() []float64 {
+	out := make([]float64, s.Dim)
+	for _, e := range s.Entries {
+		out[e.Index] += e.Value
+	}
+	return out
+}
+
+// FromDense builds a sparse vector from a dense slice, keeping non-zeros.
+func FromDense(x []float64) *Sparse {
+	s := NewSparse(len(x))
+	for i, v := range x {
+		if v != 0 {
+			s.Entries = append(s.Entries, Entry{Index: i, Value: v})
+		}
+	}
+	return s
+}
+
+// Clone returns a deep copy of the sparse vector.
+func (s *Sparse) Clone() *Sparse {
+	out := &Sparse{Dim: s.Dim, Entries: make([]Entry, len(s.Entries))}
+	copy(out.Entries, s.Entries)
+	return out
+}
+
+// Zeros returns a dense zero vector of length n.
+func Zeros(n int) []float64 { return make([]float64, n) }
+
+// Clone returns a copy of the dense vector x.
+func Clone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// Add returns x + y. Panics if lengths differ.
+func Add(x, y []float64) []float64 {
+	checkLen(x, y)
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] + y[i]
+	}
+	return out
+}
+
+// Sub returns x - y. Panics if lengths differ.
+func Sub(x, y []float64) []float64 {
+	checkLen(x, y)
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] - y[i]
+	}
+	return out
+}
+
+// AddInPlace sets x = x + y.
+func AddInPlace(x, y []float64) {
+	checkLen(x, y)
+	for i := range x {
+		x[i] += y[i]
+	}
+}
+
+// SubInPlace sets x = x - y.
+func SubInPlace(x, y []float64) {
+	checkLen(x, y)
+	for i := range x {
+		x[i] -= y[i]
+	}
+}
+
+// Scale returns a*x.
+func Scale(a float64, x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = a * x[i]
+	}
+	return out
+}
+
+// ScaleInPlace sets x = a*x.
+func ScaleInPlace(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// AXPY sets y = y + a*x.
+func AXPY(a float64, x, y []float64) {
+	checkLen(x, y)
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	checkLen(x, y)
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the l1 norm of x.
+func Norm1(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// NormInf returns the l-infinity norm of x.
+func NormInf(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		if a := math.Abs(v); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// NNZ returns the number of non-zero entries of a dense vector.
+func NNZ(x []float64) int {
+	n := 0
+	for _, v := range x {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// checkLen panics if the two vectors have different lengths.
+func checkLen(x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vec: length mismatch %d vs %d", len(x), len(y)))
+	}
+}
+
+// TopK returns the indices of the k largest-magnitude entries of x, in
+// decreasing order of magnitude. Ties are broken by lower index first.
+// If k exceeds len(x) all indices are returned.
+func TopK(x []float64, k int) []int {
+	if k > len(x) {
+		k = len(x)
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		ma, mb := math.Abs(x[ia]), math.Abs(x[ib])
+		if ma != mb {
+			return ma > mb
+		}
+		return ia < ib
+	})
+	return idx[:k]
+}
+
+// HardThreshold returns a copy of x with all but the k largest-magnitude
+// entries set to zero (the best k-sparse approximation of x in any lp norm).
+func HardThreshold(x []float64, k int) []float64 {
+	out := make([]float64, len(x))
+	for _, i := range TopK(x, k) {
+		out[i] = x[i]
+	}
+	return out
+}
+
+// HeadTailSplit returns the l2 norm of the best k-sparse approximation error
+// of x, i.e. the norm of the "tail" x minus its top-k entries. This is the
+// benchmark error that compressed-sensing guarantees are stated against.
+func HeadTailSplit(x []float64, k int) (headNorm, tailNorm float64) {
+	head := HardThreshold(x, k)
+	tail := Sub(x, head)
+	return Norm2(head), Norm2(tail)
+}
+
+// RelativeError returns ||x-y||_2 / ||x||_2, or ||x-y||_2 if x is zero.
+func RelativeError(x, y []float64) float64 {
+	diff := Norm2(Sub(x, y))
+	n := Norm2(x)
+	if n == 0 {
+		return diff
+	}
+	return diff / n
+}
+
+// Support returns the sorted indices of the non-zero entries of x.
+func Support(x []float64) []int {
+	var out []int
+	for i, v := range x {
+		if v != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SupportEqual reports whether two vectors have identical supports.
+func SupportEqual(x, y []float64) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if (x[i] != 0) != (y[i] != 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Complex helpers -----------------------------------------------------------
+
+// CZeros returns a complex zero vector of length n.
+func CZeros(n int) []complex128 { return make([]complex128, n) }
+
+// CClone returns a copy of the complex vector x.
+func CClone(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	return out
+}
+
+// CNorm2 returns the Euclidean norm of a complex vector.
+func CNorm2(x []complex128) float64 {
+	var s float64
+	for _, v := range x {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(s)
+}
+
+// CSub returns x - y for complex vectors.
+func CSub(x, y []complex128) []complex128 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vec: length mismatch %d vs %d", len(x), len(y)))
+	}
+	out := make([]complex128, len(x))
+	for i := range x {
+		out[i] = x[i] - y[i]
+	}
+	return out
+}
+
+// CRelativeError returns ||x-y||_2 / ||x||_2 for complex vectors.
+func CRelativeError(x, y []complex128) float64 {
+	diff := CNorm2(CSub(x, y))
+	n := CNorm2(x)
+	if n == 0 {
+		return diff
+	}
+	return diff / n
+}
+
+// CTopK returns the indices of the k largest-magnitude complex entries,
+// in decreasing order of magnitude.
+func CTopK(x []complex128, k int) []int {
+	if k > len(x) {
+		k = len(x)
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		ma, mb := cmplx.Abs(x[ia]), cmplx.Abs(x[ib])
+		if ma != mb {
+			return ma > mb
+		}
+		return ia < ib
+	})
+	return idx[:k]
+}
+
+// CHardThreshold returns a copy of x keeping only the k largest-magnitude
+// entries.
+func CHardThreshold(x []complex128, k int) []complex128 {
+	out := make([]complex128, len(x))
+	for _, i := range CTopK(x, k) {
+		out[i] = x[i]
+	}
+	return out
+}
+
+// Median returns the median of the values (the slice is not modified). For
+// an even count it returns the lower-middle element, which is the convention
+// used by the Count-Sketch estimator. Panics on an empty slice.
+func Median(values []float64) float64 {
+	if len(values) == 0 {
+		panic("vec: Median of empty slice")
+	}
+	tmp := Clone(values)
+	sort.Float64s(tmp)
+	return tmp[(len(tmp)-1)/2]
+}

@@ -1,0 +1,311 @@
+package vec
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestSparseSetAndDense(t *testing.T) {
+	s := NewSparse(10)
+	s.Set(3, 1.5)
+	s.Set(7, -2)
+	s.Set(3, 4) // overwrite
+	d := s.Dense()
+	want := make([]float64, 10)
+	want[3] = 4
+	want[7] = -2
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("Dense() = %v, want %v", d, want)
+	}
+	if s.NNZ() != 2 {
+		t.Fatalf("NNZ() = %d, want 2", s.NNZ())
+	}
+}
+
+func TestSparseSetPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set out of range did not panic")
+		}
+	}()
+	NewSparse(5).Set(5, 1)
+}
+
+func TestSparseNormalize(t *testing.T) {
+	s := NewSparse(10)
+	s.Entries = []Entry{{5, 1}, {2, 3}, {5, 2}, {8, 0}}
+	s.Normalize()
+	want := []Entry{{2, 3}, {5, 3}}
+	if !reflect.DeepEqual(s.Entries, want) {
+		t.Fatalf("Normalize gave %v, want %v", s.Entries, want)
+	}
+}
+
+func TestFromDenseRoundTrip(t *testing.T) {
+	x := []float64{0, 1, 0, -2.5, 0, 3}
+	s := FromDense(x)
+	if s.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", s.NNZ())
+	}
+	if !reflect.DeepEqual(s.Dense(), x) {
+		t.Fatalf("round trip failed: %v", s.Dense())
+	}
+}
+
+func TestSparseClone(t *testing.T) {
+	s := FromDense([]float64{1, 0, 2})
+	c := s.Clone()
+	c.Entries[0].Value = 99
+	if s.Entries[0].Value == 99 {
+		t.Fatal("Clone did not deep-copy entries")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if got := Add(x, y); !reflect.DeepEqual(got, []float64{5, 7, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(y, x); !reflect.DeepEqual(got, []float64{3, 3, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Scale(2, x); !reflect.DeepEqual(got, []float64{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	x := []float64{1, 2, 3}
+	AddInPlace(x, []float64{1, 1, 1})
+	if !reflect.DeepEqual(x, []float64{2, 3, 4}) {
+		t.Errorf("AddInPlace = %v", x)
+	}
+	SubInPlace(x, []float64{1, 1, 1})
+	if !reflect.DeepEqual(x, []float64{1, 2, 3}) {
+		t.Errorf("SubInPlace = %v", x)
+	}
+	ScaleInPlace(3, x)
+	if !reflect.DeepEqual(x, []float64{3, 6, 9}) {
+		t.Errorf("ScaleInPlace = %v", x)
+	}
+	y := []float64{0, 0, 0}
+	AXPY(2, []float64{1, 2, 3}, y)
+	if !reflect.DeepEqual(y, []float64{2, 4, 6}) {
+		t.Errorf("AXPY = %v", y)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched lengths did not panic")
+		}
+	}()
+	Add([]float64{1}, []float64{1, 2})
+}
+
+func TestDotAndNorms(t *testing.T) {
+	x := []float64{3, -4}
+	if got := Dot(x, x); got != 25 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := Norm2(x); got != 5 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	if got := Norm1(x); got != 7 {
+		t.Errorf("Norm1 = %v", got)
+	}
+	if got := NormInf(x); got != 4 {
+		t.Errorf("NormInf = %v", got)
+	}
+	if got := NNZ([]float64{0, 1, 0, 2}); got != 2 {
+		t.Errorf("NNZ = %v", got)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	x := []float64{1, -5, 3, 0, 5}
+	got := TopK(x, 2)
+	// |x[1]| = 5 and |x[4]| = 5 tie; lower index wins.
+	want := []int{1, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TopK = %v, want %v", got, want)
+	}
+	if got := TopK(x, 0); got != nil {
+		t.Errorf("TopK(x,0) = %v, want nil", got)
+	}
+	if got := TopK(x, 100); len(got) != len(x) {
+		t.Errorf("TopK with k>len returned %d items", len(got))
+	}
+}
+
+func TestHardThreshold(t *testing.T) {
+	x := []float64{1, -5, 3, 0, 4}
+	got := HardThreshold(x, 2)
+	want := []float64{0, -5, 0, 0, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("HardThreshold = %v, want %v", got, want)
+	}
+}
+
+func TestHeadTailSplit(t *testing.T) {
+	x := []float64{3, 0, 4, 1}
+	head, tail := HeadTailSplit(x, 2)
+	if math.Abs(head-5) > 1e-12 {
+		t.Errorf("head = %v, want 5", head)
+	}
+	if math.Abs(tail-1) > 1e-12 {
+		t.Errorf("tail = %v, want 1", tail)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	x := []float64{3, 4}
+	y := []float64{3, 4}
+	if RelativeError(x, y) != 0 {
+		t.Error("identical vectors should have zero relative error")
+	}
+	if got := RelativeError(x, []float64{0, 0}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("RelativeError vs zero = %v, want 1", got)
+	}
+	if got := RelativeError([]float64{0, 0}, []float64{0, 3}); got != 3 {
+		t.Errorf("RelativeError with zero reference = %v, want 3", got)
+	}
+}
+
+func TestSupport(t *testing.T) {
+	x := []float64{0, 1, 0, 2}
+	if got := Support(x); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Errorf("Support = %v", got)
+	}
+	if !SupportEqual(x, []float64{0, 9, 0, -1}) {
+		t.Error("SupportEqual should be true for same support")
+	}
+	if SupportEqual(x, []float64{1, 1, 0, 2}) {
+		t.Error("SupportEqual should be false for different support")
+	}
+	if SupportEqual(x, []float64{0, 1}) {
+		t.Error("SupportEqual should be false for different lengths")
+	}
+}
+
+func TestComplexHelpers(t *testing.T) {
+	x := []complex128{3, 4i}
+	if got := CNorm2(x); math.Abs(got-5) > 1e-12 {
+		t.Errorf("CNorm2 = %v", got)
+	}
+	y := CClone(x)
+	y[0] = 0
+	if x[0] == 0 {
+		t.Error("CClone did not copy")
+	}
+	d := CSub(x, x)
+	if CNorm2(d) != 0 {
+		t.Error("CSub(x,x) not zero")
+	}
+	if got := CRelativeError(x, x); got != 0 {
+		t.Errorf("CRelativeError = %v", got)
+	}
+	if got := CRelativeError([]complex128{0}, []complex128{2}); got != 2 {
+		t.Errorf("CRelativeError with zero reference = %v", got)
+	}
+}
+
+func TestCTopKAndThreshold(t *testing.T) {
+	x := []complex128{1, 5i, 2 + 2i, 0}
+	got := CTopK(x, 2)
+	if !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("CTopK = %v", got)
+	}
+	th := CHardThreshold(x, 1)
+	if th[1] != 5i || th[0] != 0 || th[2] != 0 {
+		t.Fatalf("CHardThreshold = %v", th)
+	}
+	if CTopK(x, 0) != nil {
+		t.Error("CTopK with k=0 should be nil")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{1}, 1},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2},
+		{[]float64{-1, -5, 10}, -1},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Median of empty slice did not panic")
+		}
+	}()
+	Median(nil)
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if !reflect.DeepEqual(in, []float64{3, 1, 2}) {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+// Property: HardThreshold(x,k) has at most k non-zeros and its error is
+// no larger than keeping any other k entries (we check versus keeping the
+// first k entries).
+func TestHardThresholdOptimalityProperty(t *testing.T) {
+	r := xrand.New(7)
+	f := func(seed uint64) bool {
+		rr := xrand.New(seed)
+		n := 20 + rr.Intn(30)
+		k := rr.Intn(n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		best := HardThreshold(x, k)
+		if NNZ(best) > k {
+			return false
+		}
+		// Competitor: keep first k entries.
+		comp := make([]float64, n)
+		copy(comp, x[:k])
+		return Norm2(Sub(x, best)) <= Norm2(Sub(x, comp))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dot(x,x) == Norm2(x)^2.
+func TestNormDotConsistencyProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		// Filter out NaN/Inf from quick's generator.
+		x := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				x = append(x, v)
+			}
+		}
+		n2 := Norm2(x)
+		return math.Abs(Dot(x, x)-n2*n2) <= 1e-6*(1+n2*n2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

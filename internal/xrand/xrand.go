@@ -1,0 +1,243 @@
+// Package xrand provides deterministic, seedable pseudo-random number
+// generation and the sampling distributions used throughout the repository
+// (Gaussian, Bernoulli, Rademacher, Zipf, random permutations).
+//
+// Every randomized component in the library takes an explicit *xrand.Rand (or
+// a seed) so that experiments are exactly reproducible run-to-run. The core
+// generator is splitmix64 used to seed xoshiro256**, which is fast, has a
+// 256-bit state and passes the usual statistical test batteries; it is more
+// than adequate for the Monte-Carlo style experiments in this repository.
+package xrand
+
+import "math"
+
+// Rand is a deterministic pseudo-random number generator (xoshiro256**).
+// It is NOT safe for concurrent use; create one per goroutine.
+type Rand struct {
+	s [4]uint64
+
+	// cached second Gaussian from Box-Muller
+	hasGauss bool
+	gauss    float64
+}
+
+// splitmix64 advances the given state and returns the next value. It is used
+// only to expand a single seed into the 256-bit xoshiro state.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the given seed. Two generators created
+// with the same seed produce identical streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state from a single 64-bit seed.
+func (r *Rand) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// xoshiro requires a not-all-zero state; splitmix64 of any seed cannot
+	// produce four zeros, but be defensive.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	r.hasGauss = false
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint32 returns a uniformly distributed 32-bit value.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int63 returns a non-negative int64.
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method (unbiased).
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Rejection sampling on the top bits.
+	threshold := -n % n
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform value in (0, 1); it never returns exactly 0,
+// which makes it safe to pass to math.Log.
+func (r *Rand) Float64Open() float64 {
+	for {
+		v := r.Float64()
+		if v > 0 {
+			return v
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal (mean 0, variance 1) variate using
+// the Box-Muller transform. Consecutive calls use both generated values.
+func (r *Rand) NormFloat64() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	u1 := r.Float64Open()
+	u2 := r.Float64()
+	radius := math.Sqrt(-2 * math.Log(u1))
+	theta := 2 * math.Pi * u2
+	r.gauss = radius * math.Sin(theta)
+	r.hasGauss = true
+	return radius * math.Cos(theta)
+}
+
+// Rademacher returns +1 or -1 with equal probability.
+func (r *Rand) Rademacher() float64 {
+	if r.Uint64()&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// Bernoulli returns true with probability p.
+func (r *Rand) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// ExpFloat64 returns an exponentially distributed variate with rate 1.
+func (r *Rand) ExpFloat64() float64 {
+	return -math.Log(r.Float64Open())
+}
+
+// Perm returns a uniformly random permutation of [0, n) (Fisher-Yates).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function (Fisher-Yates).
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := int(r.Uint64n(uint64(i + 1)))
+		swap(i, j)
+	}
+}
+
+// Sample returns k distinct integers drawn uniformly from [0, n) in random
+// order. It panics if k > n or k < 0.
+func (r *Rand) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("xrand: Sample with k out of range")
+	}
+	if k*4 >= n {
+		// Dense case: partial Fisher-Yates over the full range.
+		p := r.Perm(n)
+		return p[:k]
+	}
+	// Sparse case: rejection with a set.
+	seen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := r.Intn(n)
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Zipf generates integers in [0, n) following a Zipf(s) distribution, i.e.
+// P(i) proportional to 1/(i+1)^s. It precomputes the CDF so sampling is a
+// binary search; construction is O(n).
+type Zipf struct {
+	cdf []float64
+	r   *Rand
+}
+
+// NewZipf returns a Zipf sampler over the domain [0, n) with exponent s > 0.
+func NewZipf(r *Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with n <= 0")
+	}
+	if s <= 0 {
+		panic("xrand: NewZipf with s <= 0")
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf, r: r}
+}
+
+// Next returns the next Zipf-distributed value in [0, n).
+func (z *Zipf) Next() int {
+	u := z.r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the domain size of the sampler.
+func (z *Zipf) N() int { return len(z.cdf) }

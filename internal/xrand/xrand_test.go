@@ -1,0 +1,319 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("generators with same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestReseed(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 10)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Seed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("reseeded stream diverged at %d: got %d want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(11)
+	const n = 10
+	const samples = 100000
+	counts := make([]int, n)
+	for i := 0; i < samples; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	expected := float64(samples) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-expected) > 5*math.Sqrt(expected) {
+			t.Errorf("bucket %d count %d deviates too much from expected %.0f", i, c, expected)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64OpenNeverZero(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		if r.Float64Open() == 0 {
+			t.Fatal("Float64Open returned 0")
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(9)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("gaussian mean %.4f too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("gaussian variance %.4f too far from 1", variance)
+	}
+}
+
+func TestRademacher(t *testing.T) {
+	r := New(13)
+	pos, neg := 0, 0
+	for i := 0; i < 10000; i++ {
+		switch r.Rademacher() {
+		case 1:
+			pos++
+		case -1:
+			neg++
+		default:
+			t.Fatal("Rademacher returned value other than +-1")
+		}
+	}
+	if pos < 4500 || neg < 4500 {
+		t.Errorf("Rademacher imbalanced: +1=%d -1=%d", pos, neg)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(17)
+	const p = 0.3
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-p) > 0.01 {
+		t.Errorf("Bernoulli(%.1f) empirical rate %.4f", p, got)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(19)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatal("ExpFloat64 returned negative value")
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean %.4f too far from 1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(29)
+	for _, tc := range []struct{ n, k int }{{10, 0}, {10, 3}, {10, 10}, {1000, 5}, {1000, 900}} {
+		s := r.Sample(tc.n, tc.k)
+		if len(s) != tc.k {
+			t.Fatalf("Sample(%d,%d) returned %d items", tc.n, tc.k, len(s))
+		}
+		seen := make(map[int]bool)
+		for _, v := range s {
+			if v < 0 || v >= tc.n || seen[v] {
+				t.Fatalf("Sample(%d,%d) = %v has out-of-range or duplicate values", tc.n, tc.k, s)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSamplePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(3,4) did not panic")
+		}
+	}()
+	New(1).Sample(3, 4)
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(31)
+	z := NewZipf(r, 1000, 1.1)
+	const n = 200000
+	counts := make([]int, 1000)
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Zipf.Next() = %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Item 0 must dominate and counts must be (roughly) non-increasing in rank.
+	if counts[0] < counts[10] {
+		t.Errorf("Zipf not skewed: count[0]=%d < count[10]=%d", counts[0], counts[10])
+	}
+	if counts[0] < n/20 {
+		t.Errorf("Zipf head too light: count[0]=%d", counts[0])
+	}
+}
+
+func TestZipfN(t *testing.T) {
+	z := NewZipf(New(1), 42, 1.0)
+	if z.N() != 42 {
+		t.Fatalf("Zipf.N() = %d, want 42", z.N())
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {10, 0}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d,%v) did not panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(New(1), tc.n, tc.s)
+		}()
+	}
+}
+
+// Property: Uint64n(n) is always < n for any n > 0.
+func TestUint64nPropertyBounded(t *testing.T) {
+	r := New(101)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Perm(n) always contains every element exactly once.
+func TestPermProperty(t *testing.T) {
+	r := New(103)
+	f := func(raw uint8) bool {
+		n := int(raw % 64)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.NormFloat64()
+	}
+	_ = sink
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	r := New(1)
+	z := NewZipf(r, 1<<16, 1.1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = z.Next()
+	}
+	_ = sink
+}
