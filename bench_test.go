@@ -1,6 +1,7 @@
 package repro_test
 
-// One Go benchmark per experiment (E1–E10 in DESIGN.md). Each benchmark runs
+// One Go benchmark per experiment (E1–E10 in DESIGN.md, plus the E11
+// sharded-ingestion scaling experiment). Each benchmark runs
 // the corresponding experiment end to end and reports its wall-clock time;
 // the printed tables themselves are produced by cmd/sketchbench (or by the
 // experiment functions directly). Run with:
@@ -43,3 +44,4 @@ func BenchmarkE7SFFT(b *testing.B)            { runExperiment(b, "e7") }
 func BenchmarkE8Leakage(b *testing.B)         { runExperiment(b, "e8") }
 func BenchmarkE9Hadamard(b *testing.B)        { runExperiment(b, "e9") }
 func BenchmarkE10IBLT(b *testing.B)           { runExperiment(b, "e10") }
+func BenchmarkE11ShardedIngest(b *testing.B)  { runExperiment(b, "e11") }

@@ -7,10 +7,18 @@
 // With -synthetic N a Zipf-distributed synthetic stream of N items is used
 // instead, which makes the command usable as a demo without any input data.
 //
+// With -workers N the stream is fanned across N goroutines, each feeding a
+// private replica of the sketch (identical hash seeds); the replicas are
+// merged at the end. The Count-Min counters merge exactly (linearity), so
+// every reported estimate equals the single-threaded run's; the candidate
+// set is the union of the shards' top-k re-scored against the merged
+// counters, which can in principle track a slightly different borderline
+// item than the single-threaded heap would.
+//
 // Usage:
 //
 //	hhtop -phi 0.001 < access.log
-//	hhtop -synthetic 1000000 -k 20 -width 4096
+//	hhtop -synthetic 1000000 -k 20 -width 4096 -workers 4
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/engine"
 	"repro/internal/sketch"
 	"repro/internal/stream"
 	"repro/internal/xrand"
@@ -35,11 +44,21 @@ func main() {
 		synthetic = flag.Int("synthetic", 0, "generate a synthetic Zipf stream of this many items instead of reading input")
 		seed      = flag.Uint64("seed", 1, "seed for hashing and synthetic data")
 		exact     = flag.Bool("exact", true, "also keep exact counts and report the sketch estimation error")
+		workers   = flag.Int("workers", 1, "shard ingestion across this many goroutines (merged exactly at the end)")
 	)
 	flag.Parse()
 
+	if *workers < 1 {
+		fmt.Fprintln(os.Stderr, "hhtop: -workers must be >= 1")
+		os.Exit(1)
+	}
+
 	r := xrand.New(*seed)
 	tracker := sketch.NewHeavyHitterTracker(r, *width, *depth, *k)
+	var eng *engine.Engine[*sketch.HeavyHitterTracker]
+	if *workers > 1 {
+		eng = engine.NewTracker(engine.Config{Workers: *workers}, tracker)
+	}
 	var exactCounter *stream.ExactCounter
 	if *exact {
 		exactCounter = stream.NewExactCounter()
@@ -47,7 +66,11 @@ func main() {
 	names := map[uint64]string{}
 
 	process := func(id uint64, label string) {
-		tracker.Update(id, 1)
+		if eng != nil {
+			eng.Update(id, 1)
+		} else {
+			tracker.Update(id, 1)
+		}
 		if exactCounter != nil {
 			exactCounter.Update(id, 1)
 		}
@@ -88,6 +111,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hhtop: reading input: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	if eng != nil {
+		merged, err := eng.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hhtop: merging shards: %v\n", err)
+			os.Exit(1)
+		}
+		tracker = merged
 	}
 
 	fmt.Printf("processed %d items; sketch uses %d counters (%d KiB)\n",

@@ -7,14 +7,20 @@
 //
 //	internal/core     the unifying "sketch = sparse linear map" view
 //	internal/sketch   Count-Min, Count-Sketch, Misra-Gries, SpaceSaving,
-//	                  Bloom filters, IBLT, dyadic heavy hitters & quantiles
+//	                  Bloom filters, IBLT, dyadic heavy hitters & quantiles,
+//	                  plus versioned binary serialization for the linear
+//	                  sketches (hash seeds ride along, so a deserialized
+//	                  sketch hashes identically and merges exactly)
+//	internal/engine   concurrent sharded ingestion: N workers with private
+//	                  sketch replicas built from identical hash seeds, batched
+//	                  update fan-out, exact linear merge on Snapshot/Close
 //	internal/cs       compressed sensing: sparse-matrix decoders and dense
 //	                  baselines (OMP, IHT, ISTA)
 //	internal/jl       Johnson-Lindenstrauss embeddings, feature hashing,
 //	                  SRHT, sketch-and-solve regression and low-rank
 //	internal/sfft     sparse Fourier transform and sparse Hadamard transform
 //	internal/fourier  FFT / FWHT / window-filter substrate
-//	internal/bench    the E1-E10 experiment harness (see DESIGN.md)
+//	internal/bench    the E1-E11 experiment harness (see DESIGN.md)
 //
 // Runnable entry points are in cmd/ (sketchbench, hhtop, sfftdemo) and
 // examples/ (quickstart, netflow, imaging, features, spectrum). The

@@ -1,6 +1,6 @@
 // Package bench is the experiment harness: it regenerates, as printed
 // tables, every quantitative claim of the survey (experiments E1–E10 in
-// DESIGN.md). Each experiment builds its synthetic workload, sweeps the
+// DESIGN.md, plus the E11 sharded-ingestion scaling experiment). Each experiment builds its synthetic workload, sweeps the
 // relevant parameter, runs the hashing-based method and its baselines, and
 // reports the metrics the claim is about (recall/precision, measurement
 // counts, running times, distortions, leakage).
@@ -90,7 +90,7 @@ type Experiment struct {
 	Run   func(cfg Config) []Table
 }
 
-// Registry returns every experiment in order E1..E10.
+// Registry returns every experiment in order E1..E11.
 func Registry() []Experiment {
 	return []Experiment{
 		{ID: "e1", Claim: "§1: frequent elements map to heavy buckets; sketches recover them in one pass with limited storage", Run: RunE1HeavyHitters},
@@ -103,6 +103,7 @@ func Registry() []Experiment {
 		{ID: "e8", Claim: "§4: boxcar buckets are leaky; flat-window filters make leakage negligible", Run: RunE8Leakage},
 		{ID: "e9", Claim: "§4: sparse recovery over the Boolean cube (Kushilevitz–Mansour) needs far fewer samples than the full transform", Run: RunE9Hadamard},
 		{ID: "e10", Claim: "§2 [GM11]: IBLTs list the whole sketched set exactly below a load threshold", Run: RunE10IBLT},
+		{ID: "e11", Claim: "§1: sketches are linear maps, so sharded ingestion merges exactly and throughput scales with cores", Run: RunE11ShardedIngest},
 	}
 }
 

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/engine"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+// RunE11ShardedIngest measures ingestion throughput of the sharded engine
+// against the single-threaded sketch on a Zipf stream, sweeping the shard
+// count, and verifies that the merged result is exactly equal to the
+// single-threaded one (the linearity law). Speedup is relative to the
+// 1-shard engine, so the engine's own batching overhead is also visible in
+// the single-thread row. On a 1-core machine the shards time-slice and the
+// speedup stays near 1; the claim needs GOMAXPROCS >= shards to show.
+func RunE11ShardedIngest(cfg Config) []Table {
+	universe := uint64(1 << 20)
+	length := 2_000_000
+	if cfg.Quick {
+		universe = 1 << 16
+		length = 100_000
+	}
+	const width, depth = 4096, 4
+	const batchSize = 4096
+
+	r := xrand.New(cfg.Seed)
+	s := stream.Zipf(r, universe, length, 1.1)
+	updates := make([]engine.Update, len(s.Updates))
+	for i, u := range s.Updates {
+		updates[i] = engine.Update{Item: u.Item, Delta: float64(u.Delta)}
+	}
+
+	proto := sketch.NewCountMin(xrand.New(cfg.Seed+1), width, depth)
+
+	// Single-threaded reference: both the exactness oracle and the baseline.
+	single := proto.Clone()
+	singleTime := timeIt(func() {
+		for _, u := range updates {
+			single.Update(u.Item, u.Delta)
+		}
+	})
+
+	table := Table{
+		Title: fmt.Sprintf("E11: sharded ingestion throughput, %d Zipf updates, Count-Min %dx%d, batch=%d, GOMAXPROCS=%d",
+			length, width, depth, batchSize, runtime.GOMAXPROCS(0)),
+		Columns: []string{"config", "items/sec (M)", "speedup vs 1 shard", "max |err| vs single"},
+	}
+
+	rate := func(d float64) string { return fmt.Sprintf("%.2f", float64(length)/d/1e6) }
+
+	// maxErr samples the universe and reports the largest estimate deviation
+	// from the single-threaded sketch; linearity says it must be exactly 0.
+	maxErr := func(merged *sketch.CountMin) float64 {
+		var worst float64
+		for item := uint64(0); item < universe; item += 101 {
+			if d := absFloat(single.Estimate(item) - merged.Estimate(item)); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+
+	table.AddRow("single-thread", rate(singleTime.Seconds()), "-", "-")
+
+	var oneShard float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		eng := engine.NewCountMin(engine.Config{Workers: workers, BatchSize: batchSize}, proto)
+		var merged *sketch.CountMin
+		var err error
+		elapsed := timeIt(func() {
+			eng.UpdateBatch(updates)
+			merged, err = eng.Close()
+		})
+		if err != nil {
+			panic(fmt.Sprintf("bench: E11 engine close: %v", err))
+		}
+		secs := elapsed.Seconds()
+		if workers == 1 {
+			oneShard = secs
+		}
+		table.AddRow(
+			fmt.Sprintf("engine %d shards", workers),
+			rate(secs),
+			fmt.Sprintf("%.2fx", oneShard/secs),
+			fmtFloat(maxErr(merged)),
+		)
+	}
+	return []Table{table}
+}

@@ -91,6 +91,27 @@ func TestE6SketchedRegressionNearOptimal(t *testing.T) {
 	}
 }
 
+// TestE11ShardedIngestExact: every engine configuration must report exactly
+// zero estimate deviation from the single-threaded sketch — linearity makes
+// the merge exact, independent of shard count or scheduling. (The speedup
+// column is hardware-dependent and deliberately not asserted here.)
+func TestE11ShardedIngestExact(t *testing.T) {
+	tbl := RunE11ShardedIngest(Config{Seed: 29, Quick: true})[0]
+	engineRows := 0
+	for _, row := range tbl.Rows {
+		if row[3] == "-" {
+			continue // single-thread baseline row
+		}
+		engineRows++
+		if v := parseCell(t, row[3]); v != 0 {
+			t.Errorf("%s: max estimate deviation %v, want exactly 0", row[0], v)
+		}
+	}
+	if engineRows < 3 {
+		t.Fatalf("expected at least 3 engine rows, got %d", engineRows)
+	}
+}
+
 // TestE2MultiplyShiftFastest: the multiply-shift hash family should give the
 // highest update throughput among the Count-Min variants.
 func TestE2MultiplyShiftFastest(t *testing.T) {

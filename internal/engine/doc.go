@@ -1,0 +1,40 @@
+// Package engine scales sketch ingestion across CPU cores by sharding.
+//
+// The correctness argument is the survey's central observation: a sketch is a
+// sparse *linear* map of the frequency vector, so for any split of a stream
+// into sub-streams x = x_1 + x_2 + ... + x_N,
+//
+//	sketch(x) = sketch(x_1) + sketch(x_2) + ... + sketch(x_N)
+//
+// provided every term is computed with the same hash functions. The engine
+// exploits this by giving each of N worker goroutines a private replica of a
+// prototype sketch (created with Clone, so all replicas share the prototype's
+// hash seeds), fanning incoming (item, delta) updates across the workers in
+// batches, and folding the replicas back together with Merge when a snapshot
+// is requested. The merged result is *exactly* — not approximately — the
+// sketch a single-threaded run over the whole stream would have produced,
+// because counter addition is associative and commutative; in particular the
+// per-row median estimator of Count-Sketch and the row-minimum estimator of
+// Count-Min are evaluated on identical counter matrices.
+//
+// Design notes:
+//
+//   - Updates are routed round-robin at batch granularity, not hashed by
+//     item. Linearity makes any assignment of updates to shards correct, and
+//     round-robin gives perfect load balance with zero per-item routing cost.
+//   - Batching amortizes channel synchronization: the producer fills a slice
+//     of updates (BatchSize, default 1024) and hands the whole slice to a
+//     worker, so channel overhead is paid once per batch rather than once
+//     per item. Drained batch slices are recycled through a free list.
+//   - Snapshot uses a barrier protocol: a sync token is enqueued on every
+//     shard's (FIFO) channel; each worker acknowledges it after applying all
+//     earlier batches and then blocks until the merge has read its replica.
+//     This yields a consistent cut without locking the hot path.
+//   - Replicas never share mutable state, so the engine is race-free by
+//     construction (verified under `go test -race`).
+//
+// The same replicas could equally live in different processes: the sketch
+// types' MarshalBinary/UnmarshalBinary (see internal/sketch) serialize the
+// hash seeds alongside the counters, so a deserialized shard merges exactly
+// like a local one.
+package engine

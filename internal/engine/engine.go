@@ -1,0 +1,289 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"repro/internal/sketch"
+)
+
+// Update is a single stream record: an item identifier and a signed count
+// delta. It mirrors stream.Update but carries a float64 delta, matching the
+// sketch Update signatures.
+type Update struct {
+	Item  uint64
+	Delta float64
+}
+
+// Config controls the shape of an Engine.
+type Config struct {
+	// Workers is the number of shard goroutines. Zero means GOMAXPROCS.
+	Workers int
+	// BatchSize is the number of updates buffered before a batch is handed to
+	// a worker. Zero means 1024. Larger batches amortize channel overhead;
+	// smaller ones reduce snapshot latency.
+	BatchSize int
+	// QueueDepth is the per-shard channel buffer measured in batches. Zero
+	// means 4. It bounds how far the producer can run ahead of the workers.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1024
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4
+	}
+	return c
+}
+
+// ErrClosed is returned by operations on an engine after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// op is a shard channel message: either a batch of updates or a snapshot
+// barrier token (ready/resume non-nil).
+type op struct {
+	batch  []Update
+	ready  chan<- struct{} // worker sends when all earlier batches are applied
+	resume <-chan struct{} // worker blocks here until the merge has read its replica
+}
+
+// shard is one worker goroutine and its private sketch replica.
+type shard[S any] struct {
+	ch      chan op
+	replica S
+	done    chan struct{}
+}
+
+// Engine fans a stream of updates across worker goroutines, each owning a
+// private sketch replica built from identical hash seeds, and merges the
+// replicas exactly on Snapshot or Close.
+//
+// The producer side (Update, UpdateBatch, Flush, Snapshot, Close) must be
+// called from a single goroutine; the shards run concurrently underneath.
+type Engine[S any] struct {
+	cfg    Config
+	shards []*shard[S]
+
+	newReplica func() S
+	apply      func(S, []Update)
+	merge      func(dst, src S) error
+
+	cur    []Update      // batch being filled by the producer
+	next   int           // round-robin cursor over shards
+	free   chan []Update // recycled batch slices
+	closed bool
+}
+
+// New creates an engine over an arbitrary replica type. newReplica must
+// return an empty replica sharing hash functions with every other replica it
+// returns (for the sketch types, a closure over prototype.Clone()); apply
+// folds a batch of updates into a replica; merge adds src into dst.
+func New[S any](cfg Config, newReplica func() S, apply func(S, []Update), merge func(dst, src S) error) *Engine[S] {
+	cfg = cfg.withDefaults()
+	e := &Engine[S]{
+		cfg:        cfg,
+		shards:     make([]*shard[S], cfg.Workers),
+		newReplica: newReplica,
+		apply:      apply,
+		merge:      merge,
+		cur:        make([]Update, 0, cfg.BatchSize),
+		free:       make(chan []Update, cfg.Workers*cfg.QueueDepth+1),
+	}
+	for i := range e.shards {
+		sh := &shard[S]{
+			ch:      make(chan op, cfg.QueueDepth),
+			replica: newReplica(),
+			done:    make(chan struct{}),
+		}
+		e.shards[i] = sh
+		go e.run(sh)
+	}
+	return e
+}
+
+// run is the worker loop: apply batches in arrival order, honor barriers.
+func (e *Engine[S]) run(sh *shard[S]) {
+	defer close(sh.done)
+	for o := range sh.ch {
+		if o.ready != nil {
+			o.ready <- struct{}{}
+			<-o.resume
+			continue
+		}
+		e.apply(sh.replica, o.batch)
+		// Recycle the slice if the free list has room; drop it otherwise.
+		select {
+		case e.free <- o.batch[:0]:
+		default:
+		}
+	}
+}
+
+// Update appends one record to the current batch, dispatching the batch to a
+// shard when it reaches BatchSize.
+func (e *Engine[S]) Update(item uint64, delta float64) {
+	if e.closed {
+		panic("engine: Update after Close")
+	}
+	e.cur = append(e.cur, Update{Item: item, Delta: delta})
+	if len(e.cur) >= e.cfg.BatchSize {
+		e.dispatch()
+	}
+}
+
+// UpdateBatch appends a slice of records (the slice is copied into internal
+// batches; the caller keeps ownership).
+func (e *Engine[S]) UpdateBatch(updates []Update) {
+	for _, u := range updates {
+		e.Update(u.Item, u.Delta)
+	}
+}
+
+// dispatch hands the current batch to the next shard round-robin and starts
+// a fresh batch from the free list.
+func (e *Engine[S]) dispatch() {
+	if len(e.cur) == 0 {
+		return
+	}
+	e.shards[e.next].ch <- op{batch: e.cur}
+	e.next = (e.next + 1) % len(e.shards)
+	select {
+	case b := <-e.free:
+		e.cur = b
+	default:
+		e.cur = make([]Update, 0, e.cfg.BatchSize)
+	}
+}
+
+// Flush dispatches any partially filled batch so it becomes visible to the
+// next Snapshot.
+func (e *Engine[S]) Flush() {
+	if e.closed {
+		return
+	}
+	e.dispatch()
+}
+
+// Workers returns the number of shards.
+func (e *Engine[S]) Workers() int { return len(e.shards) }
+
+// barrier enqueues a sync token on every shard, waits until all workers have
+// drained their queues, runs fn, then releases the workers.
+func (e *Engine[S]) barrier(fn func() error) error {
+	ready := make(chan struct{}, len(e.shards))
+	resume := make(chan struct{})
+	for _, sh := range e.shards {
+		sh.ch <- op{ready: ready, resume: resume}
+	}
+	for range e.shards {
+		<-ready
+	}
+	err := fn()
+	close(resume)
+	return err
+}
+
+// Snapshot flushes pending updates and returns a fresh replica holding the
+// exact merge of every shard — the sketch a single-threaded run over the
+// whole stream so far would have produced. Ingestion resumes afterwards.
+func (e *Engine[S]) Snapshot() (S, error) {
+	var zero S
+	if e.closed {
+		return zero, ErrClosed
+	}
+	e.Flush()
+	out := e.newReplica()
+	err := e.barrier(func() error {
+		for i, sh := range e.shards {
+			if mergeErr := e.merge(out, sh.replica); mergeErr != nil {
+				return fmt.Errorf("engine: merging shard %d: %w", i, mergeErr)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return zero, err
+	}
+	return out, nil
+}
+
+// Close flushes pending updates, stops the workers and returns the final
+// exact merge. The engine cannot be used afterwards.
+func (e *Engine[S]) Close() (S, error) {
+	var zero S
+	if e.closed {
+		return zero, ErrClosed
+	}
+	e.dispatch()
+	e.closed = true
+	for _, sh := range e.shards {
+		close(sh.ch)
+	}
+	for _, sh := range e.shards {
+		<-sh.done
+	}
+	out := e.newReplica()
+	for i, sh := range e.shards {
+		if err := e.merge(out, sh.replica); err != nil {
+			return zero, fmt.Errorf("engine: merging shard %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Convenience constructors for the concrete sketch types ---------------------
+
+// NewCountMin builds an engine whose shards are clones of proto (sharing its
+// hash functions). proto itself is never written to. proto must not use
+// conservative update: conservative sketches are not linear, so sharding
+// them cannot be exact and their Merge always fails — better to refuse here
+// than after the whole stream has been ingested.
+func NewCountMin(cfg Config, proto *sketch.CountMin) *Engine[*sketch.CountMin] {
+	if proto.Conservative() {
+		panic("engine: conservative-update CountMin is not linear and cannot be sharded")
+	}
+	return New(cfg,
+		func() *sketch.CountMin { return proto.Clone() },
+		func(cm *sketch.CountMin, batch []Update) {
+			for _, u := range batch {
+				cm.Update(u.Item, u.Delta)
+			}
+		},
+		func(dst, src *sketch.CountMin) error { return dst.Merge(src) },
+	)
+}
+
+// NewCountSketch builds an engine whose shards are clones of proto (sharing
+// its hash and sign functions). proto itself is never written to.
+func NewCountSketch(cfg Config, proto *sketch.CountSketch) *Engine[*sketch.CountSketch] {
+	return New(cfg,
+		func() *sketch.CountSketch { return proto.Clone() },
+		func(cs *sketch.CountSketch, batch []Update) {
+			for _, u := range batch {
+				cs.Update(u.Item, u.Delta)
+			}
+		},
+		func(dst, src *sketch.CountSketch) error { return dst.Merge(src) },
+	)
+}
+
+// NewTracker builds an engine whose shards are clones of a heavy-hitter
+// tracker prototype. The Count-Min counters merge exactly; the candidate
+// sets merge as a union re-scored against the merged counters.
+func NewTracker(cfg Config, proto *sketch.HeavyHitterTracker) *Engine[*sketch.HeavyHitterTracker] {
+	return New(cfg,
+		func() *sketch.HeavyHitterTracker { return proto.Clone() },
+		func(t *sketch.HeavyHitterTracker, batch []Update) {
+			for _, u := range batch {
+				t.Update(u.Item, u.Delta)
+			}
+		},
+		func(dst, src *sketch.HeavyHitterTracker) error { return dst.Merge(src) },
+	)
+}

@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/sketch"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+// newZipf builds a deterministic test stream.
+func newZipf(seed uint64, universe uint64, length int) *stream.Stream {
+	return stream.Zipf(xrand.New(seed), universe, length, 1.1)
+}
+
+// countersEqual compares two counter matrices for exact equality.
+func countersEqual(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestCountMinShardingIsExact: the merged result of a 4-worker engine must
+// equal — counter for counter — the single-threaded sketch fed the same
+// stream. This is the linearity law the whole engine rests on.
+func TestCountMinShardingIsExact(t *testing.T) {
+	proto := sketch.NewCountMin(xrand.New(1), 512, 4)
+	single := proto.Clone()
+	s := newZipf(2, 1<<14, 100_000)
+	for _, u := range s.Updates {
+		single.Update(u.Item, float64(u.Delta))
+	}
+
+	for _, workers := range []int{1, 3, 4, 8} {
+		eng := NewCountMin(Config{Workers: workers, BatchSize: 997}, proto)
+		for _, u := range s.Updates {
+			eng.Update(u.Item, float64(u.Delta))
+		}
+		merged, err := eng.Close()
+		if err != nil {
+			t.Fatalf("workers=%d: close: %v", workers, err)
+		}
+		if !countersEqual(single.Counters(), merged.Counters()) {
+			t.Fatalf("workers=%d: merged counters differ from single-threaded sketch", workers)
+		}
+		if single.TotalMass() != merged.TotalMass() {
+			t.Fatalf("workers=%d: total mass %v != %v", workers, merged.TotalMass(), single.TotalMass())
+		}
+		for item := uint64(0); item < 1<<14; item += 17 {
+			if a, b := single.Estimate(item), merged.Estimate(item); a != b {
+				t.Fatalf("workers=%d: estimate(%d) %v != %v", workers, item, a, b)
+			}
+		}
+	}
+}
+
+// TestCountSketchShardingIsExact: the same law for Count-Sketch, whose
+// median estimator must be evaluated over an identical counter matrix.
+func TestCountSketchShardingIsExact(t *testing.T) {
+	proto := sketch.NewCountSketch(xrand.New(3), 512, 5)
+	single := proto.Clone()
+	s := newZipf(4, 1<<14, 100_000)
+	for _, u := range s.Updates {
+		single.Update(u.Item, float64(u.Delta))
+	}
+
+	eng := NewCountSketch(Config{Workers: 4}, proto)
+	for _, u := range s.Updates {
+		eng.Update(u.Item, float64(u.Delta))
+	}
+	merged, err := eng.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !countersEqual(single.Counters(), merged.Counters()) {
+		t.Fatal("merged counters differ from single-threaded sketch")
+	}
+	for item := uint64(0); item < 1<<14; item += 17 {
+		if a, b := single.Estimate(item), merged.Estimate(item); a != b {
+			t.Fatalf("estimate(%d) %v != %v", item, a, b)
+		}
+	}
+}
+
+// TestSnapshotMidStream: a snapshot taken mid-stream must equal a
+// single-threaded sketch fed exactly the prefix seen so far, and ingestion
+// must continue cleanly afterwards.
+func TestSnapshotMidStream(t *testing.T) {
+	proto := sketch.NewCountMin(xrand.New(5), 256, 4)
+	single := proto.Clone()
+	s := newZipf(6, 1<<12, 50_000)
+
+	eng := NewCountMin(Config{Workers: 4, BatchSize: 64}, proto)
+	half := len(s.Updates) / 2
+	for _, u := range s.Updates[:half] {
+		single.Update(u.Item, float64(u.Delta))
+		eng.Update(u.Item, float64(u.Delta))
+	}
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !countersEqual(single.Counters(), snap.Counters()) {
+		t.Fatal("mid-stream snapshot differs from single-threaded prefix sketch")
+	}
+
+	for _, u := range s.Updates[half:] {
+		single.Update(u.Item, float64(u.Delta))
+		eng.Update(u.Item, float64(u.Delta))
+	}
+	final, err := eng.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !countersEqual(single.Counters(), final.Counters()) {
+		t.Fatal("final merge differs from single-threaded sketch")
+	}
+	// The snapshot must be a frozen copy, untouched by later ingestion.
+	if snap.TotalMass() != float64(half) {
+		t.Fatalf("snapshot total mass %v changed after later updates (want %d)", snap.TotalMass(), half)
+	}
+}
+
+// TestTrackerShardingFindsHeavyHitters: the sharded tracker must report
+// every planted heavy hitter with the exact merged Count-Min estimates.
+func TestTrackerShardingFindsHeavyHitters(t *testing.T) {
+	s, planted := stream.PlantedHeavyHitters(xrand.New(7), 1<<14, 60_000, 10, 0.5)
+	proto := sketch.NewHeavyHitterTracker(xrand.New(8), 2048, 4, 64)
+	single := proto.Clone()
+	for _, u := range s.Updates {
+		single.Update(u.Item, float64(u.Delta))
+	}
+
+	eng := NewTracker(Config{Workers: 4}, proto)
+	for _, u := range s.Updates {
+		eng.Update(u.Item, float64(u.Delta))
+	}
+	merged, err := eng.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reported := map[uint64]bool{}
+	for _, ic := range merged.HeavyHitters(0.01) {
+		reported[ic.Item] = true
+	}
+	for _, item := range planted {
+		if !reported[item] {
+			t.Errorf("planted heavy hitter %d missing from sharded tracker report", item)
+		}
+		if a, b := single.Estimate(item), merged.Estimate(item); a != b {
+			t.Errorf("estimate(%d): single %v != sharded %v", item, a, b)
+		}
+	}
+}
+
+// TestUpdateBatchAndFlush: batch ingestion and explicit flush paths.
+func TestUpdateBatchAndFlush(t *testing.T) {
+	proto := sketch.NewCountMin(xrand.New(9), 128, 3)
+	single := proto.Clone()
+	eng := NewCountMin(Config{Workers: 2, BatchSize: 1000}, proto)
+
+	batch := make([]Update, 0, 123)
+	for i := uint64(0); i < 123; i++ {
+		batch = append(batch, Update{Item: i % 40, Delta: 2})
+		single.Update(i%40, 2)
+	}
+	eng.UpdateBatch(batch)
+	eng.Flush() // partial batch (123 < 1000) must become visible
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !countersEqual(single.Counters(), snap.Counters()) {
+		t.Fatal("flush did not make the partial batch visible to Snapshot")
+	}
+	if _, err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConservativeProtoRejected: conservative update is not linear, so the
+// engine must refuse the prototype up front rather than ingest a whole
+// stream and fail at merge time.
+func TestConservativeProtoRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCountMin accepted a conservative-update prototype")
+		}
+	}()
+	NewCountMin(Config{Workers: 2}, sketch.NewCountMin(xrand.New(1), 64, 2, sketch.WithConservativeUpdate()))
+}
+
+// TestClosedEngineErrors: operations after Close must fail cleanly.
+func TestClosedEngineErrors(t *testing.T) {
+	eng := NewCountMin(Config{Workers: 2}, sketch.NewCountMin(xrand.New(10), 64, 2))
+	if _, err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Close(); err != ErrClosed {
+		t.Fatalf("second Close: got %v, want ErrClosed", err)
+	}
+	if _, err := eng.Snapshot(); err != ErrClosed {
+		t.Fatalf("Snapshot after Close: got %v, want ErrClosed", err)
+	}
+}

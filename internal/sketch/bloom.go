@@ -16,6 +16,8 @@ type BloomFilter struct {
 	m      uint64
 	hashes []hashing.Hasher
 	count  int
+	// seed fully determines the hash functions; see MarshalBinary.
+	seed uint64
 }
 
 // NewBloomFilter creates a filter with m bits and k hash functions.
@@ -23,13 +25,21 @@ func NewBloomFilter(r *xrand.Rand, m uint64, k int) *BloomFilter {
 	if m < 1 || k < 1 {
 		panic("sketch: NewBloomFilter requires m >= 1 and k >= 1")
 	}
+	return newBloomFilterFromSeed(r.Uint64(), m, k)
+}
+
+// newBloomFilterFromSeed builds the filter deterministically from a hash
+// seed; shared by NewBloomFilter and UnmarshalBinary.
+func newBloomFilterFromSeed(seed uint64, m uint64, k int) *BloomFilter {
+	hr := xrand.New(seed)
 	bf := &BloomFilter{
 		bits:   make([]uint64, (m+63)/64),
 		m:      m,
 		hashes: make([]hashing.Hasher, k),
+		seed:   seed,
 	}
 	for i := range bf.hashes {
-		bf.hashes[i] = hashing.NewPolyHash(r, 2, m)
+		bf.hashes[i] = hashing.NewPolyHash(hr, 2, m)
 	}
 	return bf
 }

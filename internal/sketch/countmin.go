@@ -23,6 +23,11 @@ type CountMin struct {
 	// are below the new lower bound); only valid for non-negative deltas.
 	conservative bool
 	totalMass    float64
+	// seed and family fully determine the hash functions: the rows are drawn
+	// from xrand.New(seed) in order. MarshalBinary ships only (seed, family)
+	// and UnmarshalBinary rebuilds hashers that are bit-identical in behavior.
+	seed   uint64
+	family hashing.Family
 }
 
 // CountMinOption configures a CountMin sketch at construction time.
@@ -54,16 +59,27 @@ func NewCountMin(r *xrand.Rand, width, depth int, opts ...CountMinOption) *Count
 	for _, o := range opts {
 		o(&cfg)
 	}
+	return newCountMinFromSeed(r.Uint64(), width, depth, cfg.family, cfg.conservative)
+}
+
+// newCountMinFromSeed builds the sketch deterministically from a hash seed.
+// It is the single construction path, shared by NewCountMin and
+// UnmarshalBinary, so a deserialized sketch hashes identically to the
+// original.
+func newCountMinFromSeed(seed uint64, width, depth int, family hashing.Family, conservative bool) *CountMin {
+	hr := xrand.New(seed)
 	cm := &CountMin{
 		width:        width,
 		depth:        depth,
 		counts:       make([][]float64, depth),
 		hashes:       make([]hashing.Hasher, depth),
-		conservative: cfg.conservative,
+		conservative: conservative,
+		seed:         seed,
+		family:       family,
 	}
 	for i := 0; i < depth; i++ {
 		cm.counts[i] = make([]float64, width)
-		cm.hashes[i] = hashing.NewHasher(cfg.family, r, uint64(width))
+		cm.hashes[i] = hashing.NewHasher(family, hr, uint64(width))
 	}
 	return cm
 }
@@ -139,6 +155,10 @@ func (cm *CountMin) Estimate(item uint64) float64 {
 // TotalMass returns the sum of all deltas processed.
 func (cm *CountMin) TotalMass() float64 { return cm.totalMass }
 
+// Conservative reports whether the sketch uses conservative update.
+// Conservative-update sketches are not linear and cannot be merged.
+func (cm *CountMin) Conservative() bool { return cm.conservative }
+
 // InnerProduct estimates the inner product <x, y> of the frequency vectors
 // summarized by cm and other. Both sketches must have been created with the
 // same dimensions and the same hash functions (use Clone for that); the
@@ -191,6 +211,8 @@ func (cm *CountMin) Clone() *CountMin {
 		counts:       make([][]float64, cm.depth),
 		hashes:       cm.hashes,
 		conservative: cm.conservative,
+		seed:         cm.seed,
+		family:       cm.family,
 	}
 	for i := range out.counts {
 		out.counts[i] = make([]float64, cm.width)

@@ -23,6 +23,10 @@ type CountSketch struct {
 	counts [][]float64
 	hashes []hashing.Hasher
 	signs  []hashing.SignHasher
+	// seed and family fully determine the hash and sign functions (drawn in a
+	// fixed order from xrand.New(seed)); see MarshalBinary.
+	seed   uint64
+	family hashing.Family
 }
 
 // CountSketchOption configures a CountSketch at construction time.
@@ -46,17 +50,27 @@ func NewCountSketch(r *xrand.Rand, width, depth int, opts ...CountSketchOption) 
 	for _, o := range opts {
 		o(&cfg)
 	}
+	return newCountSketchFromSeed(r.Uint64(), width, depth, cfg.family)
+}
+
+// newCountSketchFromSeed builds the sketch deterministically from a hash
+// seed; it is shared by NewCountSketch and UnmarshalBinary so that a
+// deserialized sketch hashes and signs identically to the original.
+func newCountSketchFromSeed(seed uint64, width, depth int, family hashing.Family) *CountSketch {
+	hr := xrand.New(seed)
 	cs := &CountSketch{
 		width:  width,
 		depth:  depth,
 		counts: make([][]float64, depth),
 		hashes: make([]hashing.Hasher, depth),
 		signs:  make([]hashing.SignHasher, depth),
+		seed:   seed,
+		family: family,
 	}
 	for i := 0; i < depth; i++ {
 		cs.counts[i] = make([]float64, width)
-		cs.hashes[i] = hashing.NewHasher(cfg.family, r, uint64(width))
-		cs.signs[i] = hashing.NewSigner(cfg.family, r)
+		cs.hashes[i] = hashing.NewHasher(family, hr, uint64(width))
+		cs.signs[i] = hashing.NewSigner(family, hr)
 	}
 	return cs
 }
@@ -173,6 +187,8 @@ func (cs *CountSketch) Clone() *CountSketch {
 		counts: make([][]float64, cs.depth),
 		hashes: cs.hashes,
 		signs:  cs.signs,
+		seed:   cs.seed,
+		family: cs.family,
 	}
 	for i := range out.counts {
 		out.counts[i] = make([]float64, cs.width)

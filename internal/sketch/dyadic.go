@@ -245,6 +245,12 @@ func (t *HeavyHitterTracker) Update(item uint64, delta float64) {
 		heap.Fix(t.candidates, c.index)
 		return
 	}
+	t.offer(item, est)
+}
+
+// offer inserts a new candidate with the given estimate, evicting the current
+// minimum if the heap is full and the newcomer scores higher.
+func (t *HeavyHitterTracker) offer(item uint64, est float64) {
 	if t.candidates.Len() < t.k {
 		c := &candidate{item: item, count: est}
 		heap.Push(t.candidates, c)
@@ -263,23 +269,67 @@ func (t *HeavyHitterTracker) Update(item uint64, delta float64) {
 // Estimate returns the sketch estimate for an item.
 func (t *HeavyHitterTracker) Estimate(item uint64) float64 { return t.cm.Estimate(item) }
 
+// Clone returns an empty tracker whose backing Count-Min shares t's hash
+// functions, suitable for sketching a disjoint part of the stream and
+// merging back (the sharded-ingestion pattern of internal/engine).
+func (t *HeavyHitterTracker) Clone() *HeavyHitterTracker {
+	out := &HeavyHitterTracker{
+		cm:         t.cm.Clone(),
+		k:          t.k,
+		candidates: &candidateHeap{},
+		inHeap:     make(map[uint64]*candidate),
+	}
+	heap.Init(out.candidates)
+	return out
+}
+
+// Merge folds other into t. The Count-Min counters add exactly (linearity),
+// so estimates after the merge equal those of a single tracker fed both
+// streams. The candidate sets are unioned and re-scored against the merged
+// counters, keeping the k largest: a candidate heavy anywhere stays a
+// candidate, which is the standard distributed top-k reduction.
+func (t *HeavyHitterTracker) Merge(other *HeavyHitterTracker) error {
+	if err := t.cm.Merge(other.cm); err != nil {
+		return err
+	}
+	union := make(map[uint64]struct{}, len(t.inHeap)+len(other.inHeap))
+	for item := range t.inHeap {
+		union[item] = struct{}{}
+	}
+	for item := range other.inHeap {
+		union[item] = struct{}{}
+	}
+	t.candidates = &candidateHeap{}
+	t.inHeap = make(map[uint64]*candidate, t.k)
+	heap.Init(t.candidates)
+	for item := range union {
+		t.offer(item, t.cm.Estimate(item))
+	}
+	return nil
+}
+
 // TopK returns the current candidate set sorted by decreasing estimate.
+// Candidates are re-scored against the sketch at report time, so the counts
+// reflect the full stream seen so far (the stored heap scores can be stale:
+// they date from each item's last update) and agree with what a merge of
+// sharded trackers would report for the same candidate.
 func (t *HeavyHitterTracker) TopK() []stream.ItemCount {
 	out := make([]stream.ItemCount, 0, t.candidates.Len())
 	for _, c := range *t.candidates {
-		out = append(out, stream.ItemCount{Item: c.item, Count: int64(c.count + 0.5)})
+		out = append(out, stream.ItemCount{Item: c.item, Count: int64(t.cm.Estimate(c.item) + 0.5)})
 	}
 	stream.SortItemCounts(out)
 	return out
 }
 
-// HeavyHitters returns candidates whose estimate reaches phi * total mass.
+// HeavyHitters returns candidates whose estimate reaches phi * total mass,
+// re-scored against the sketch at report time (see TopK).
 func (t *HeavyHitterTracker) HeavyHitters(phi float64) []stream.ItemCount {
 	threshold := phi * t.cm.TotalMass()
 	var out []stream.ItemCount
 	for _, c := range *t.candidates {
-		if c.count >= threshold {
-			out = append(out, stream.ItemCount{Item: c.item, Count: int64(c.count + 0.5)})
+		if est := t.cm.Estimate(c.item); est >= threshold {
+			out = append(out, stream.ItemCount{Item: c.item, Count: int64(est + 0.5)})
 		}
 	}
 	stream.SortItemCounts(out)

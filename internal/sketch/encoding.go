@@ -1,0 +1,378 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/hashing"
+)
+
+// Binary serialization for the linear sketches. The format exists so that
+// shards of a distributed ingestion pipeline can live in different processes
+// and merge over the wire: because the hash functions are reconstructed from
+// the serialized seed through the same deterministic code path used at
+// construction time, Unmarshal(Marshal(s)) is bit-identical in behavior to s
+// — same buckets, same signs, same estimates — which is exactly the property
+// Merge needs.
+//
+// Wire layout (all integers big-endian):
+//
+//	magic   [4]byte  "SKC1"
+//	version uint8    encodingVersion
+//	kind    uint8    sketch kind (CountMin, CountSketch, Bloom, IBLT)
+//	payload          kind-specific header (dimensions, hash seed, family)
+//	                 followed by the raw counters
+//
+// Floats are encoded as IEEE-754 bits so counters round-trip exactly.
+
+// encodingMagic guards against feeding arbitrary bytes to Unmarshal.
+var encodingMagic = [4]byte{'S', 'K', 'C', '1'}
+
+// encodingVersion is bumped whenever the payload layout changes; decoders
+// reject versions they do not understand rather than guessing.
+const encodingVersion = 1
+
+// Sketch kinds on the wire.
+const (
+	kindCountMin    = 1
+	kindCountSketch = 2
+	kindBloom       = 3
+	kindIBLT        = 4
+)
+
+// writer appends big-endian primitives to a pre-sized buffer.
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)    { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32)  { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64)  { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *writer) header(kind uint8) {
+	w.buf = append(w.buf, encodingMagic[:]...)
+	w.u8(encodingVersion)
+	w.u8(kind)
+}
+
+// reader consumes big-endian primitives, remembering the first error so call
+// sites can stay linear and check once at the end.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) fail(format string, args ...interface{}) {
+	if r.err == nil {
+		r.err = fmt.Errorf("sketch: "+format, args...)
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf) < n {
+		r.fail("truncated encoding (need %d bytes, have %d)", n, len(r.buf))
+		return nil
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// expectHeader validates magic, version and kind, and returns false (with the
+// error recorded) on any mismatch.
+func (r *reader) expectHeader(kind uint8, name string) bool {
+	b := r.take(4)
+	if b == nil {
+		return false
+	}
+	if [4]byte(b) != encodingMagic {
+		r.fail("%s: bad magic %q", name, b)
+		return false
+	}
+	if v := r.u8(); r.err == nil && v != encodingVersion {
+		r.fail("%s: unsupported encoding version %d (want %d)", name, v, encodingVersion)
+		return false
+	}
+	if k := r.u8(); r.err == nil && k != kind {
+		r.fail("%s: wrong sketch kind %d (want %d)", name, k, kind)
+		return false
+	}
+	return r.err == nil
+}
+
+// done verifies the buffer was consumed exactly.
+func (r *reader) done(name string) error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("sketch: %s: %d trailing bytes after decode", name, len(r.buf))
+	}
+	return nil
+}
+
+// checkDims bounds width/depth-style dimensions read off the wire.
+func (r *reader) checkDims(name string, dims ...uint32) {
+	const maxDim = 1 << 30
+	for _, d := range dims {
+		if d < 1 || d > maxDim {
+			r.fail("%s: dimension %d out of range [1, %d]", name, d, maxDim)
+			return
+		}
+	}
+}
+
+// checkPayload verifies that exactly `words` 8-byte values remain in the
+// buffer. It runs before any allocation sized from the header, so a corrupt
+// header claiming huge dimensions fails here instead of demanding gigabytes.
+func (r *reader) checkPayload(name string, words uint64) {
+	if r.err != nil {
+		return
+	}
+	if uint64(len(r.buf)) != 8*words {
+		r.fail("%s: payload is %d bytes, header claims %d", name, len(r.buf), 8*words)
+	}
+}
+
+// checkFamily verifies a family byte read off the wire names a known hash
+// family (hashing.NewHasher panics on unknown families, so decoders must
+// reject bad bytes with an error first).
+func (r *reader) checkFamily(name string, f hashing.Family) {
+	switch f {
+	case hashing.FamilyPoly2, hashing.FamilyPoly4, hashing.FamilyMultiplyShift, hashing.FamilyTabulation:
+	default:
+		r.fail("%s: unknown hash family %d", name, int(f))
+	}
+}
+
+// CountMin ------------------------------------------------------------------
+
+// MarshalBinary encodes the sketch: a versioned header carrying the family,
+// conservative flag, width, depth and hash seed, followed by the total mass
+// and the d x w counter matrix.
+func (cm *CountMin) MarshalBinary() ([]byte, error) {
+	w := writer{buf: make([]byte, 0, 6+1+1+4+4+8+8+8*cm.width*cm.depth)}
+	w.header(kindCountMin)
+	w.u8(uint8(cm.family))
+	if cm.conservative {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u32(uint32(cm.width))
+	w.u32(uint32(cm.depth))
+	w.u64(cm.seed)
+	w.f64(cm.totalMass)
+	for _, row := range cm.counts {
+		for _, v := range row {
+			w.f64(v)
+		}
+	}
+	return w.buf, nil
+}
+
+// UnmarshalBinary decodes a sketch produced by MarshalBinary, reconstructing
+// the hash functions from the serialized seed so the result behaves
+// bit-identically to the original.
+func (cm *CountMin) UnmarshalBinary(data []byte) error {
+	r := reader{buf: data}
+	if !r.expectHeader(kindCountMin, "CountMin") {
+		return r.err
+	}
+	family := hashing.Family(r.u8())
+	conservative := r.u8() == 1
+	width := r.u32()
+	depth := r.u32()
+	seed := r.u64()
+	totalMass := r.f64()
+	r.checkDims("CountMin", width, depth)
+	r.checkFamily("CountMin", family)
+	r.checkPayload("CountMin", uint64(width)*uint64(depth))
+	if r.err != nil {
+		return r.err
+	}
+	out := newCountMinFromSeed(seed, int(width), int(depth), family, conservative)
+	out.totalMass = totalMass
+	for _, row := range out.counts {
+		for j := range row {
+			row[j] = r.f64()
+		}
+	}
+	if err := r.done("CountMin"); err != nil {
+		return err
+	}
+	*cm = *out
+	return nil
+}
+
+// CountSketch ---------------------------------------------------------------
+
+// MarshalBinary encodes the sketch: a versioned header carrying the family,
+// width, depth and hash seed, followed by the d x w counter matrix.
+func (cs *CountSketch) MarshalBinary() ([]byte, error) {
+	w := writer{buf: make([]byte, 0, 6+1+4+4+8+8*cs.width*cs.depth)}
+	w.header(kindCountSketch)
+	w.u8(uint8(cs.family))
+	w.u32(uint32(cs.width))
+	w.u32(uint32(cs.depth))
+	w.u64(cs.seed)
+	for _, row := range cs.counts {
+		for _, v := range row {
+			w.f64(v)
+		}
+	}
+	return w.buf, nil
+}
+
+// UnmarshalBinary decodes a sketch produced by MarshalBinary.
+func (cs *CountSketch) UnmarshalBinary(data []byte) error {
+	r := reader{buf: data}
+	if !r.expectHeader(kindCountSketch, "CountSketch") {
+		return r.err
+	}
+	family := hashing.Family(r.u8())
+	width := r.u32()
+	depth := r.u32()
+	seed := r.u64()
+	r.checkDims("CountSketch", width, depth)
+	r.checkFamily("CountSketch", family)
+	r.checkPayload("CountSketch", uint64(width)*uint64(depth))
+	if r.err != nil {
+		return r.err
+	}
+	out := newCountSketchFromSeed(seed, int(width), int(depth), family)
+	for _, row := range out.counts {
+		for j := range row {
+			row[j] = r.f64()
+		}
+	}
+	if err := r.done("CountSketch"); err != nil {
+		return err
+	}
+	*cs = *out
+	return nil
+}
+
+// BloomFilter ---------------------------------------------------------------
+
+// MarshalBinary encodes the filter: a versioned header carrying the bit
+// count, hash count, hash seed and insertion count, followed by the bit
+// array words.
+func (bf *BloomFilter) MarshalBinary() ([]byte, error) {
+	w := writer{buf: make([]byte, 0, 6+8+4+8+8+8*len(bf.bits))}
+	w.header(kindBloom)
+	w.u64(bf.m)
+	w.u32(uint32(len(bf.hashes)))
+	w.u64(bf.seed)
+	w.u64(uint64(bf.count))
+	for _, word := range bf.bits {
+		w.u64(word)
+	}
+	return w.buf, nil
+}
+
+// UnmarshalBinary decodes a filter produced by MarshalBinary.
+func (bf *BloomFilter) UnmarshalBinary(data []byte) error {
+	r := reader{buf: data}
+	if !r.expectHeader(kindBloom, "BloomFilter") {
+		return r.err
+	}
+	m := r.u64()
+	k := r.u32()
+	seed := r.u64()
+	count := r.u64()
+	r.checkDims("BloomFilter", k)
+	if r.err == nil && (m < 1 || m > 1<<36) {
+		r.fail("BloomFilter: bit count %d out of range", m)
+	}
+	r.checkPayload("BloomFilter", (m+63)/64)
+	if r.err != nil {
+		return r.err
+	}
+	out := newBloomFilterFromSeed(seed, m, int(k))
+	out.count = int(count)
+	for i := range out.bits {
+		out.bits[i] = r.u64()
+	}
+	if err := r.done("BloomFilter"); err != nil {
+		return err
+	}
+	*bf = *out
+	return nil
+}
+
+// IBLT ----------------------------------------------------------------------
+
+// MarshalBinary encodes the table: a versioned header carrying the cell
+// count, hash count and hash seed, followed by the (count, keySum, hashSum)
+// triple of every cell.
+func (t *IBLT) MarshalBinary() ([]byte, error) {
+	w := writer{buf: make([]byte, 0, 6+4+4+8+24*len(t.cells))}
+	w.header(kindIBLT)
+	w.u32(uint32(len(t.cells)))
+	w.u32(uint32(t.k))
+	w.u64(t.seed)
+	for _, c := range t.cells {
+		w.u64(uint64(c.count))
+		w.u64(c.keySum)
+		w.u64(c.hashSum)
+	}
+	return w.buf, nil
+}
+
+// UnmarshalBinary decodes a table produced by MarshalBinary.
+func (t *IBLT) UnmarshalBinary(data []byte) error {
+	r := reader{buf: data}
+	if !r.expectHeader(kindIBLT, "IBLT") {
+		return r.err
+	}
+	m := r.u32()
+	k := r.u32()
+	seed := r.u64()
+	r.checkDims("IBLT", m, k)
+	r.checkPayload("IBLT", 3*uint64(m))
+	if r.err != nil {
+		return r.err
+	}
+	out := newIBLTFromSeed(seed, int(m), int(k))
+	for i := range out.cells {
+		out.cells[i] = ibltCell{
+			count:   int64(r.u64()),
+			keySum:  r.u64(),
+			hashSum: r.u64(),
+		}
+	}
+	if err := r.done("IBLT"); err != nil {
+		return err
+	}
+	*t = *out
+	return nil
+}

@@ -1,0 +1,301 @@
+package sketch
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/hashing"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+// feedStream applies a Zipf stream to an updater with float64 deltas.
+func feedStream(s *stream.Stream, update func(item uint64, delta float64)) {
+	for _, u := range s.Updates {
+		update(u.Item, float64(u.Delta))
+	}
+}
+
+// TestCountMinRoundTrip: Unmarshal(Marshal(s)) must reproduce every estimate
+// exactly, and — because the hash seeds ride along — must keep behaving
+// identically on updates applied *after* the round trip.
+func TestCountMinRoundTrip(t *testing.T) {
+	for _, family := range []hashing.Family{hashing.FamilyPoly2, hashing.FamilyPoly4, hashing.FamilyMultiplyShift, hashing.FamilyTabulation} {
+		cm := NewCountMin(xrand.New(7), 512, 4, WithCountMinHashFamily(family))
+		s := stream.Zipf(xrand.New(8), 1<<14, 20_000, 1.1)
+		feedStream(s, cm.Update)
+
+		data, err := cm.MarshalBinary()
+		if err != nil {
+			t.Fatalf("family %v: marshal: %v", family, err)
+		}
+		var back CountMin
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatalf("family %v: unmarshal: %v", family, err)
+		}
+		if back.TotalMass() != cm.TotalMass() {
+			t.Fatalf("family %v: total mass %v != %v", family, back.TotalMass(), cm.TotalMass())
+		}
+		// Estimates must agree exactly, including on items never seen.
+		for item := uint64(0); item < 1<<14; item += 37 {
+			if a, b := cm.Estimate(item), back.Estimate(item); a != b {
+				t.Fatalf("family %v: estimate(%d) %v != %v after round trip", family, item, a, b)
+			}
+		}
+		// Bit-identical behavior going forward: new updates must land in the
+		// same buckets.
+		for i := uint64(0); i < 5_000; i++ {
+			cm.Update(i*2654435761, 1)
+			back.Update(i*2654435761, 1)
+		}
+		for item := uint64(0); item < 1<<14; item += 91 {
+			if a, b := cm.Estimate(item), back.Estimate(item); a != b {
+				t.Fatalf("family %v: post-round-trip updates diverged at item %d: %v != %v", family, item, a, b)
+			}
+		}
+	}
+}
+
+// TestCountMinConservativeRoundTrip: the conservative flag must survive.
+func TestCountMinConservativeRoundTrip(t *testing.T) {
+	cm := NewCountMin(xrand.New(3), 128, 4, WithConservativeUpdate())
+	for i := uint64(0); i < 1000; i++ {
+		cm.Update(i%50, 1)
+	}
+	data, err := cm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CountMin
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !back.conservative {
+		t.Fatal("conservative flag lost in round trip")
+	}
+	cm.Update(7, 3)
+	back.Update(7, 3)
+	if a, b := cm.Estimate(7), back.Estimate(7); a != b {
+		t.Fatalf("conservative estimates diverged: %v != %v", a, b)
+	}
+}
+
+// TestCountSketchRoundTrip: same laws for Count-Sketch, whose estimator also
+// depends on the sign functions being reconstructed exactly.
+func TestCountSketchRoundTrip(t *testing.T) {
+	cs := NewCountSketch(xrand.New(11), 512, 5)
+	s := stream.Zipf(xrand.New(12), 1<<14, 20_000, 1.1)
+	feedStream(s, cs.Update)
+
+	data, err := cs.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CountSketch
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for item := uint64(0); item < 1<<14; item += 37 {
+		if a, b := cs.Estimate(item), back.Estimate(item); a != b {
+			t.Fatalf("estimate(%d) %v != %v after round trip", item, a, b)
+		}
+	}
+	// Turnstile updates after the round trip must keep both in lockstep.
+	for i := uint64(0); i < 5_000; i++ {
+		delta := float64(1)
+		if i%3 == 0 {
+			delta = -2
+		}
+		cs.Update(i*40503, delta)
+		back.Update(i*40503, delta)
+	}
+	for item := uint64(0); item < 1<<14; item += 91 {
+		if a, b := cs.Estimate(item), back.Estimate(item); a != b {
+			t.Fatalf("post-round-trip updates diverged at item %d: %v != %v", item, a, b)
+		}
+	}
+}
+
+// TestBloomRoundTrip: membership answers must be identical before and after,
+// and inserts after the round trip must set the same bits.
+func TestBloomRoundTrip(t *testing.T) {
+	bf := NewBloomFilter(xrand.New(5), 4096, 5)
+	for i := uint64(0); i < 300; i++ {
+		bf.Add(i * 7919)
+	}
+	data, err := bf.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BloomFilter
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != bf.Count() {
+		t.Fatalf("count %d != %d", back.Count(), bf.Count())
+	}
+	for i := uint64(0); i < 2000; i++ {
+		if a, b := bf.Contains(i), back.Contains(i); a != b {
+			t.Fatalf("contains(%d) %v != %v after round trip", i, a, b)
+		}
+	}
+	for i := uint64(5000); i < 5100; i++ {
+		bf.Add(i)
+		back.Add(i)
+	}
+	if !bytes.Equal(u64sToBytes(bf.bits), u64sToBytes(back.bits)) {
+		t.Fatal("bit arrays diverged after post-round-trip inserts")
+	}
+}
+
+func u64sToBytes(words []uint64) []byte {
+	out := make([]byte, 0, 8*len(words))
+	for _, w := range words {
+		for shift := 0; shift < 64; shift += 8 {
+			out = append(out, byte(w>>shift))
+		}
+	}
+	return out
+}
+
+// TestIBLTRoundTrip: a deserialized table must decode to the same entry set,
+// and deletions applied after the round trip must cancel correctly (the
+// acid test that the checksum hash was reconstructed exactly).
+func TestIBLTRoundTrip(t *testing.T) {
+	tb := NewIBLT(xrand.New(9), 256, 4)
+	for i := uint64(0); i < 100; i++ {
+		tb.Update(i*104729+5, int64(i%7)+1)
+	}
+	data, err := tb.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back IBLT
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting every entry through the deserialized table must leave it empty.
+	for i := uint64(0); i < 100; i++ {
+		back.Update(i*104729+5, -(int64(i%7) + 1))
+	}
+	decoded, err := back.ListEntries()
+	if err != nil {
+		t.Fatalf("decode after cancelling all entries: %v", err)
+	}
+	if len(decoded) != 0 {
+		t.Fatalf("expected empty table after cancelling, got %d entries", len(decoded))
+	}
+	// And a fresh copy must decode to the original entries.
+	var again IBLT
+	if err := again.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := again.ListEntries()
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(entries) != 100 {
+		t.Fatalf("expected 100 entries, got %d", len(entries))
+	}
+	for i := uint64(0); i < 100; i++ {
+		if entries[i*104729+5] != int64(i%7)+1 {
+			t.Fatalf("entry %d decoded to %d", i, entries[i*104729+5])
+		}
+	}
+}
+
+// TestMergeOverTheWire: the distributed-shard scenario end to end — two
+// clones sketch disjoint halves of a stream, one is shipped as bytes, and
+// the merge of the reconstruction equals the single-sketch result exactly.
+func TestMergeOverTheWire(t *testing.T) {
+	proto := NewCountMin(xrand.New(21), 1024, 5)
+	single := proto.Clone()
+	shardA := proto.Clone()
+	shardB := proto.Clone()
+
+	s := stream.Zipf(xrand.New(22), 1<<14, 40_000, 1.1)
+	for i, u := range s.Updates {
+		single.Update(u.Item, float64(u.Delta))
+		if i%2 == 0 {
+			shardA.Update(u.Item, float64(u.Delta))
+		} else {
+			shardB.Update(u.Item, float64(u.Delta))
+		}
+	}
+
+	data, err := shardB.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire CountMin
+	if err := wire.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := shardA.Merge(&wire); err != nil {
+		t.Fatal(err)
+	}
+	for item := uint64(0); item < 1<<14; item += 13 {
+		if a, b := single.Estimate(item), shardA.Estimate(item); a != b {
+			t.Fatalf("estimate(%d): single %v != merged-over-wire %v", item, a, b)
+		}
+	}
+}
+
+// TestUnmarshalRejectsGarbage: corrupt inputs must error, not panic or
+// allocate unbounded memory.
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cm := NewCountMin(xrand.New(1), 8, 2)
+	good, err := cm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var target CountMin
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("NOPE"), good[4:]...),
+		"truncated": good[:len(good)-5],
+		"trailing":  append(append([]byte{}, good...), 0xFF),
+	}
+	for name, data := range cases {
+		if err := target.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: expected error, got nil", name)
+		}
+	}
+
+	// Wrong kind: a CountSketch encoding fed to a CountMin decoder.
+	cs := NewCountSketch(xrand.New(2), 8, 3)
+	wrongKind, err := cs.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := target.UnmarshalBinary(wrongKind); err == nil {
+		t.Error("wrong kind: expected error, got nil")
+	}
+
+	// Version from the future.
+	future := append([]byte{}, good...)
+	future[4] = encodingVersion + 1
+	if err := target.UnmarshalBinary(future); err == nil {
+		t.Error("future version: expected error, got nil")
+	}
+
+	// Unknown hash family byte must error, not panic in hashing.NewHasher.
+	badFamily := append([]byte{}, good...)
+	badFamily[6] = 0xFF
+	if err := target.UnmarshalBinary(badFamily); err == nil {
+		t.Error("unknown family: expected error, got nil")
+	}
+
+	// A tiny buffer claiming huge dimensions must be rejected before any
+	// allocation (the payload length check runs first).
+	huge := append([]byte{}, good[:8]...) // magic, version, kind, family, flag
+	w := writer{buf: huge}
+	w.u32(1 << 30) // width
+	w.u32(1 << 30) // depth
+	w.u64(0)       // seed
+	w.u64(0)       // totalMass
+	if err := target.UnmarshalBinary(w.buf); err == nil {
+		t.Error("petabyte-scale header on a 32-byte buffer: expected error, got nil")
+	}
+}

@@ -28,6 +28,9 @@ type IBLT struct {
 	hashes []hashing.Hasher
 	check  hashing.Hasher
 	k      int
+	// seed fully determines the checksum and cell hash functions (drawn in a
+	// fixed order from xrand.New(seed)); see MarshalBinary.
+	seed uint64
 }
 
 type ibltCell struct {
@@ -47,14 +50,23 @@ func NewIBLT(r *xrand.Rand, m int, k int) *IBLT {
 	if m < 1 || k < 1 {
 		panic("sketch: NewIBLT requires m >= 1 and k >= 1")
 	}
+	return newIBLTFromSeed(r.Uint64(), m, k)
+}
+
+// newIBLTFromSeed builds the table deterministically from a hash seed;
+// shared by NewIBLT and UnmarshalBinary. The checksum hash is drawn first,
+// then the k cell hashes, so the order is part of the wire contract.
+func newIBLTFromSeed(seed uint64, m, k int) *IBLT {
+	hr := xrand.New(seed)
 	t := &IBLT{
 		cells:  make([]ibltCell, m),
 		hashes: make([]hashing.Hasher, k),
-		check:  hashing.NewPolyHash(r, 3, hashing.MersennePrime61),
+		check:  hashing.NewPolyHash(hr, 3, hashing.MersennePrime61),
 		k:      k,
+		seed:   seed,
 	}
 	for i := range t.hashes {
-		t.hashes[i] = hashing.NewPolyHash(r, 2, uint64(m))
+		t.hashes[i] = hashing.NewPolyHash(hr, 2, uint64(m))
 	}
 	return t
 }
