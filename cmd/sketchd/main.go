@@ -1,0 +1,105 @@
+// Command sketchd is an HTTP sketch-ingestion daemon: it owns a concurrent
+// sharded heavy-hitter engine (internal/engine over a Count-Min sketch) and
+// serves batched updates, point queries, top-k reports, and binary snapshots
+// that merge exactly across process boundaries.
+//
+// Because sketches are linear, a fleet of sketchd processes started with the
+// same -seed, -width and -depth can each ingest a slice of the stream and
+// reconcile by shipping /v1/snapshot bytes into a peer's /v1/merge; the
+// merged daemon then answers every query exactly as if it had seen the whole
+// stream itself. With -snapshot-dir the daemon also ships its state to disk
+// (periodically with -snapshot-every, and on shutdown), and recovers it
+// bit-identically on restart.
+//
+// Usage:
+//
+//	sketchd -addr :7600 -width 4096 -depth 4 -k 64
+//	sketchd -addr 127.0.0.1:7601 -snapshot-dir /var/lib/sketchd -snapshot-every 30s
+//
+// API (see internal/server):
+//
+//	POST /v1/update    {"updates":[{"item":7,"delta":2}]} or a binary batch
+//	GET  /v1/query     ?item=7&item=8
+//	GET  /v1/topk      ?k=10 or ?phi=0.001
+//	GET  /v1/snapshot  versioned binary sketch encoding
+//	POST /v1/merge     a peer's snapshot bytes
+//	GET  /v1/stats, GET /v1/healthz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:7600", "listen address (host:port; port 0 picks a free port)")
+		width         = flag.Int("width", 4096, "Count-Min width (counters per row)")
+		depth         = flag.Int("depth", 4, "Count-Min depth (rows)")
+		k             = flag.Int("k", 64, "heavy-hitter candidate capacity")
+		seed          = flag.Uint64("seed", 1, "hash seed; daemons that merge snapshots must share it")
+		workers       = flag.Int("workers", 0, "ingestion shard goroutines (0 = GOMAXPROCS)")
+		snapshotDir   = flag.String("snapshot-dir", "", "directory for snapshot shipping and startup recovery")
+		snapshotEvery = flag.Duration("snapshot-every", 0, "period of background snapshots to -snapshot-dir (0 = only on shutdown)")
+		maxBody       = flag.Int64("max-body", 0, "request body cap in bytes (0 = 8 MiB)")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "sketchd: ", log.LstdFlags)
+	srv, err := server.New(server.Config{
+		Width:         *width,
+		Depth:         *depth,
+		K:             *k,
+		Seed:          *seed,
+		Engine:        engine.Config{Workers: *workers},
+		SnapshotDir:   *snapshotDir,
+		SnapshotEvery: *snapshotEvery,
+		MaxBodyBytes:  *maxBody,
+		Logf:          logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	// Print the bound address on stdout so scripts using port 0 can find it.
+	fmt.Printf("listening on %s (countmin %dx%d, k=%d, seed=%d)\n",
+		ln.Addr(), *width, *depth, *k, *seed)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		logger.Printf("received %v, shutting down", sig)
+	case err := <-errc:
+		logger.Printf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	// Close ships the final snapshot when -snapshot-dir is set.
+	if err := srv.Close(); err != nil {
+		logger.Fatalf("close: %v", err)
+	}
+}

@@ -14,15 +14,21 @@
 //	internal/engine   concurrent sharded ingestion: N workers with private
 //	                  sketch replicas built from identical hash seeds, batched
 //	                  update fan-out, exact linear merge on Snapshot/Close
+//	internal/server   the HTTP ingestion/snapshot daemon behind cmd/sketchd:
+//	                  batched updates, live queries, snapshot export and
+//	                  exact cross-process merge, plus a thin Go client
 //	internal/cs       compressed sensing: sparse-matrix decoders and dense
 //	                  baselines (OMP, IHT, ISTA)
 //	internal/jl       Johnson-Lindenstrauss embeddings, feature hashing,
 //	                  SRHT, sketch-and-solve regression and low-rank
 //	internal/sfft     sparse Fourier transform and sparse Hadamard transform
 //	internal/fourier  FFT / FWHT / window-filter substrate
-//	internal/bench    the E1-E11 experiment harness (see DESIGN.md)
+//	internal/bench    the E1-E11 experiment harness (see
+//	                  internal/bench/DESIGN.md for each experiment's claim,
+//	                  workload and metrics)
 //
-// Runnable entry points are in cmd/ (sketchbench, hhtop, sfftdemo) and
-// examples/ (quickstart, netflow, imaging, features, spectrum). The
-// benchmarks in bench_test.go regenerate every experiment table.
+// Runnable entry points are in cmd/ (sketchd, sketchbench, hhtop, sfftdemo)
+// and examples/ (quickstart, netflow, imaging, features, spectrum,
+// aggregate). The benchmarks in bench_test.go regenerate every experiment
+// table.
 package repro

@@ -1,0 +1,203 @@
+// Example aggregate demonstrates cross-process sketch aggregation: several
+// sketchd daemons ingest disjoint slices of a stream, and because sketches
+// are linear maps, merging their binary snapshots reconstructs — exactly —
+// the sketch a single process would have built from the whole stream.
+//
+// Run with no flags for a self-contained demo: two daemons are started
+// in-process on loopback ports, each ingests half of a Zipf stream over
+// HTTP, daemon A merges daemon B's snapshot, and every estimate is checked
+// against a single-threaded reference sketch (max deviation must be 0).
+//
+// The same binary also drives real multi-process topologies built from
+// cmd/sketchd:
+//
+//	terminal 1:  sketchd -addr 127.0.0.1:7601
+//	terminal 2:  sketchd -addr 127.0.0.1:7602
+//	terminal 3:  aggregate -push http://127.0.0.1:7601 -n 50000 -half 0
+//	             aggregate -push http://127.0.0.1:7602 -n 50000 -half 1
+//	             aggregate -merge http://127.0.0.1:7601,http://127.0.0.1:7602
+//
+// -push streams half of a deterministic Zipf workload through the HTTP
+// client; -merge folds the second daemon's snapshot into the first and
+// prints the merged top-k.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+const (
+	width = 2048
+	depth = 4
+	topK  = 32
+)
+
+func main() {
+	var (
+		push  = flag.String("push", "", "stream updates to this sketchd base URL")
+		merge = flag.String("merge", "", "comma-separated base URLs: merge the others' snapshots into the first")
+		n     = flag.Int("n", 50_000, "stream length for -push and the demo")
+		seed  = flag.Uint64("seed", 42, "stream seed (shared by all pushers so halves are disjoint slices of one stream)")
+		half  = flag.Int("half", 0, "with -push: which half of the stream to send (0 or 1)")
+	)
+	flag.Parse()
+
+	switch {
+	case *push != "":
+		updates := streamHalf(*seed, *n, *half)
+		client := server.NewClient(*push, nil)
+		if err := client.Update(context.Background(), updates); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pushed %d updates (half %d of %d) to %s\n", len(updates), *half, *n, *push)
+
+	case *merge != "":
+		urls := strings.Split(*merge, ",")
+		if len(urls) < 2 {
+			log.Fatal("aggregate: -merge needs at least two comma-separated URLs")
+		}
+		ctx := context.Background()
+		dst := server.NewClient(urls[0], nil)
+		for _, peer := range urls[1:] {
+			snap, err := server.NewClient(peer, nil).Snapshot(ctx)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := dst.Merge(ctx, snap); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("merged %d snapshot bytes from %s into %s\n", len(snap), peer, urls[0])
+		}
+		ranked, err := dst.TopK(ctx, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("merged top-10:")
+		for _, ic := range ranked {
+			fmt.Printf("  item %-12d %d\n", ic.Item, ic.Count)
+		}
+
+	default:
+		demo(*seed, *n)
+	}
+}
+
+// demo runs the whole producer→aggregator topology in one process, over real
+// HTTP on loopback, and verifies exactness against a local reference sketch.
+func demo(seed uint64, n int) {
+	ctx := context.Background()
+
+	// Two daemons sharing hash seed and dimensions — the merge precondition.
+	cfg := server.Config{Width: width, Depth: depth, K: topK, Seed: 7}
+	addrA, closeA := startDaemon(cfg)
+	addrB, closeB := startDaemon(cfg)
+	defer closeA()
+	defer closeB()
+	clientA := server.NewClient("http://"+addrA, nil)
+	clientB := server.NewClient("http://"+addrB, nil)
+
+	// Each daemon ingests its half of the stream over HTTP; a reference
+	// sketch (same seed) ingests everything in-process.
+	reference := sketch.NewHeavyHitterTracker(xrand.New(7), width, depth, topK)
+	for halfIdx := 0; halfIdx <= 1; halfIdx++ {
+		updates := streamHalf(seed, n, halfIdx)
+		for _, u := range updates {
+			reference.Update(u.Item, u.Delta)
+		}
+		client := clientA
+		if halfIdx == 1 {
+			client = clientB
+		}
+		if err := client.Update(ctx, updates); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Aggregate: A pulls B's snapshot and folds it in.
+	snap, err := clientB.Snapshot(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := clientA.Merge(ctx, snap); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("daemon A merged %d snapshot bytes from daemon B\n", len(snap))
+
+	// Exactness check: every estimate from the merged daemon must equal the
+	// reference's, and the top-k must agree.
+	maxDev := 0.0
+	items := make([]uint64, 0, 256)
+	for item := uint64(0); item < 1<<20; item += 1<<12 + 7 {
+		items = append(items, item)
+	}
+	for _, ic := range reference.TopK() {
+		items = append(items, ic.Item)
+	}
+	estimates, err := clientA.Query(ctx, items...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, item := range items {
+		maxDev = math.Max(maxDev, math.Abs(estimates[i]-reference.Estimate(item)))
+	}
+
+	fmt.Printf("checked %d point queries against the single-process reference\n", len(items))
+	fmt.Printf("max deviation: %g (linearity says this must be exactly 0)\n", maxDev)
+	ranked, err := clientA.TopK(ctx, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("merged top-5:")
+	for _, ic := range ranked {
+		fmt.Printf("  item %-12d estimate %d (exact-from-reference %d)\n",
+			ic.Item, ic.Count, int64(reference.Estimate(ic.Item)+0.5))
+	}
+	if maxDev != 0 {
+		log.Fatal("aggregate: merged estimates deviate from the reference — linearity violated")
+	}
+}
+
+// startDaemon serves a server.Server on a fresh loopback port.
+func startDaemon(cfg server.Config) (addr string, closeFn func()) {
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return ln.Addr().String(), func() {
+		hs.Close()
+		srv.Close()
+	}
+}
+
+// streamHalf deterministically generates the full Zipf stream and returns
+// the requested half, so independent processes sharing -seed and -n split
+// the work without coordinating.
+func streamHalf(seed uint64, n, half int) []engine.Update {
+	s := stream.Zipf(xrand.New(seed), 1<<20, n, 1.1)
+	out := make([]engine.Update, 0, n/2+1)
+	for i, u := range s.Updates {
+		if i%2 == half {
+			out = append(out, engine.Update{Item: u.Item, Delta: float64(u.Delta)})
+		}
+	}
+	return out
+}

@@ -45,6 +45,11 @@ func (c Config) withDefaults() Config {
 // ErrClosed is returned by operations on an engine after Close.
 var ErrClosed = errors.New("engine: closed")
 
+// ErrNoCodec is returned by SnapshotEncoded and MergeEncoded on engines
+// built with New directly: only the convenience constructors know how to
+// serialize their concrete replica type. Register one with WithCodec.
+var ErrNoCodec = errors.New("engine: replica type has no binary codec registered")
+
 // op is a shard channel message: either a batch of updates or a snapshot
 // barrier token (ready/resume non-nil).
 type op struct {
@@ -73,6 +78,11 @@ type Engine[S any] struct {
 	newReplica func() S
 	apply      func(S, []Update)
 	merge      func(dst, src S) error
+
+	// encode/decode translate a replica to and from the versioned binary
+	// sketch encoding; nil unless registered via WithCodec.
+	encode func(S) ([]byte, error)
+	decode func([]byte) (S, error)
 
 	cur    []Update      // batch being filled by the producer
 	next   int           // round-robin cursor over shards
@@ -213,6 +223,66 @@ func (e *Engine[S]) Snapshot() (S, error) {
 	return out, nil
 }
 
+// WithCodec registers encode/decode functions translating the replica type
+// to and from its binary sketch encoding, enabling SnapshotEncoded and
+// MergeEncoded. The convenience constructors register codecs automatically;
+// callers of the generic New can supply their own. Returns the engine for
+// chaining.
+func (e *Engine[S]) WithCodec(encode func(S) ([]byte, error), decode func([]byte) (S, error)) *Engine[S] {
+	e.encode = encode
+	e.decode = decode
+	return e
+}
+
+// Absorb folds an externally built replica — a peer process's deserialized
+// snapshot, a recovered on-disk shard — into the engine without stopping
+// ingestion. Linearity makes this exact: absorbing src is indistinguishable
+// from having ingested src's stream through the engine itself. src must
+// share hash functions with the engine's replicas; the merge function is
+// responsible for rejecting incompatible sketches. Like the other
+// producer-side methods, Absorb must be called from the producer goroutine.
+func (e *Engine[S]) Absorb(src S) error {
+	if e.closed {
+		return ErrClosed
+	}
+	e.Flush()
+	return e.barrier(func() error {
+		if err := e.merge(e.shards[0].replica, src); err != nil {
+			return fmt.Errorf("engine: absorbing replica: %w", err)
+		}
+		return nil
+	})
+}
+
+// MergeEncoded decodes a serialized replica (for example the bytes of a
+// peer's snapshot) and folds it in via Absorb. It requires a codec
+// (ErrNoCodec otherwise) and returns the decoder's error verbatim on
+// malformed or incompatible input, leaving the engine state untouched.
+func (e *Engine[S]) MergeEncoded(data []byte) error {
+	if e.decode == nil {
+		return ErrNoCodec
+	}
+	src, err := e.decode(data)
+	if err != nil {
+		return err
+	}
+	return e.Absorb(src)
+}
+
+// SnapshotEncoded returns the exact merged snapshot (see Snapshot) in the
+// replica type's versioned binary encoding, ready to ship to a peer or to
+// disk. It requires a codec (ErrNoCodec otherwise).
+func (e *Engine[S]) SnapshotEncoded() ([]byte, error) {
+	if e.encode == nil {
+		return nil, ErrNoCodec
+	}
+	snap, err := e.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return e.encode(snap)
+}
+
 // Close flushes pending updates, stops the workers and returns the final
 // exact merge. The engine cannot be used afterwards.
 func (e *Engine[S]) Close() (S, error) {
@@ -256,6 +326,18 @@ func NewCountMin(cfg Config, proto *sketch.CountMin) *Engine[*sketch.CountMin] {
 			}
 		},
 		func(dst, src *sketch.CountMin) error { return dst.Merge(src) },
+	).WithCodec(
+		func(cm *sketch.CountMin) ([]byte, error) { return cm.MarshalBinary() },
+		func(data []byte) (*sketch.CountMin, error) {
+			var cm sketch.CountMin
+			if err := cm.UnmarshalBinary(data); err != nil {
+				return nil, err
+			}
+			if err := proto.CompatibleWith(&cm); err != nil {
+				return nil, err
+			}
+			return &cm, nil
+		},
 	)
 }
 
@@ -270,6 +352,18 @@ func NewCountSketch(cfg Config, proto *sketch.CountSketch) *Engine[*sketch.Count
 			}
 		},
 		func(dst, src *sketch.CountSketch) error { return dst.Merge(src) },
+	).WithCodec(
+		func(cs *sketch.CountSketch) ([]byte, error) { return cs.MarshalBinary() },
+		func(data []byte) (*sketch.CountSketch, error) {
+			var cs sketch.CountSketch
+			if err := cs.UnmarshalBinary(data); err != nil {
+				return nil, err
+			}
+			if err := proto.CompatibleWith(&cs); err != nil {
+				return nil, err
+			}
+			return &cs, nil
+		},
 	)
 }
 
@@ -285,5 +379,39 @@ func NewTracker(cfg Config, proto *sketch.HeavyHitterTracker) *Engine[*sketch.He
 			}
 		},
 		func(dst, src *sketch.HeavyHitterTracker) error { return dst.Merge(src) },
+	).WithCodec(
+		func(t *sketch.HeavyHitterTracker) ([]byte, error) { return t.MarshalBinary() },
+		func(data []byte) (*sketch.HeavyHitterTracker, error) {
+			// A peer may ship either a full tracker snapshot or a bare
+			// Count-Min (counters without candidate metadata); both merge
+			// exactly at the counter level.
+			kind, err := sketch.PeekKind(data)
+			if err != nil {
+				return nil, err
+			}
+			switch kind {
+			case sketch.KindTracker:
+				var t sketch.HeavyHitterTracker
+				if err := t.UnmarshalBinary(data); err != nil {
+					return nil, err
+				}
+				if err := proto.CompatibleWith(&t); err != nil {
+					return nil, err
+				}
+				return &t, nil
+			case sketch.KindCountMin:
+				var cm sketch.CountMin
+				if err := cm.UnmarshalBinary(data); err != nil {
+					return nil, err
+				}
+				t := proto.Clone()
+				if err := t.AbsorbCountMin(&cm); err != nil {
+					return nil, err
+				}
+				return t, nil
+			default:
+				return nil, fmt.Errorf("engine: cannot merge a %v encoding into a heavy-hitter tracker", kind)
+			}
+		},
 	)
 }

@@ -190,6 +190,201 @@ func TestUpdateBatchAndFlush(t *testing.T) {
 	}
 }
 
+// TestAbsorbIsExact: folding an externally built replica into a running
+// engine must be indistinguishable from having ingested its stream directly.
+func TestAbsorbIsExact(t *testing.T) {
+	proto := sketch.NewCountMin(xrand.New(11), 256, 4)
+	single := proto.Clone()
+	s := newZipf(12, 1<<12, 40_000)
+	half := len(s.Updates) / 2
+
+	external := proto.Clone()
+	eng := NewCountMin(Config{Workers: 3, BatchSize: 100}, proto)
+	for i, u := range s.Updates {
+		single.Update(u.Item, float64(u.Delta))
+		if i < half {
+			eng.Update(u.Item, float64(u.Delta))
+		} else {
+			external.Update(u.Item, float64(u.Delta))
+		}
+	}
+	if err := eng.Absorb(external); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := eng.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !countersEqual(single.Counters(), merged.Counters()) {
+		t.Fatal("absorbed engine differs from single-threaded sketch")
+	}
+}
+
+// TestMergeEncodedAndSnapshotEncoded: the wire-format path through the
+// engine — SnapshotEncoded bytes from one engine fold into another via
+// MergeEncoded, reproducing the single-threaded sketch exactly.
+func TestMergeEncodedAndSnapshotEncoded(t *testing.T) {
+	proto := sketch.NewCountMin(xrand.New(13), 256, 4)
+	single := proto.Clone()
+	s := newZipf(14, 1<<12, 30_000)
+	half := len(s.Updates) / 2
+
+	engA := NewCountMin(Config{Workers: 2}, proto)
+	engB := NewCountMin(Config{Workers: 3}, proto)
+	for i, u := range s.Updates {
+		single.Update(u.Item, float64(u.Delta))
+		if i < half {
+			engA.Update(u.Item, float64(u.Delta))
+		} else {
+			engB.Update(u.Item, float64(u.Delta))
+		}
+	}
+	wire, err := engB.SnapshotEncoded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := engA.MergeEncoded(wire); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := engA.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !countersEqual(single.Counters(), merged.Counters()) {
+		t.Fatal("merge-over-the-wire engine differs from single-threaded sketch")
+	}
+}
+
+// TestMergeEncodedRejectsIncompatible: wrong dimensions and foreign seeds
+// must be refused with an error, leaving the engine usable.
+func TestMergeEncodedRejectsIncompatible(t *testing.T) {
+	proto := sketch.NewCountMin(xrand.New(15), 256, 4)
+	eng := NewCountMin(Config{Workers: 2}, proto)
+
+	wrongDims, err := sketch.NewCountMin(xrand.New(15), 64, 2).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.MergeEncoded(wrongDims); err == nil {
+		t.Error("mismatched dimensions: expected error")
+	}
+	wrongSeed, err := sketch.NewCountMin(xrand.New(16), 256, 4).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.MergeEncoded(wrongSeed); err == nil {
+		t.Error("foreign hash seed: expected error")
+	}
+	if err := eng.MergeEncoded([]byte("junk")); err == nil {
+		t.Error("junk bytes: expected error")
+	}
+	// Still alive.
+	eng.Update(1, 1)
+	if _, err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The CountSketch codec enforces the same compatibility contract.
+	csProto := sketch.NewCountSketch(xrand.New(15), 256, 5)
+	csEng := NewCountSketch(Config{Workers: 2}, csProto)
+	foreign, err := sketch.NewCountSketch(xrand.New(99), 256, 5).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := csEng.MergeEncoded(foreign); err == nil {
+		t.Error("CountSketch foreign hash seed: expected error")
+	}
+	if _, err := csEng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoCodec: engines built with the generic New have no codec and must say
+// so rather than guess.
+func TestNoCodec(t *testing.T) {
+	eng := New(Config{Workers: 1},
+		func() map[uint64]float64 { return map[uint64]float64{} },
+		func(m map[uint64]float64, batch []Update) {
+			for _, u := range batch {
+				m[u.Item] += u.Delta
+			}
+		},
+		func(dst, src map[uint64]float64) error {
+			for k, v := range src {
+				dst[k] += v
+			}
+			return nil
+		},
+	)
+	if _, err := eng.SnapshotEncoded(); err != ErrNoCodec {
+		t.Fatalf("SnapshotEncoded: got %v, want ErrNoCodec", err)
+	}
+	if err := eng.MergeEncoded([]byte{1}); err != ErrNoCodec {
+		t.Fatalf("MergeEncoded: got %v, want ErrNoCodec", err)
+	}
+	if _, err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrackerMergeEncodedAcceptsBareCountMin: a tracker engine must fold in
+// both full tracker snapshots and bare Count-Min counters.
+func TestTrackerMergeEncodedAcceptsBareCountMin(t *testing.T) {
+	proto := sketch.NewHeavyHitterTracker(xrand.New(17), 512, 4, 16)
+	eng := NewTracker(Config{Workers: 2}, proto)
+	eng.Update(5, 3)
+
+	peer := sketch.NewHeavyHitterTracker(xrand.New(17), 512, 4, 16)
+	peer.Update(5, 4)
+	peer.Update(9, 2)
+
+	// Full tracker snapshot.
+	trackerBytes, err := peer.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.MergeEncoded(trackerBytes); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Estimate(5); got != 7 {
+		t.Fatalf("estimate(5) = %v after tracker merge, want 7", got)
+	}
+
+	// Bare Count-Min from the tracker engine's own snapshot? A CountMin
+	// sharing the seed: absorb doubles item 9's count.
+	cm := sketch.NewCountMin(xrand.New(17), 512, 4)
+	cm.Update(9, 1)
+	if err := eng.MergeEncoded(mustMarshal(t, cm)); err != nil {
+		t.Fatal(err)
+	}
+	snap, err = eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Estimate(9); got != 3 {
+		t.Fatalf("estimate(9) = %v after bare CountMin merge, want 3", got)
+	}
+	if _, err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustMarshal(t *testing.T, cm *sketch.CountMin) []byte {
+	t.Helper()
+	data, err := cm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
 // TestConservativeProtoRejected: conservative update is not linear, so the
 // engine must refuse the prototype up front rather than ingest a whole
 // stream and fail at merge time.

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"repro/internal/engine"
+	"repro/internal/stream"
+)
+
+// Client is a thin HTTP client for a sketchd Server. Updates are shipped in
+// the compact binary batch format; everything else is JSON except Snapshot,
+// which returns the raw versioned sketch encoding.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient creates a client for the daemon at base, e.g.
+// "http://127.0.0.1:7600". A nil hc means http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// do issues a request and decodes the error envelope on non-2xx statuses.
+func (c *Client) do(ctx context.Context, method, path string, contentType string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e errorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("server: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("server: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	return data, nil
+}
+
+// Update ships a batch of updates (binary format).
+func (c *Client) Update(ctx context.Context, updates []engine.Update) error {
+	body := AppendBatch(make([]byte, 0, batchHeaderLen+batchRecordLen*len(updates)), updates)
+	_, err := c.do(ctx, http.MethodPost, "/v1/update", contentTypeBatch, body)
+	return err
+}
+
+// Query returns the estimates for the given items, in the same order.
+func (c *Client) Query(ctx context.Context, items ...uint64) ([]float64, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	q := url.Values{}
+	for _, item := range items {
+		q.Add("item", strconv.FormatUint(item, 10))
+	}
+	data, err := c.do(ctx, http.MethodGet, "/v1/query?"+q.Encode(), "", nil)
+	if err != nil {
+		return nil, err
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, fmt.Errorf("server: decoding query response: %w", err)
+	}
+	if len(resp.Estimates) != len(items) {
+		return nil, fmt.Errorf("server: query returned %d estimates for %d items", len(resp.Estimates), len(items))
+	}
+	out := make([]float64, len(items))
+	for i, e := range resp.Estimates {
+		out[i] = e.Estimate
+	}
+	return out, nil
+}
+
+// TopK returns up to k ranked heavy-hitter candidates (all of them if k <= 0).
+func (c *Client) TopK(ctx context.Context, k int) ([]stream.ItemCount, error) {
+	path := "/v1/topk"
+	if k > 0 {
+		path += "?k=" + strconv.Itoa(k)
+	}
+	return c.ranked(ctx, path)
+}
+
+// HeavyHitters returns the candidates whose estimate reaches phi times the
+// total stream mass.
+func (c *Client) HeavyHitters(ctx context.Context, phi float64) ([]stream.ItemCount, error) {
+	return c.ranked(ctx, "/v1/topk?phi="+strconv.FormatFloat(phi, 'g', -1, 64))
+}
+
+func (c *Client) ranked(ctx context.Context, path string) ([]stream.ItemCount, error) {
+	data, err := c.do(ctx, http.MethodGet, path, "", nil)
+	if err != nil {
+		return nil, err
+	}
+	var resp TopKResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, fmt.Errorf("server: decoding topk response: %w", err)
+	}
+	out := make([]stream.ItemCount, len(resp.Items))
+	for i, it := range resp.Items {
+		out[i] = stream.ItemCount{Item: it.Item, Count: it.Count}
+	}
+	return out, nil
+}
+
+// Snapshot fetches the daemon's exact merged state as versioned binary
+// encoding bytes, suitable for Merge on a peer or for UnmarshalBinary.
+func (c *Client) Snapshot(ctx context.Context) ([]byte, error) {
+	return c.do(ctx, http.MethodGet, "/v1/snapshot", "", nil)
+}
+
+// Merge posts snapshot bytes (from Snapshot on a peer) to be folded into the
+// daemon's state via the exact linear merge.
+func (c *Client) Merge(ctx context.Context, snapshot []byte) error {
+	_, err := c.do(ctx, http.MethodPost, "/v1/merge", contentTypeSnapshot, snapshot)
+	return err
+}
+
+// Stats fetches the daemon's counters and sketch shape.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	data, err := c.do(ctx, http.MethodGet, "/v1/stats", "", nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	var stats Stats
+	if err := json.Unmarshal(data, &stats); err != nil {
+		return Stats{}, fmt.Errorf("server: decoding stats: %w", err)
+	}
+	return stats, nil
+}

@@ -1,0 +1,26 @@
+// Package server is the network ingestion front-end over internal/engine:
+// an HTTP daemon (cmd/sketchd) that owns a sharded heavy-hitter engine and
+// exposes updates, point queries, top-k reports, and — the part that makes
+// it distributed — snapshot export and merge.
+//
+// The design leans entirely on the survey's linearity law. A sketch is a
+// linear map of the frequency vector, so for any split of a stream across
+// daemons, sketch(x_1 + x_2) = sketch(x_1) + sketch(x_2) as long as every
+// daemon was started with the same seed and dimensions. GET /v1/snapshot
+// serializes a daemon's exact merged state with the versioned encoding of
+// internal/sketch (hash seeds ride along); POST /v1/merge on a peer folds
+// those bytes in with the exact linear merge. Nothing approximate happens at
+// the transport layer: a fleet of daemons that ingests a partitioned stream
+// and merges pairwise converges to byte-for-byte the sketch one process
+// would have built from the whole stream.
+//
+// The same snapshot bytes double as the crash-recovery format: with a
+// snapshot directory configured, the server ships its state to disk
+// periodically and on shutdown, and folds the file back in on startup, so a
+// restarted daemon answers queries from bit-identical counters.
+//
+// Incompatible peers are rejected, not absorbed: /v1/merge verifies that the
+// posted sketch shares the daemon's dimensions, hash seed and family, and
+// answers 4xx (with the decoder's message) on any mismatch or malformed
+// payload.
+package server

@@ -1,0 +1,514 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sketch"
+	"repro/internal/xrand"
+)
+
+// SnapshotFileName is the file a Server periodically ships its snapshot to
+// inside Config.SnapshotDir, and the file New recovers from on startup.
+const SnapshotFileName = "sketchd.snap"
+
+// Config shapes a Server.
+type Config struct {
+	// Width and Depth size the backing Count-Min sketch; zero means 4096x4.
+	Width, Depth int
+	// K is the heavy-hitter candidate capacity; zero means 64.
+	K int
+	// Seed drives the hash functions. Daemons that intend to merge each
+	// other's snapshots must share Seed, Width and Depth (the server rejects
+	// incompatible snapshots at /v1/merge). Zero means 1.
+	Seed uint64
+	// Engine shapes the sharded ingestion underneath (workers, batch size).
+	Engine engine.Config
+	// SnapshotDir, when non-empty, enables snapshot shipping: the server
+	// recovers from SnapshotDir/sketchd.snap on startup (if present), writes
+	// it on Close, and every SnapshotEvery in between. Counters recover
+	// bit-identically because the encoding carries the hash seeds and exact
+	// IEEE-754 counter bits.
+	SnapshotDir string
+	// SnapshotEvery is the period of the background snapshot writer; zero
+	// disables periodic writes (startup recovery and the Close-time write
+	// still happen when SnapshotDir is set).
+	SnapshotEvery time.Duration
+	// MaxBodyBytes caps request bodies; zero means 8 MiB.
+	MaxBodyBytes int64
+	// Logf, when non-nil, receives one line per notable event (recovery,
+	// snapshot writes, merge rejections).
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) withDefaults() Config {
+	if c.Width <= 0 {
+		c.Width = 4096
+	}
+	if c.Depth <= 0 {
+		c.Depth = 4
+	}
+	if c.K <= 0 {
+		c.K = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...interface{}) {}
+	}
+	return c
+}
+
+// Server owns a sharded sketch engine and exposes it over HTTP:
+//
+//	POST /v1/update    ingest a batch of (item, delta) updates
+//	GET  /v1/query     point-query estimates (?item=..., repeatable)
+//	GET  /v1/topk      ranked candidates (?k=...), or ?phi=... for heavy hitters
+//	GET  /v1/snapshot  the exact merged state, versioned binary encoding
+//	POST /v1/merge     fold a peer's snapshot in (exact linear merge)
+//	GET  /v1/stats     counters and sketch shape
+//	GET  /v1/healthz   liveness
+//
+// The engine's producer side is single-goroutine by contract, so the server
+// serializes all engine access behind a mutex; the shard workers still run
+// concurrently underneath, and queries are answered from a consistent
+// barrier snapshot that is cached until the next write.
+type Server struct {
+	cfg   Config
+	proto *sketch.HeavyHitterTracker
+	mux   *http.ServeMux
+
+	mu        sync.Mutex // guards eng (single-producer contract), snap*, stats, closed
+	eng       *engine.Engine[*sketch.HeavyHitterTracker]
+	closed    bool // Close has begun: write handlers answer 503, repeat Close bails out
+	engClosed bool // the engine is gone: snapshots (and so reads) fail too
+
+	// gen counts writes (updates and merges); snapGen records the write
+	// generation snapCache was taken at, so read endpoints can reuse one
+	// barrier snapshot until the state actually changes.
+	gen       int64
+	snapGen   int64
+	snapCache *sketch.HeavyHitterTracker
+
+	stats Stats
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a Server, recovering state from SnapshotDir/sketchd.snap when
+// configured and present, and starting the periodic snapshot writer when
+// SnapshotEvery is set.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	proto := sketch.NewHeavyHitterTracker(xrand.New(cfg.Seed), cfg.Width, cfg.Depth, cfg.K)
+	s := &Server{
+		cfg:   cfg,
+		proto: proto,
+		eng:   engine.NewTracker(cfg.Engine, proto),
+		stop:  make(chan struct{}),
+	}
+	s.stats.Width, s.stats.Depth, s.stats.K = cfg.Width, cfg.Depth, cfg.K
+	s.stats.Workers = s.eng.Workers()
+
+	if cfg.SnapshotDir != "" {
+		path := filepath.Join(cfg.SnapshotDir, SnapshotFileName)
+		data, err := os.ReadFile(path)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// Fresh start.
+		case err != nil:
+			s.eng.Close() // don't leak the worker goroutines
+			return nil, fmt.Errorf("server: reading snapshot %s: %w", path, err)
+		default:
+			if err := s.eng.MergeEncoded(data); err != nil {
+				s.eng.Close() // don't leak the worker goroutines
+				return nil, fmt.Errorf("server: recovering from %s: %w", path, err)
+			}
+			cfg.Logf("server: recovered %d snapshot bytes from %s", len(data), path)
+		}
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
+	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /v1/merge", s.handleMerge)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	if cfg.SnapshotDir != "" && cfg.SnapshotEvery > 0 {
+		s.wg.Add(1)
+		go s.snapshotLoop()
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving the API above.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the snapshot writer, ships a final snapshot when SnapshotDir
+// is configured, and shuts the engine down. Writes are fenced off (503)
+// before the final snapshot is taken, so every update the server has
+// acknowledged is in the recovery file; reads keep working until the engine
+// itself is gone.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	close(s.stop)
+	s.wg.Wait()
+
+	var saveErr error
+	if s.cfg.SnapshotDir != "" {
+		_, saveErr = s.SaveSnapshot()
+	}
+
+	s.mu.Lock()
+	s.engClosed = true
+	_, err := s.eng.Close()
+	s.mu.Unlock()
+	if err != nil && saveErr == nil {
+		saveErr = err
+	}
+	return saveErr
+}
+
+// ErrServerClosed is returned by Close after the first call.
+var ErrServerClosed = errors.New("server: closed")
+
+// snapshotLoop ships a snapshot to disk every SnapshotEvery until Close.
+func (s *Server) snapshotLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.SnapshotEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			if path, err := s.SaveSnapshot(); err != nil {
+				s.cfg.Logf("server: periodic snapshot failed: %v", err)
+			} else {
+				s.cfg.Logf("server: snapshot shipped to %s", path)
+			}
+		}
+	}
+}
+
+// SaveSnapshot writes the current exact snapshot to
+// SnapshotDir/sketchd.snap atomically (write to a temp file, then rename)
+// and returns the path written.
+func (s *Server) SaveSnapshot() (string, error) {
+	if s.cfg.SnapshotDir == "" {
+		return "", errors.New("server: no snapshot directory configured")
+	}
+	s.mu.Lock()
+	data, err := s.encodedSnapshotLocked()
+	if err == nil {
+		s.stats.Snapshots++
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(s.cfg.SnapshotDir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(s.cfg.SnapshotDir, SnapshotFileName)
+	tmp, err := os.CreateTemp(s.cfg.SnapshotDir, SnapshotFileName+".tmp*")
+	if err != nil {
+		return "", err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	return path, nil
+}
+
+// snapshotLocked returns a consistent barrier snapshot of the engine,
+// reusing the cached one when no write has happened since it was taken.
+// Callers must hold s.mu.
+func (s *Server) snapshotLocked() (*sketch.HeavyHitterTracker, error) {
+	if s.engClosed {
+		return nil, ErrServerClosed
+	}
+	if s.snapCache != nil && s.snapGen == s.gen {
+		return s.snapCache, nil
+	}
+	snap, err := s.eng.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	s.snapCache, s.snapGen = snap, s.gen
+	return snap, nil
+}
+
+// encodedSnapshotLocked marshals the current snapshot. Callers must hold s.mu.
+func (s *Server) encodedSnapshotLocked() ([]byte, error) {
+	snap, err := s.snapshotLocked()
+	if err != nil {
+		return nil, err
+	}
+	return snap.MarshalBinary()
+}
+
+// readBody drains a size-capped request body. Over-limit bodies answer 413;
+// any other read failure (client disconnect, bad framing) answers 400.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		} else {
+			writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		}
+		return nil, false
+	}
+	return data, true
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var updates []engine.Update
+	ct := r.Header.Get("Content-Type")
+	switch {
+	case strings.HasPrefix(ct, contentTypeBatch):
+		var err error
+		updates, err = DecodeBatch(data)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	case ct == "" || strings.HasPrefix(ct, contentTypeJSON):
+		var req UpdateRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, "decoding JSON updates: %v", err)
+			return
+		}
+		updates = make([]engine.Update, len(req.Updates))
+		for i, u := range req.Updates {
+			updates[i] = engine.Update{Item: u.Item, Delta: u.Delta}
+		}
+	default:
+		writeErr(w, http.StatusUnsupportedMediaType, "unsupported Content-Type %q (want %s or %s)",
+			ct, contentTypeJSON, contentTypeBatch)
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.eng.UpdateBatch(updates)
+	s.gen++
+	s.stats.Updates += int64(len(updates))
+	s.stats.Batches++
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, UpdateResponse{Accepted: len(updates)})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query()["item"]
+	if len(raw) == 0 {
+		writeErr(w, http.StatusBadRequest, "missing item parameter (repeatable): /v1/query?item=7&item=8")
+		return
+	}
+	items := make([]uint64, len(raw))
+	for i, v := range raw {
+		item, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad item %q: %v", v, err)
+			return
+		}
+		items[i] = item
+	}
+
+	s.mu.Lock()
+	snap, err := s.snapshotLocked()
+	s.mu.Unlock()
+	if err != nil {
+		writeSnapshotErr(w, err)
+		return
+	}
+	resp := QueryResponse{Estimates: make([]Estimate, len(items))}
+	for i, item := range items {
+		resp.Estimates[i] = Estimate{Item: item, Estimate: snap.Estimate(item)}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	k := 0
+	if v := r.URL.Query().Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, "bad k %q: want a positive integer", v)
+			return
+		}
+		k = n
+	}
+	phi := -1.0
+	if v := r.URL.Query().Get("phi"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 || f > 1 {
+			writeErr(w, http.StatusBadRequest, "bad phi %q: want a fraction in [0,1]", v)
+			return
+		}
+		phi = f
+	}
+
+	s.mu.Lock()
+	snap, err := s.snapshotLocked()
+	s.mu.Unlock()
+	if err != nil {
+		writeSnapshotErr(w, err)
+		return
+	}
+	// TopK and HeavyHitters both come back sorted by decreasing count.
+	source := snap.TopK()
+	if phi >= 0 {
+		source = snap.HeavyHitters(phi)
+	}
+	ranked := make([]TopKItem, 0, len(source))
+	for _, ic := range source {
+		ranked = append(ranked, TopKItem{Item: ic.Item, Count: ic.Count})
+	}
+	if k > 0 && len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	writeJSON(w, http.StatusOK, TopKResponse{Items: ranked})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	data, err := s.encodedSnapshotLocked()
+	if err == nil {
+		s.stats.Snapshots++
+	}
+	s.mu.Unlock()
+	if err != nil {
+		writeSnapshotErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", contentTypeSnapshot)
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	if len(data) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty body: POST the bytes of a peer's /v1/snapshot")
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	err := s.eng.MergeEncoded(data)
+	var mass float64
+	if err == nil {
+		s.gen++
+		s.stats.Merges++
+		var snap *sketch.HeavyHitterTracker
+		if snap, err = s.snapshotLocked(); err == nil {
+			mass = snap.TotalMass()
+		}
+	}
+	s.mu.Unlock()
+
+	if err != nil {
+		s.cfg.Logf("server: merge rejected: %v", err)
+		switch {
+		case errors.Is(err, engine.ErrClosed):
+			writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		default:
+			// Everything else means the posted bytes were malformed or came
+			// from an incompatible sketch — the peer's fault, a 4xx.
+			writeErr(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, MergeResponse{TotalMass: mass})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	stats := s.stats
+	snap, err := s.snapshotLocked()
+	if err == nil {
+		stats.TotalMass = snap.TotalMass()
+	}
+	s.mu.Unlock()
+	if err != nil {
+		writeSnapshotErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// writeSnapshotErr maps engine snapshot failures to HTTP statuses.
+func writeSnapshotErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrServerClosed) || errors.Is(err, engine.ErrClosed) {
+		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	writeErr(w, http.StatusInternalServerError, "%v", err)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", contentTypeJSON)
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}

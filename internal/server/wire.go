@@ -1,0 +1,145 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/engine"
+)
+
+// Wire formats of the HTTP API.
+//
+// Updates travel in one of two bodies, selected by Content-Type:
+//
+//   - application/json: an UpdateRequest object,
+//     {"updates":[{"item":7,"delta":2}, ...]}
+//   - application/x-sketch-batch: the length-prefixed binary batch below,
+//     which the Client uses and which costs 16 bytes per update instead of
+//     ~25 bytes of JSON plus parsing.
+//
+// Binary batch layout (integers big-endian, floats as IEEE-754 bits):
+//
+//	magic [4]byte "SKB1"
+//	count uint32
+//	count x (item uint64, delta float64)
+//
+// Snapshots travel as application/x-sketch-snapshot: the raw versioned
+// encoding produced by the sketch types' MarshalBinary (see
+// internal/sketch/encoding.go), untouched by the transport.
+
+// Content types of the HTTP API.
+const (
+	contentTypeJSON     = "application/json"
+	contentTypeBatch    = "application/x-sketch-batch"
+	contentTypeSnapshot = "application/x-sketch-snapshot"
+)
+
+// batchMagic guards the binary update-batch format.
+var batchMagic = [4]byte{'S', 'K', 'B', '1'}
+
+// batchHeaderLen is the fixed prefix: magic plus the count word.
+const batchHeaderLen = 8
+
+// batchRecordLen is the size of one (item, delta) record.
+const batchRecordLen = 16
+
+// UpdateRequest is the JSON body of POST /v1/update.
+type UpdateRequest struct {
+	Updates []UpdateJSON `json:"updates"`
+}
+
+// UpdateJSON is one (item, delta) record in JSON form.
+type UpdateJSON struct {
+	Item  uint64  `json:"item"`
+	Delta float64 `json:"delta"`
+}
+
+// UpdateResponse acknowledges an accepted batch.
+type UpdateResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// Estimate is one point-query answer.
+type Estimate struct {
+	Item     uint64  `json:"item"`
+	Estimate float64 `json:"estimate"`
+}
+
+// QueryResponse is the JSON body of GET /v1/query.
+type QueryResponse struct {
+	Estimates []Estimate `json:"estimates"`
+}
+
+// TopKItem is one ranked heavy-hitter candidate.
+type TopKItem struct {
+	Item  uint64 `json:"item"`
+	Count int64  `json:"count"`
+}
+
+// TopKResponse is the JSON body of GET /v1/topk.
+type TopKResponse struct {
+	Items []TopKItem `json:"items"`
+}
+
+// MergeResponse acknowledges a folded-in snapshot.
+type MergeResponse struct {
+	TotalMass float64 `json:"total_mass"`
+}
+
+// Stats is the JSON body of GET /v1/stats.
+type Stats struct {
+	Width     int     `json:"width"`
+	Depth     int     `json:"depth"`
+	K         int     `json:"k"`
+	Workers   int     `json:"workers"`
+	Updates   int64   `json:"updates"`
+	Batches   int64   `json:"batches"`
+	Merges    int64   `json:"merges"`
+	Snapshots int64   `json:"snapshots"`
+	TotalMass float64 `json:"total_mass"`
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// AppendBatch appends the binary encoding of updates to buf and returns the
+// extended slice.
+func AppendBatch(buf []byte, updates []engine.Update) []byte {
+	buf = append(buf, batchMagic[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(updates)))
+	for _, u := range updates {
+		buf = binary.BigEndian.AppendUint64(buf, u.Item)
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(u.Delta))
+	}
+	return buf
+}
+
+// DecodeBatch parses a binary update batch. The count word is validated
+// against the actual body length before any allocation, so a corrupt header
+// cannot demand unbounded memory.
+func DecodeBatch(data []byte) ([]engine.Update, error) {
+	if len(data) < batchHeaderLen {
+		return nil, fmt.Errorf("server: truncated batch (need %d header bytes, have %d)", batchHeaderLen, len(data))
+	}
+	if [4]byte(data[:4]) != batchMagic {
+		return nil, fmt.Errorf("server: bad batch magic %q", data[:4])
+	}
+	n := binary.BigEndian.Uint32(data[4:8])
+	payload := data[batchHeaderLen:]
+	if uint64(len(payload)) != uint64(n)*batchRecordLen {
+		return nil, fmt.Errorf("server: batch payload is %d bytes, header claims %d records (%d bytes)",
+			len(payload), n, uint64(n)*batchRecordLen)
+	}
+	updates := make([]engine.Update, n)
+	for i := range updates {
+		rec := payload[i*batchRecordLen:]
+		updates[i] = engine.Update{
+			Item:  binary.BigEndian.Uint64(rec[:8]),
+			Delta: math.Float64frombits(binary.BigEndian.Uint64(rec[8:16])),
+		}
+	}
+	return updates, nil
+}

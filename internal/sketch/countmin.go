@@ -181,6 +181,23 @@ func (cm *CountMin) InnerProduct(other *CountMin) (float64, error) {
 	return est, nil
 }
 
+// CompatibleWith returns nil when other was built with the same dimensions,
+// hash seed and family as cm, i.e. when the two sketches are views of the
+// same linear map and therefore merge exactly. Merge itself only checks
+// dimensions (in-process callers derive clones from one prototype, so the
+// seeds cannot differ); transports that accept serialized sketches from
+// possibly misconfigured peers should call CompatibleWith first.
+func (cm *CountMin) CompatibleWith(other *CountMin) error {
+	if cm.width != other.width || cm.depth != other.depth {
+		return fmt.Errorf("sketch: dimension mismatch: %dx%d vs %dx%d (width x depth)",
+			cm.width, cm.depth, other.width, other.depth)
+	}
+	if cm.seed != other.seed || cm.family != other.family {
+		return fmt.Errorf("sketch: hash mismatch: sketches were not built from the same seed/family and cannot be merged")
+	}
+	return nil
+}
+
 // Merge adds the counters of other into cm. The sketches must share hash
 // functions (i.e. other must have been created by cm.Clone()); merging
 // sketches with different hash functions silently produces garbage, so the

@@ -167,6 +167,22 @@ func (cs *CountSketch) InnerProduct(other *CountSketch) (float64, error) {
 
 // Merge adds the counters of other into cs. Both sketches must share hash
 // functions (other created via Clone) and equal dimensions.
+// CompatibleWith returns nil when other was built with the same dimensions,
+// hash seed and family as cs — the precondition for an exact merge. Merge
+// itself only checks dimensions and trusts in-process callers (clones of one
+// prototype); transports accepting serialized sketches from possibly
+// misconfigured peers should call CompatibleWith first.
+func (cs *CountSketch) CompatibleWith(other *CountSketch) error {
+	if cs.width != other.width || cs.depth != other.depth {
+		return fmt.Errorf("sketch: dimension mismatch: %dx%d vs %dx%d (width x depth)",
+			cs.width, cs.depth, other.width, other.depth)
+	}
+	if cs.seed != other.seed || cs.family != other.family {
+		return fmt.Errorf("sketch: hash mismatch: sketches were not built from the same seed/family and cannot be merged")
+	}
+	return nil
+}
+
 func (cs *CountSketch) Merge(other *CountSketch) error {
 	if cs.width != other.width || cs.depth != other.depth {
 		return fmt.Errorf("sketch: cannot merge CountSketch of different dimensions")

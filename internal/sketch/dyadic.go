@@ -226,8 +226,14 @@ func NewHeavyHitterTracker(r *xrand.Rand, width, depth, k int) *HeavyHitterTrack
 	if k < 1 {
 		panic("sketch: NewHeavyHitterTracker requires k >= 1")
 	}
+	return newHeavyHitterTracker(NewCountMin(r, width, depth), k)
+}
+
+// newHeavyHitterTracker wraps an existing Count-Min in an empty tracker; the
+// shared construction path of NewHeavyHitterTracker and UnmarshalBinary.
+func newHeavyHitterTracker(cm *CountMin, k int) *HeavyHitterTracker {
 	h := &HeavyHitterTracker{
-		cm:         NewCountMin(r, width, depth),
+		cm:         cm,
 		k:          k,
 		candidates: &candidateHeap{},
 		inHeap:     make(map[uint64]*candidate),
@@ -268,6 +274,41 @@ func (t *HeavyHitterTracker) offer(item uint64, est float64) {
 
 // Estimate returns the sketch estimate for an item.
 func (t *HeavyHitterTracker) Estimate(item uint64) float64 { return t.cm.Estimate(item) }
+
+// K returns the candidate capacity (the number of items tracked for TopK).
+func (t *HeavyHitterTracker) K() int { return t.k }
+
+// Width returns the backing Count-Min's counters per row.
+func (t *HeavyHitterTracker) Width() int { return t.cm.Width() }
+
+// Depth returns the backing Count-Min's number of rows.
+func (t *HeavyHitterTracker) Depth() int { return t.cm.Depth() }
+
+// TotalMass returns the sum of all deltas processed by the backing sketch.
+func (t *HeavyHitterTracker) TotalMass() float64 { return t.cm.TotalMass() }
+
+// CompatibleWith returns nil when other was built from the same dimensions,
+// hash seed and family as t — the precondition for an exact merge. Merge
+// itself, like CountMin.Merge, only checks dimensions and trusts in-process
+// callers; transports receiving sketches from possibly misconfigured peers
+// should check compatibility first.
+func (t *HeavyHitterTracker) CompatibleWith(other *HeavyHitterTracker) error {
+	return t.cm.CompatibleWith(other.cm)
+}
+
+// AbsorbCountMin folds a bare Count-Min — typically a peer's serialized
+// counters, without candidate metadata — into the tracker's backing sketch.
+// Existing candidates re-score against the merged counters at report time,
+// so estimates afterwards equal those of a tracker that saw both streams;
+// items tracked only by the peer are not learned (ship the full tracker
+// encoding to keep them). Unlike Merge, the hash seeds are verified, since
+// the bytes usually crossed a process boundary.
+func (t *HeavyHitterTracker) AbsorbCountMin(cm *CountMin) error {
+	if err := t.cm.CompatibleWith(cm); err != nil {
+		return err
+	}
+	return t.cm.Merge(cm)
+}
 
 // Clone returns an empty tracker whose backing Count-Min shares t's hash
 // functions, suitable for sketching a disjoint part of the stream and

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/hashing"
 )
@@ -39,7 +40,62 @@ const (
 	kindCountSketch = 2
 	kindBloom       = 3
 	kindIBLT        = 4
+	kindTracker     = 5
 )
+
+// Kind is the exported view of the wire-format kind byte, so transport
+// layers (internal/server) can dispatch on the payload type without decoding
+// it.
+type Kind uint8
+
+// Exported sketch kinds, matching the wire constants.
+const (
+	KindCountMin    Kind = kindCountMin
+	KindCountSketch Kind = kindCountSketch
+	KindBloom       Kind = kindBloom
+	KindIBLT        Kind = kindIBLT
+	KindTracker     Kind = kindTracker
+)
+
+// String names the kind for error messages.
+func (k Kind) String() string {
+	switch k {
+	case KindCountMin:
+		return "CountMin"
+	case KindCountSketch:
+		return "CountSketch"
+	case KindBloom:
+		return "BloomFilter"
+	case KindIBLT:
+		return "IBLT"
+	case KindTracker:
+		return "HeavyHitterTracker"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// PeekKind validates the fixed header of an encoded sketch (magic and
+// version) and returns its kind without decoding the payload. Transports use
+// it to route a snapshot to the right decoder and to reject junk early.
+func PeekKind(data []byte) (Kind, error) {
+	if len(data) < 6 {
+		return 0, fmt.Errorf("sketch: truncated encoding (need 6 header bytes, have %d)", len(data))
+	}
+	if [4]byte(data[:4]) != encodingMagic {
+		return 0, fmt.Errorf("sketch: bad magic %q", data[:4])
+	}
+	if v := data[4]; v != encodingVersion {
+		return 0, fmt.Errorf("sketch: unsupported encoding version %d (want %d)", v, encodingVersion)
+	}
+	k := Kind(data[5])
+	switch k {
+	case KindCountMin, KindCountSketch, KindBloom, KindIBLT, KindTracker:
+		return k, nil
+	default:
+		return 0, fmt.Errorf("sketch: unknown sketch kind %d", uint8(k))
+	}
+}
 
 // writer appends big-endian primitives to a pre-sized buffer.
 type writer struct{ buf []byte }
@@ -326,6 +382,81 @@ func (bf *BloomFilter) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	*bf = *out
+	return nil
+}
+
+// HeavyHitterTracker ---------------------------------------------------------
+
+// MarshalBinary encodes the tracker: a versioned header, the candidate
+// capacity k, the embedded (length-prefixed) Count-Min encoding, and the
+// candidate item identifiers in ascending order. Candidate scores are not
+// shipped — the decoder re-derives them from the counters, exactly as
+// report-time re-scoring does — so the encoding of a tracker is a pure
+// function of (k, counters, candidate set) and survives a marshal/unmarshal
+// round trip byte-identically.
+func (t *HeavyHitterTracker) MarshalBinary() ([]byte, error) {
+	cmBytes, err := t.cm.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	items := make([]uint64, 0, t.candidates.Len())
+	for _, c := range *t.candidates {
+		items = append(items, c.item)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	w := writer{buf: make([]byte, 0, 6+4+4+len(cmBytes)+4+8*len(items))}
+	w.header(kindTracker)
+	w.u32(uint32(t.k))
+	w.u32(uint32(len(cmBytes)))
+	w.buf = append(w.buf, cmBytes...)
+	w.u32(uint32(len(items)))
+	for _, item := range items {
+		w.u64(item)
+	}
+	return w.buf, nil
+}
+
+// UnmarshalBinary decodes a tracker produced by MarshalBinary: the embedded
+// Count-Min is reconstructed (hash seeds and all), and the candidate heap is
+// rebuilt by scoring each shipped item against the decoded counters.
+func (t *HeavyHitterTracker) UnmarshalBinary(data []byte) error {
+	r := reader{buf: data}
+	if !r.expectHeader(kindTracker, "HeavyHitterTracker") {
+		return r.err
+	}
+	k := r.u32()
+	r.checkDims("HeavyHitterTracker", k)
+	cmLen := r.u32()
+	cmBytes := r.take(int(cmLen))
+	if r.err != nil {
+		return r.err
+	}
+	cm := &CountMin{}
+	if err := cm.UnmarshalBinary(cmBytes); err != nil {
+		return fmt.Errorf("sketch: HeavyHitterTracker: embedded sketch: %w", err)
+	}
+	n := r.u32()
+	if r.err == nil && uint64(n) > uint64(k) {
+		r.fail("HeavyHitterTracker: %d candidates exceed capacity %d", n, k)
+	}
+	if r.err == nil && uint64(len(r.buf)) != 8*uint64(n) {
+		r.fail("HeavyHitterTracker: candidate payload is %d bytes, header claims %d", len(r.buf), 8*uint64(n))
+	}
+	if r.err != nil {
+		return r.err
+	}
+	items := make([]uint64, n)
+	for i := range items {
+		items[i] = r.u64()
+	}
+	if err := r.done("HeavyHitterTracker"); err != nil {
+		return err
+	}
+	out := newHeavyHitterTracker(cm, int(k))
+	for _, item := range items {
+		out.offer(item, cm.Estimate(item))
+	}
+	*t = *out
 	return nil
 }
 

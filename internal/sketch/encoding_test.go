@@ -241,6 +241,131 @@ func TestMergeOverTheWire(t *testing.T) {
 	}
 }
 
+// TestTrackerRoundTrip: the tracker encoding must reproduce estimates and
+// the candidate set exactly, and re-marshalling the reconstruction must give
+// byte-identical output (candidates are serialized in sorted order, so the
+// encoding is a pure function of the tracker's logical state — the property
+// the sketchd restart-recovery check relies on).
+func TestTrackerRoundTrip(t *testing.T) {
+	tr := NewHeavyHitterTracker(xrand.New(17), 1024, 4, 32)
+	s := stream.Zipf(xrand.New(18), 1<<14, 30_000, 1.1)
+	feedStream(s, tr.Update)
+
+	data, err := tr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HeavyHitterTracker
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.K() != tr.K() || back.TotalMass() != tr.TotalMass() {
+		t.Fatalf("shape lost: k %d/%d mass %v/%v", back.K(), tr.K(), back.TotalMass(), tr.TotalMass())
+	}
+	for item := uint64(0); item < 1<<14; item += 37 {
+		if a, b := tr.Estimate(item), back.Estimate(item); a != b {
+			t.Fatalf("estimate(%d) %v != %v after round trip", item, a, b)
+		}
+	}
+	want := tr.TopK()
+	got := back.TopK()
+	if len(want) != len(got) {
+		t.Fatalf("top-k size %d != %d after round trip", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("top-k[%d] %v != %v after round trip", i, got[i], want[i])
+		}
+	}
+	again, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("re-marshalling a round-tripped tracker changed the bytes")
+	}
+	// Updates after the round trip must keep both in lockstep.
+	for i := uint64(0); i < 2_000; i++ {
+		tr.Update(i*2654435761, 1)
+		back.Update(i*2654435761, 1)
+	}
+	for item := uint64(0); item < 1<<14; item += 91 {
+		if a, b := tr.Estimate(item), back.Estimate(item); a != b {
+			t.Fatalf("post-round-trip updates diverged at item %d: %v != %v", item, a, b)
+		}
+	}
+}
+
+// TestTrackerUnmarshalRejectsGarbage: corrupt tracker encodings must error.
+func TestTrackerUnmarshalRejectsGarbage(t *testing.T) {
+	tr := NewHeavyHitterTracker(xrand.New(19), 64, 3, 8)
+	for i := uint64(0); i < 100; i++ {
+		tr.Update(i%10, 1)
+	}
+	good, err := tr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target HeavyHitterTracker
+	cases := map[string][]byte{
+		"empty":            {},
+		"truncated header": good[:9],
+		"truncated embed":  good[:20],
+		"trailing":         append(append([]byte{}, good...), 1),
+	}
+	for name, data := range cases {
+		if err := target.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: expected error, got nil", name)
+		}
+	}
+	// Corrupting the embedded Count-Min's family byte must surface its error.
+	// Layout: tracker header (6) + k (4) + cmLen (4) = 14, then the embedded
+	// CountMin header (6) puts the family byte at offset 20.
+	badFamily := append([]byte{}, good...)
+	badFamily[20] = 0xFF
+	if err := target.UnmarshalBinary(badFamily); err == nil {
+		t.Error("embedded bad family: expected error, got nil")
+	}
+}
+
+// TestPeekKind: the transport-facing header probe.
+func TestPeekKind(t *testing.T) {
+	cm := NewCountMin(xrand.New(1), 8, 2)
+	tr := NewHeavyHitterTracker(xrand.New(2), 8, 2, 4)
+	bf := NewBloomFilter(xrand.New(3), 64, 3)
+
+	for _, tc := range []struct {
+		marshal func() ([]byte, error)
+		want    Kind
+	}{
+		{cm.MarshalBinary, KindCountMin},
+		{tr.MarshalBinary, KindTracker},
+		{bf.MarshalBinary, KindBloom},
+	} {
+		data, err := tc.marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		kind, err := PeekKind(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind != tc.want {
+			t.Errorf("PeekKind = %v, want %v", kind, tc.want)
+		}
+	}
+	for name, data := range map[string][]byte{
+		"short":        {1, 2, 3},
+		"bad magic":    []byte("NOPE\x01\x01"),
+		"bad version":  {'S', 'K', 'C', '1', 99, 1},
+		"unknown kind": {'S', 'K', 'C', '1', encodingVersion, 200},
+	} {
+		if _, err := PeekKind(data); err == nil {
+			t.Errorf("%s: expected error, got nil", name)
+		}
+	}
+}
+
 // TestUnmarshalRejectsGarbage: corrupt inputs must error, not panic or
 // allocate unbounded memory.
 func TestUnmarshalRejectsGarbage(t *testing.T) {

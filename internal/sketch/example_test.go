@@ -25,6 +25,40 @@ func ExampleCountMin() {
 	// absent item small: true
 }
 
+// ExampleCountMin_MarshalBinary shows the serialization round trip that
+// lets sketch shards live in different processes: the hash seeds ride along
+// with the counters, so the reconstruction answers every query identically
+// and merges exactly with its siblings.
+func ExampleCountMin_MarshalBinary() {
+	r := xrand.New(1)
+	cm := sketch.NewCountMin(r, 1024, 4)
+	cm.Update(42, 1000)
+	cm.Update(7, 25)
+
+	// Ship the sketch across a process boundary (a file, a socket, an HTTP
+	// response) as versioned bytes...
+	data, _ := cm.MarshalBinary()
+
+	// ...and reconstruct it on the other side.
+	var back sketch.CountMin
+	if err := back.UnmarshalBinary(data); err != nil {
+		panic(err)
+	}
+	fmt.Printf("estimates survive: %v\n", back.Estimate(42) == cm.Estimate(42))
+
+	// The reconstruction even merges with clones of the original, because it
+	// rebuilt the very same hash functions from the serialized seed.
+	shard := cm.Clone()
+	shard.Update(42, 500)
+	if err := back.Merge(shard); err != nil {
+		panic(err)
+	}
+	fmt.Printf("merged estimate >= 1500: %v\n", back.Estimate(42) >= 1500)
+	// Output:
+	// estimates survive: true
+	// merged estimate >= 1500: true
+}
+
 // ExampleIBLT shows exact set reconciliation via an invertible sketch.
 func ExampleIBLT() {
 	r := xrand.New(2)
