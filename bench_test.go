@@ -1,7 +1,7 @@
 package repro_test
 
 // One Go benchmark per experiment (E1–E10 in DESIGN.md, plus the E11
-// sharded-ingestion scaling experiment). Each benchmark runs
+// sharded-ingestion and E12 multi-producer scaling experiments). Each benchmark runs
 // the corresponding experiment end to end and reports its wall-clock time;
 // the printed tables themselves are produced by cmd/sketchbench (or by the
 // experiment functions directly). Run with:
@@ -34,14 +34,15 @@ func runExperiment(b *testing.B, id string) {
 	}
 }
 
-func BenchmarkE1HeavyHitters(b *testing.B)    { runExperiment(b, "e1") }
-func BenchmarkE2Throughput(b *testing.B)      { runExperiment(b, "e2") }
-func BenchmarkE3PhaseTransition(b *testing.B) { runExperiment(b, "e3") }
-func BenchmarkE4RecoveryTime(b *testing.B)    { runExperiment(b, "e4") }
-func BenchmarkE5JL(b *testing.B)              { runExperiment(b, "e5") }
-func BenchmarkE6SketchSolve(b *testing.B)     { runExperiment(b, "e6") }
-func BenchmarkE7SFFT(b *testing.B)            { runExperiment(b, "e7") }
-func BenchmarkE8Leakage(b *testing.B)         { runExperiment(b, "e8") }
-func BenchmarkE9Hadamard(b *testing.B)        { runExperiment(b, "e9") }
-func BenchmarkE10IBLT(b *testing.B)           { runExperiment(b, "e10") }
-func BenchmarkE11ShardedIngest(b *testing.B)  { runExperiment(b, "e11") }
+func BenchmarkE1HeavyHitters(b *testing.B)         { runExperiment(b, "e1") }
+func BenchmarkE2Throughput(b *testing.B)           { runExperiment(b, "e2") }
+func BenchmarkE3PhaseTransition(b *testing.B)      { runExperiment(b, "e3") }
+func BenchmarkE4RecoveryTime(b *testing.B)         { runExperiment(b, "e4") }
+func BenchmarkE5JL(b *testing.B)                   { runExperiment(b, "e5") }
+func BenchmarkE6SketchSolve(b *testing.B)          { runExperiment(b, "e6") }
+func BenchmarkE7SFFT(b *testing.B)                 { runExperiment(b, "e7") }
+func BenchmarkE8Leakage(b *testing.B)              { runExperiment(b, "e8") }
+func BenchmarkE9Hadamard(b *testing.B)             { runExperiment(b, "e9") }
+func BenchmarkE10IBLT(b *testing.B)                { runExperiment(b, "e10") }
+func BenchmarkE11ShardedIngest(b *testing.B)       { runExperiment(b, "e11") }
+func BenchmarkE12MultiProducerIngest(b *testing.B) { runExperiment(b, "e12") }

@@ -7,13 +7,16 @@
 // With -synthetic N a Zipf-distributed synthetic stream of N items is used
 // instead, which makes the command usable as a demo without any input data.
 //
-// With -workers N the stream is fanned across N goroutines, each feeding a
-// private replica of the sketch (identical hash seeds); the replicas are
-// merged at the end. The Count-Min counters merge exactly (linearity), so
-// every reported estimate equals the single-threaded run's; the candidate
-// set is the union of the shards' top-k re-scored against the merged
-// counters, which can in principle track a slightly different borderline
-// item than the single-threaded heap would.
+// With -workers N the stream runs through the sharded engine: N worker
+// goroutines each feed a private replica of the sketch (identical hash
+// seeds), and — for synthetic streams — N concurrent producer handles push
+// disjoint slices of the stream with no shared locks (file/stdin input uses
+// one handle on the reading goroutine). The replicas are merged at the end.
+// The Count-Min counters merge exactly (linearity), so every reported
+// estimate equals the single-threaded run's; the candidate set is the union
+// of the shards' top-k re-scored against the merged counters, which can in
+// principle track a slightly different borderline item than the
+// single-threaded heap would.
 //
 // Usage:
 //
@@ -27,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/sketch"
@@ -65,9 +69,15 @@ func main() {
 	}
 	names := map[uint64]string{}
 
+	// For file/stdin input the reading goroutine owns one producer handle;
+	// synthetic streams below fan across -workers handles instead.
+	var prod *engine.Producer[*sketch.HeavyHitterTracker]
+	if eng != nil {
+		prod = eng.Producer()
+	}
 	process := func(id uint64, label string) {
-		if eng != nil {
-			eng.Update(id, 1)
+		if prod != nil {
+			prod.Update(id, 1)
 		} else {
 			tracker.Update(id, 1)
 		}
@@ -82,9 +92,34 @@ func main() {
 	total := 0
 	if *synthetic > 0 {
 		s := stream.Zipf(r, 1<<20, *synthetic, 1.1)
-		for _, u := range s.Updates {
-			process(u.Item, "")
-			total++
+		if eng != nil {
+			// Concurrent producers: each goroutine takes its own handle and
+			// ingests a disjoint slice — no locks anywhere on the path, and
+			// the merge is still exact.
+			var wg sync.WaitGroup
+			for pid := 0; pid < *workers; pid++ {
+				wg.Add(1)
+				go func(pid int) {
+					defer wg.Done()
+					p := eng.Producer()
+					defer p.Close()
+					for i := pid; i < len(s.Updates); i += *workers {
+						p.Update(s.Updates[i].Item, 1)
+					}
+				}(pid)
+			}
+			wg.Wait()
+			if exactCounter != nil {
+				for _, u := range s.Updates {
+					exactCounter.Update(u.Item, 1)
+				}
+			}
+			total = len(s.Updates)
+		} else {
+			for _, u := range s.Updates {
+				process(u.Item, "")
+				total++
+			}
 		}
 	} else {
 		var in io.Reader = os.Stdin
@@ -114,6 +149,7 @@ func main() {
 	}
 
 	if eng != nil {
+		prod.Close() // flush the reader-side handle; Close waits for it
 		merged, err := eng.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hhtop: merging shards: %v\n", err)

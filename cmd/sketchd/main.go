@@ -1,7 +1,10 @@
 // Command sketchd is an HTTP sketch-ingestion daemon: it owns a concurrent
 // sharded heavy-hitter engine (internal/engine over a Count-Min sketch) and
 // serves batched updates, point queries, top-k reports, and binary snapshots
-// that merge exactly across process boundaries.
+// that merge exactly across process boundaries. Update handlers ingest
+// concurrently across -producers engine handles — there is no global lock on
+// the write path, and linearity keeps the merged counters exact regardless
+// of how requests interleave.
 //
 // Because sketches are linear, a fleet of sketchd processes started with the
 // same -seed, -width and -depth can each ingest a slice of the stream and
@@ -50,6 +53,7 @@ func main() {
 		k             = flag.Int("k", 64, "heavy-hitter candidate capacity")
 		seed          = flag.Uint64("seed", 1, "hash seed; daemons that merge snapshots must share it")
 		workers       = flag.Int("workers", 0, "ingestion shard goroutines (0 = GOMAXPROCS)")
+		producers     = flag.Int("producers", 0, "parallel ingestion lanes for /v1/update handlers (0 = GOMAXPROCS)")
 		snapshotDir   = flag.String("snapshot-dir", "", "directory for snapshot shipping and startup recovery")
 		snapshotEvery = flag.Duration("snapshot-every", 0, "period of background snapshots to -snapshot-dir (0 = only on shutdown)")
 		maxBody       = flag.Int64("max-body", 0, "request body cap in bytes (0 = 8 MiB)")
@@ -63,6 +67,7 @@ func main() {
 		K:             *k,
 		Seed:          *seed,
 		Engine:        engine.Config{Workers: *workers},
+		Producers:     *producers,
 		SnapshotDir:   *snapshotDir,
 		SnapshotEvery: *snapshotEvery,
 		MaxBodyBytes:  *maxBody,

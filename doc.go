@@ -12,18 +12,20 @@
 //	                  sketches (hash seeds ride along, so a deserialized
 //	                  sketch hashes identically and merges exactly)
 //	internal/engine   concurrent sharded ingestion: N workers with private
-//	                  sketch replicas built from identical hash seeds, batched
-//	                  update fan-out, exact linear merge on Snapshot/Close
+//	                  sketch replicas built from identical hash seeds, any
+//	                  number of lock-free producer handles feeding them, and
+//	                  an exact linear merge on Snapshot/Close
 //	internal/server   the HTTP ingestion/snapshot daemon behind cmd/sketchd:
-//	                  batched updates, live queries, snapshot export and
-//	                  exact cross-process merge, plus a thin Go client
+//	                  concurrently ingested batched updates, live queries,
+//	                  snapshot export and exact cross-process merge, plus a
+//	                  thin Go client
 //	internal/cs       compressed sensing: sparse-matrix decoders and dense
 //	                  baselines (OMP, IHT, ISTA)
 //	internal/jl       Johnson-Lindenstrauss embeddings, feature hashing,
 //	                  SRHT, sketch-and-solve regression and low-rank
 //	internal/sfft     sparse Fourier transform and sparse Hadamard transform
 //	internal/fourier  FFT / FWHT / window-filter substrate
-//	internal/bench    the E1-E11 experiment harness (see
+//	internal/bench    the E1-E12 experiment harness (see
 //	                  internal/bench/DESIGN.md for each experiment's claim,
 //	                  workload and metrics)
 //

@@ -4,9 +4,12 @@
 // the sketch a single process would have built from the whole stream.
 //
 // Run with no flags for a self-contained demo: two daemons are started
-// in-process on loopback ports, each ingests half of a Zipf stream over
-// HTTP, daemon A merges daemon B's snapshot, and every estimate is checked
-// against a single-threaded reference sketch (max deviation must be 0).
+// in-process on loopback ports, each ingests half of a Zipf stream over HTTP
+// from -pushers concurrent connections (exercising the daemons' lock-free
+// producer lanes), daemon A merges daemon B's snapshot, and every estimate
+// is checked against a reference built through a multi-producer engine —
+// the in-process twin of the same pipeline. Linearity makes every layer of
+// this exact, so the max deviation must be 0.
 //
 // The same binary also drives real multi-process topologies built from
 // cmd/sketchd:
@@ -18,8 +21,8 @@
 //	             aggregate -merge http://127.0.0.1:7601,http://127.0.0.1:7602
 //
 // -push streams half of a deterministic Zipf workload through the HTTP
-// client; -merge folds the second daemon's snapshot into the first and
-// prints the merged top-k.
+// client (chunked across -pushers concurrent connections); -merge folds the
+// second daemon's snapshot into the first and prints the merged top-k.
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/server"
@@ -47,22 +51,25 @@ const (
 
 func main() {
 	var (
-		push  = flag.String("push", "", "stream updates to this sketchd base URL")
-		merge = flag.String("merge", "", "comma-separated base URLs: merge the others' snapshots into the first")
-		n     = flag.Int("n", 50_000, "stream length for -push and the demo")
-		seed  = flag.Uint64("seed", 42, "stream seed (shared by all pushers so halves are disjoint slices of one stream)")
-		half  = flag.Int("half", 0, "with -push: which half of the stream to send (0 or 1)")
+		push    = flag.String("push", "", "stream updates to this sketchd base URL")
+		merge   = flag.String("merge", "", "comma-separated base URLs: merge the others' snapshots into the first")
+		n       = flag.Int("n", 50_000, "stream length for -push and the demo")
+		seed    = flag.Uint64("seed", 42, "stream seed (shared by all pushers so halves are disjoint slices of one stream)")
+		half    = flag.Int("half", 0, "with -push: which half of the stream to send (0 or 1)")
+		pushers = flag.Int("pushers", 4, "concurrent connections for -push and the demo")
 	)
 	flag.Parse()
+	if *pushers < 1 {
+		*pushers = 1
+	}
 
 	switch {
 	case *push != "":
 		updates := streamHalf(*seed, *n, *half)
 		client := server.NewClient(*push, nil)
-		if err := client.Update(context.Background(), updates); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("pushed %d updates (half %d of %d) to %s\n", len(updates), *half, *n, *push)
+		pushConcurrently(client, updates, *pushers, nil)
+		fmt.Printf("pushed %d updates (half %d of %d) to %s over %d concurrent connections\n",
+			len(updates), *half, *n, *push, *pushers)
 
 	case *merge != "":
 		urls := strings.Split(*merge, ",")
@@ -91,13 +98,47 @@ func main() {
 		}
 
 	default:
-		demo(*seed, *n)
+		demo(*seed, *n, *pushers)
 	}
 }
 
+// pushConcurrently splits updates across `pushers` goroutines, each POSTing
+// its disjoint interleaved slice in chunks so requests genuinely overlap on
+// the daemon's producer lanes. When refEng is non-nil, each pusher also
+// feeds its slice through a private engine producer handle — building the
+// in-process reference with exactly the pipeline the daemons use.
+func pushConcurrently(client *server.Client, updates []engine.Update, pushers int, refEng *engine.Engine[*sketch.HeavyHitterTracker]) {
+	const chunk = 2048
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < pushers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := make([]engine.Update, 0, len(updates)/pushers+1)
+			for i := w; i < len(updates); i += pushers {
+				own = append(own, updates[i])
+			}
+			if refEng != nil {
+				p := refEng.Producer()
+				p.UpdateBatch(own)
+				p.Close()
+			}
+			for start := 0; start < len(own); start += chunk {
+				end := min(start+chunk, len(own))
+				if err := client.Update(ctx, own[start:end]); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // demo runs the whole producer→aggregator topology in one process, over real
-// HTTP on loopback, and verifies exactness against a local reference sketch.
-func demo(seed uint64, n int) {
+// HTTP on loopback with concurrent pushers, and verifies exactness against a
+// reference built through a multi-producer engine.
+func demo(seed uint64, n, pushers int) {
 	ctx := context.Background()
 
 	// Two daemons sharing hash seed and dimensions — the merge precondition.
@@ -109,21 +150,22 @@ func demo(seed uint64, n int) {
 	clientA := server.NewClient("http://"+addrA, nil)
 	clientB := server.NewClient("http://"+addrB, nil)
 
-	// Each daemon ingests its half of the stream over HTTP; a reference
-	// sketch (same seed) ingests everything in-process.
-	reference := sketch.NewHeavyHitterTracker(xrand.New(7), width, depth, topK)
+	// Each daemon ingests its half of the stream over HTTP from concurrent
+	// pushers; the reference engine (same hash seed) ingests everything
+	// in-process through producer handles. Its Close-time merge equals the
+	// single-threaded sketch counter for counter, so it is a valid oracle.
+	refEng := engine.NewTracker(engine.Config{},
+		sketch.NewHeavyHitterTracker(xrand.New(7), width, depth, topK))
 	for halfIdx := 0; halfIdx <= 1; halfIdx++ {
-		updates := streamHalf(seed, n, halfIdx)
-		for _, u := range updates {
-			reference.Update(u.Item, u.Delta)
-		}
 		client := clientA
 		if halfIdx == 1 {
 			client = clientB
 		}
-		if err := client.Update(ctx, updates); err != nil {
-			log.Fatal(err)
-		}
+		pushConcurrently(client, streamHalf(seed, n, halfIdx), pushers, refEng)
+	}
+	reference, err := refEng.Close()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// Aggregate: A pulls B's snapshot and folds it in.

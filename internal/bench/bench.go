@@ -1,9 +1,11 @@
 // Package bench is the experiment harness: it regenerates, as printed
 // tables, every quantitative claim of the survey (experiments E1–E10 in
-// DESIGN.md, plus the E11 sharded-ingestion scaling experiment). Each experiment builds its synthetic workload, sweeps the
-// relevant parameter, runs the hashing-based method and its baselines, and
-// reports the metrics the claim is about (recall/precision, measurement
-// counts, running times, distortions, leakage).
+// DESIGN.md, plus the engine-scaling experiments E11, sharded ingestion,
+// and E12, multi-producer ingestion). Each experiment builds its synthetic
+// workload, sweeps the relevant parameter, runs the hashing-based method and
+// its baselines, and reports the metrics the claim is about
+// (recall/precision, measurement counts, running times, distortions,
+// leakage).
 //
 // The same experiment functions back three entry points: the Go benchmarks
 // in bench_test.go, the cmd/sketchbench command-line tool, and the
@@ -90,7 +92,7 @@ type Experiment struct {
 	Run   func(cfg Config) []Table
 }
 
-// Registry returns every experiment in order E1..E11.
+// Registry returns every experiment in order E1..E12.
 func Registry() []Experiment {
 	return []Experiment{
 		{ID: "e1", Claim: "§1: frequent elements map to heavy buckets; sketches recover them in one pass with limited storage", Run: RunE1HeavyHitters},
@@ -104,6 +106,7 @@ func Registry() []Experiment {
 		{ID: "e9", Claim: "§4: sparse recovery over the Boolean cube (Kushilevitz–Mansour) needs far fewer samples than the full transform", Run: RunE9Hadamard},
 		{ID: "e10", Claim: "§2 [GM11]: IBLTs list the whole sketched set exactly below a load threshold", Run: RunE10IBLT},
 		{ID: "e11", Claim: "§1: sketches are linear maps, so sharded ingestion merges exactly and throughput scales with cores", Run: RunE11ShardedIngest},
+		{ID: "e12", Claim: "§1: linearity tolerates any update interleaving, so lock-free multi-producer ingestion beats a global mutex and still merges exactly", Run: RunE12MultiProducerIngest},
 	}
 }
 

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"runtime"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/sketch"
@@ -87,6 +88,141 @@ func RunE11ShardedIngest(cfg Config) []Table {
 			rate(secs),
 			fmt.Sprintf("%.2fx", oneShard/secs),
 			fmtFloat(maxErr(merged)),
+		)
+	}
+	return []Table{table}
+}
+
+// RunE12MultiProducerIngest measures concurrent ingestion throughput of the
+// producer-handle pipeline against the PR-2 mutex discipline it replaced,
+// sweeping the producer count, and verifies that both merged results equal
+// the single-threaded sketch exactly. The baseline reproduces the old
+// internal/server hot path: P goroutines sharing one engine handle, every
+// request-sized chunk serialized behind one global mutex. The treatment
+// gives each goroutine its own lock-free producer handle. Both ingest
+// identical disjoint slices of one stream, so the exactness column — which
+// must always read 0 — shows that arbitrary producer interleavings merge
+// counter-for-counter (linearity). On a 1-core machine the speedup stays
+// near 1; the lock win needs GOMAXPROCS >= producers to show.
+func RunE12MultiProducerIngest(cfg Config) []Table {
+	universe := uint64(1 << 20)
+	length := 2_000_000
+	if cfg.Quick {
+		universe = 1 << 16
+		length = 100_000
+	}
+	const width, depth = 4096, 4
+	const batchSize = 4096
+	const workers = 4
+	// requestChunk models one HTTP update batch: the unit the baseline locks
+	// around and the unit the handles ingest per call.
+	const requestChunk = 1024
+
+	r := xrand.New(cfg.Seed)
+	s := stream.Zipf(r, universe, length, 1.1)
+	updates := make([]engine.Update, len(s.Updates))
+	for i, u := range s.Updates {
+		updates[i] = engine.Update{Item: u.Item, Delta: float64(u.Delta)}
+	}
+
+	proto := sketch.NewCountMin(xrand.New(cfg.Seed+1), width, depth)
+
+	// Single-threaded reference: the exactness oracle.
+	single := proto.Clone()
+	for _, u := range updates {
+		single.Update(u.Item, u.Delta)
+	}
+	maxErr := func(merged *sketch.CountMin) float64 {
+		var worst float64
+		for item := uint64(0); item < universe; item += 101 {
+			if d := absFloat(single.Estimate(item) - merged.Estimate(item)); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+
+	table := Table{
+		Title: fmt.Sprintf("E12: multi-producer ingestion, %d Zipf updates, Count-Min %dx%d, %d workers, chunk=%d, GOMAXPROCS=%d",
+			length, width, depth, workers, requestChunk, runtime.GOMAXPROCS(0)),
+		Columns: []string{"producers", "mutex items/sec (M)", "handles items/sec (M)", "speedup vs mutex", "max |err| vs single"},
+	}
+	rate := func(d float64) string { return fmt.Sprintf("%.2f", float64(length)/d/1e6) }
+
+	for _, producers := range []int{1, 2, 4, 8} {
+		// Disjoint interleaved slices, one per producer goroutine; together
+		// they cover the stream exactly once.
+		slices := make([][]engine.Update, producers)
+		for i := range slices {
+			slices[i] = make([]engine.Update, 0, length/producers+1)
+		}
+		for i, u := range updates {
+			slices[i%producers] = append(slices[i%producers], u)
+		}
+
+		// Baseline: every chunk serialized behind one global mutex around the
+		// engine's shared handle — the pre-refactor server contract.
+		engMutex := engine.NewCountMin(engine.Config{Workers: workers, BatchSize: batchSize}, proto)
+		var mergedMutex *sketch.CountMin
+		var errMutex error
+		var mu sync.Mutex
+		mutexSecs := timeIt(func() {
+			var wg sync.WaitGroup
+			for _, own := range slices {
+				wg.Add(1)
+				go func(own []engine.Update) {
+					defer wg.Done()
+					for start := 0; start < len(own); start += requestChunk {
+						end := min(start+requestChunk, len(own))
+						mu.Lock()
+						engMutex.UpdateBatch(own[start:end])
+						mu.Unlock()
+					}
+				}(own)
+			}
+			wg.Wait()
+			mergedMutex, errMutex = engMutex.Close()
+		}).Seconds()
+		if errMutex != nil {
+			panic(fmt.Sprintf("bench: E12 mutex engine close: %v", errMutex))
+		}
+
+		// Treatment: one private producer handle per goroutine, no shared
+		// locks anywhere on the path.
+		engHandles := engine.NewCountMin(engine.Config{Workers: workers, BatchSize: batchSize}, proto)
+		var mergedHandles *sketch.CountMin
+		var errHandles error
+		handleSecs := timeIt(func() {
+			var wg sync.WaitGroup
+			for _, own := range slices {
+				wg.Add(1)
+				go func(own []engine.Update) {
+					defer wg.Done()
+					p := engHandles.Producer()
+					defer p.Close()
+					for start := 0; start < len(own); start += requestChunk {
+						end := min(start+requestChunk, len(own))
+						p.UpdateBatch(own[start:end])
+					}
+				}(own)
+			}
+			wg.Wait()
+			mergedHandles, errHandles = engHandles.Close()
+		}).Seconds()
+		if errHandles != nil {
+			panic(fmt.Sprintf("bench: E12 handle engine close: %v", errHandles))
+		}
+
+		worst := maxErr(mergedMutex)
+		if e := maxErr(mergedHandles); e > worst {
+			worst = e
+		}
+		table.AddRow(
+			fmt.Sprintf("%d", producers),
+			rate(mutexSecs),
+			rate(handleSecs),
+			fmt.Sprintf("%.2fx", mutexSecs/handleSecs),
+			fmtFloat(worst),
 		)
 	}
 	return []Table{table}

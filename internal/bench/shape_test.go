@@ -112,6 +112,23 @@ func TestE11ShardedIngestExact(t *testing.T) {
 	}
 }
 
+// TestE12MultiProducerExact: every producer count, through both the mutex
+// baseline and the lock-free handles, must report exactly zero estimate
+// deviation from the single-threaded sketch — the acceptance invariant for
+// the multi-producer pipeline. (Speedup is hardware-dependent and not
+// asserted.)
+func TestE12MultiProducerExact(t *testing.T) {
+	tbl := RunE12MultiProducerIngest(Config{Seed: 31, Quick: true})[0]
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("expected at least 4 producer rows, got %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if v := parseCell(t, row[4]); v != 0 {
+			t.Errorf("%s producers: max estimate deviation %v, want exactly 0", row[0], v)
+		}
+	}
+}
+
 // TestE2MultiplyShiftFastest: the multiply-shift hash family should give the
 // highest update throughput among the Count-Min variants.
 func TestE2MultiplyShiftFastest(t *testing.T) {

@@ -1,4 +1,6 @@
-// Package engine scales sketch ingestion across CPU cores by sharding.
+// Package engine scales sketch ingestion across CPU cores by sharding, with
+// a multi-producer ingestion pipeline on the front and a barrier-merged
+// snapshot on the back.
 //
 // The correctness argument is the survey's central observation: a sketch is a
 // sparse *linear* map of the frequency vector, so for any split of a stream
@@ -7,34 +9,50 @@
 //	sketch(x) = sketch(x_1) + sketch(x_2) + ... + sketch(x_N)
 //
 // provided every term is computed with the same hash functions. The engine
-// exploits this by giving each of N worker goroutines a private replica of a
-// prototype sketch (created with Clone, so all replicas share the prototype's
-// hash seeds), fanning incoming (item, delta) updates across the workers in
-// batches, and folding the replicas back together with Merge when a snapshot
-// is requested. The merged result is *exactly* — not approximately — the
-// sketch a single-threaded run over the whole stream would have produced,
-// because counter addition is associative and commutative; in particular the
-// per-row median estimator of Count-Sketch and the row-minimum estimator of
-// Count-Min are evaluated on identical counter matrices.
+// exploits this twice. On the consumer side, each of N worker goroutines
+// owns a private replica of a prototype sketch (created with Clone, so all
+// replicas share the prototype's hash seeds); batches fan across the workers
+// and the replicas fold back together with Merge when a snapshot is
+// requested. On the producer side, any number of goroutines ingest
+// concurrently, each through its own handle from Engine.Producer: a handle
+// owns a private batch buffer and a private round-robin cursor, so the hot
+// path shares no locks — the only synchronization is the per-batch shard
+// channel send, amortized over BatchSize updates. Linearity makes both
+// splits exact: whichever producer an update arrives through and whichever
+// shard its batch lands on, the merged result is *exactly* — not
+// approximately — the sketch a single-threaded run over the whole stream
+// would have produced, because counter addition is associative and
+// commutative; in particular the per-row median estimator of Count-Sketch
+// and the row-minimum estimator of Count-Min are evaluated on identical
+// counter matrices.
 //
 // Design notes:
 //
 //   - Updates are routed round-robin at batch granularity, not hashed by
 //     item. Linearity makes any assignment of updates to shards correct, and
 //     round-robin gives perfect load balance with zero per-item routing cost.
-//   - Batching amortizes channel synchronization: the producer fills a slice
+//     Each producer handle keeps its own cursor (staggered at creation), so
+//     producers spread across the shard ring without coordinating.
+//   - Batching amortizes channel synchronization: a producer fills a slice
 //     of updates (BatchSize, default 1024) and hands the whole slice to a
 //     worker, so channel overhead is paid once per batch rather than once
-//     per item. Drained batch slices are recycled through a free list.
+//     per item. Drained batch slices are recycled through a shared free list.
 //   - Snapshot uses a barrier protocol: a sync token is enqueued on every
 //     shard's (FIFO) channel; each worker acknowledges it after applying all
 //     earlier batches and then blocks until the merge has read its replica.
-//     This yields a consistent cut without locking the hot path.
-//   - Replicas never share mutable state, so the engine is race-free by
-//     construction (verified under `go test -race`).
+//     Producers keep ingesting while a barrier is in flight — their batches
+//     land after the token, so the cut stays consistent without fencing the
+//     hot path.
+//   - Close blocks until every producer handle has been Closed, so the final
+//     merge provably contains every produced update (the E11/E12 exactness
+//     invariant, verified under `go test -race`).
+//   - Replicas never share mutable state and handles never share buffers, so
+//     the engine is race-free by construction.
 //
 // The same replicas could equally live in different processes: the sketch
 // types' MarshalBinary/UnmarshalBinary (see internal/sketch) serialize the
 // hash seeds alongside the counters, so a deserialized shard merges exactly
-// like a local one.
+// like a local one. Any type satisfying LinearSketch — the four built-in
+// families via NewCountMin/NewCountSketch/NewTracker/NewDyadic, or a
+// caller's own — gets all of this through NewLinear.
 package engine

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/sketch"
 )
@@ -20,12 +22,12 @@ type Update struct {
 type Config struct {
 	// Workers is the number of shard goroutines. Zero means GOMAXPROCS.
 	Workers int
-	// BatchSize is the number of updates buffered before a batch is handed to
-	// a worker. Zero means 1024. Larger batches amortize channel overhead;
-	// smaller ones reduce snapshot latency.
+	// BatchSize is the number of updates a producer handle buffers before a
+	// batch is handed to a worker. Zero means 1024. Larger batches amortize
+	// channel overhead; smaller ones reduce snapshot latency.
 	BatchSize int
 	// QueueDepth is the per-shard channel buffer measured in batches. Zero
-	// means 4. It bounds how far the producer can run ahead of the workers.
+	// means 4. It bounds how far the producers can run ahead of the workers.
 	QueueDepth int
 }
 
@@ -69,8 +71,15 @@ type shard[S any] struct {
 // private sketch replica built from identical hash seeds, and merges the
 // replicas exactly on Snapshot or Close.
 //
-// The producer side (Update, UpdateBatch, Flush, Snapshot, Close) must be
-// called from a single goroutine; the shards run concurrently underneath.
+// Ingestion is multi-producer: any number of goroutines may feed the engine
+// concurrently, each through its own handle from Producer (the handle owns a
+// private batch buffer, so the hot path shares no locks). Snapshot, Absorb
+// and the encoded variants are safe to call while producers are ingesting;
+// they cut a consistent barrier across the shard queues. The engine-level
+// Update/UpdateBatch/Flush methods are a convenience for single-goroutine
+// callers — they ride the engine's own producer handle and must not be used
+// concurrently (with each other or with Snapshot/Close); concurrent
+// ingesters take handles instead.
 type Engine[S any] struct {
 	cfg    Config
 	shards []*shard[S]
@@ -84,10 +93,18 @@ type Engine[S any] struct {
 	encode func(S) ([]byte, error)
 	decode func([]byte) (S, error)
 
-	cur    []Update      // batch being filled by the producer
-	next   int           // round-robin cursor over shards
-	free   chan []Update // recycled batch slices
-	closed bool
+	free chan []Update // recycled batch slices, shared by all producers
+
+	// mu serializes the engine's structural transitions — producer
+	// registration, barriers (Snapshot/Absorb) and the Close handshake. The
+	// ingestion hot path never touches it: producers talk straight to the
+	// shard channels.
+	mu        sync.Mutex
+	closed    bool
+	producers sync.WaitGroup
+	stagger   atomic.Int64 // spreads new producers' first shard across the ring
+
+	def *Producer[S] // backs the engine-level convenience ingestion methods
 }
 
 // New creates an engine over an arbitrary replica type. newReplica must
@@ -102,7 +119,6 @@ func New[S any](cfg Config, newReplica func() S, apply func(S, []Update), merge 
 		newReplica: newReplica,
 		apply:      apply,
 		merge:      merge,
-		cur:        make([]Update, 0, cfg.BatchSize),
 		free:       make(chan []Update, cfg.Workers*cfg.QueueDepth+1),
 	}
 	for i := range e.shards {
@@ -114,6 +130,7 @@ func New[S any](cfg Config, newReplica func() S, apply func(S, []Update), merge 
 		e.shards[i] = sh
 		go e.run(sh)
 	}
+	e.def = e.Producer()
 	return e
 }
 
@@ -135,56 +152,133 @@ func (e *Engine[S]) run(sh *shard[S]) {
 	}
 }
 
-// Update appends one record to the current batch, dispatching the batch to a
-// shard when it reaches BatchSize.
-func (e *Engine[S]) Update(item uint64, delta float64) {
+// Producer ------------------------------------------------------------------
+
+// Producer is an ingestion handle for one goroutine. It owns a private batch
+// buffer and a private round-robin cursor over the shard queues, so N
+// producers ingest concurrently without sharing any mutable state: the only
+// synchronization on the hot path is the (per-batch, amortized) shard channel
+// send. Linearity makes this exact — whichever producer an update arrives
+// through and whichever shard its batch lands on, the barrier merge equals
+// the single-threaded sketch counter for counter.
+//
+// A handle is not itself goroutine-safe: each concurrent ingester takes its
+// own via Engine.Producer. Every handle must be Closed (flushing its buffer)
+// before Engine.Close can complete.
+type Producer[S any] struct {
+	e      *Engine[S]
+	cur    []Update
+	next   int
+	closed bool
+}
+
+// Producer registers a new ingestion handle. It panics after Engine.Close —
+// handing out handles whose flushes have nowhere to land is a programming
+// error, like Update after Close.
+func (e *Engine[S]) Producer() *Producer[S] {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.closed {
-		panic("engine: Update after Close")
+		panic("engine: Producer after Close")
 	}
-	e.cur = append(e.cur, Update{Item: item, Delta: delta})
-	if len(e.cur) >= e.cfg.BatchSize {
-		e.dispatch()
+	e.producers.Add(1)
+	return &Producer[S]{
+		e:    e,
+		cur:  make([]Update, 0, e.cfg.BatchSize),
+		next: int(e.stagger.Add(1)-1) % len(e.shards),
+	}
+}
+
+// Update appends one record to the handle's batch, dispatching the batch to
+// a shard when it reaches BatchSize.
+func (p *Producer[S]) Update(item uint64, delta float64) {
+	if p.closed {
+		panic("engine: producer Update after Close")
+	}
+	p.cur = append(p.cur, Update{Item: item, Delta: delta})
+	if len(p.cur) >= p.e.cfg.BatchSize {
+		p.dispatch()
 	}
 }
 
 // UpdateBatch appends a slice of records (the slice is copied into internal
 // batches; the caller keeps ownership).
-func (e *Engine[S]) UpdateBatch(updates []Update) {
+func (p *Producer[S]) UpdateBatch(updates []Update) {
 	for _, u := range updates {
-		e.Update(u.Item, u.Delta)
+		p.Update(u.Item, u.Delta)
 	}
 }
 
-// dispatch hands the current batch to the next shard round-robin and starts
-// a fresh batch from the free list.
-func (e *Engine[S]) dispatch() {
-	if len(e.cur) == 0 {
+// dispatch hands the current batch to the handle's next shard round-robin
+// and starts a fresh batch from the shared free list.
+func (p *Producer[S]) dispatch() {
+	if len(p.cur) == 0 {
 		return
 	}
-	e.shards[e.next].ch <- op{batch: e.cur}
-	e.next = (e.next + 1) % len(e.shards)
+	e := p.e
+	e.shards[p.next].ch <- op{batch: p.cur}
+	p.next = (p.next + 1) % len(e.shards)
 	select {
 	case b := <-e.free:
-		e.cur = b
+		p.cur = b
 	default:
-		e.cur = make([]Update, 0, e.cfg.BatchSize)
+		p.cur = make([]Update, 0, e.cfg.BatchSize)
 	}
 }
 
 // Flush dispatches any partially filled batch so it becomes visible to the
-// next Snapshot.
-func (e *Engine[S]) Flush() {
-	if e.closed {
+// next Snapshot. On a closed handle it is a no-op.
+func (p *Producer[S]) Flush() {
+	if p.closed {
 		return
 	}
-	e.dispatch()
+	p.dispatch()
+}
+
+// Close flushes the handle's buffer and retires it. Closing twice is a
+// no-op. Engine.Close blocks until every handle has been Closed, which is
+// what guarantees the final merge sees every produced update.
+func (p *Producer[S]) Close() {
+	if p.closed {
+		return
+	}
+	p.dispatch()
+	p.closed = true
+	p.e.producers.Done()
+}
+
+// Engine-level convenience ingestion ----------------------------------------
+
+// Update appends one record through the engine's own producer handle. It is
+// a convenience for single-goroutine callers; concurrent ingesters use
+// Producer handles.
+func (e *Engine[S]) Update(item uint64, delta float64) {
+	if e.def.closed {
+		panic("engine: Update after Close")
+	}
+	e.def.Update(item, delta)
+}
+
+// UpdateBatch appends a slice of records through the engine's own producer
+// handle (see Update for the concurrency contract).
+func (e *Engine[S]) UpdateBatch(updates []Update) {
+	e.def.UpdateBatch(updates)
+}
+
+// Flush dispatches the engine handle's partially filled batch so it becomes
+// visible to the next Snapshot. Producer handles flush themselves.
+func (e *Engine[S]) Flush() {
+	e.def.Flush()
 }
 
 // Workers returns the number of shards.
 func (e *Engine[S]) Workers() int { return len(e.shards) }
 
 // barrier enqueues a sync token on every shard, waits until all workers have
-// drained their queues, runs fn, then releases the workers.
+// drained their queues, runs fn, then releases the workers. Callers hold
+// e.mu, which serializes concurrent barriers; producers keep enqueueing
+// batches while a barrier is in flight (they land after the token, so the
+// cut stays consistent).
 func (e *Engine[S]) barrier(fn func() error) error {
 	ready := make(chan struct{}, len(e.shards))
 	resume := make(chan struct{})
@@ -199,15 +293,19 @@ func (e *Engine[S]) barrier(fn func() error) error {
 	return err
 }
 
-// Snapshot flushes pending updates and returns a fresh replica holding the
-// exact merge of every shard — the sketch a single-threaded run over the
-// whole stream so far would have produced. Ingestion resumes afterwards.
+// Snapshot returns a fresh replica holding the exact merge of every shard —
+// the sketch a single-threaded run over every update flushed so far would
+// have produced. It is safe to call while producers are ingesting: updates
+// a producer has flushed before the call are included, updates still
+// buffered in handles are not. Ingestion resumes afterwards.
 func (e *Engine[S]) Snapshot() (S, error) {
 	var zero S
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.closed {
 		return zero, ErrClosed
 	}
-	e.Flush()
+	e.def.Flush()
 	out := e.newReplica()
 	err := e.barrier(func() error {
 		for i, sh := range e.shards {
@@ -239,13 +337,15 @@ func (e *Engine[S]) WithCodec(encode func(S) ([]byte, error), decode func([]byte
 // ingestion. Linearity makes this exact: absorbing src is indistinguishable
 // from having ingested src's stream through the engine itself. src must
 // share hash functions with the engine's replicas; the merge function is
-// responsible for rejecting incompatible sketches. Like the other
-// producer-side methods, Absorb must be called from the producer goroutine.
+// responsible for rejecting incompatible sketches. Like Snapshot, Absorb is
+// safe to call while producers are ingesting.
 func (e *Engine[S]) Absorb(src S) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.closed {
 		return ErrClosed
 	}
-	e.Flush()
+	e.def.Flush()
 	return e.barrier(func() error {
 		if err := e.merge(e.shards[0].replica, src); err != nil {
 			return fmt.Errorf("engine: absorbing replica: %w", err)
@@ -283,15 +383,24 @@ func (e *Engine[S]) SnapshotEncoded() ([]byte, error) {
 	return e.encode(snap)
 }
 
-// Close flushes pending updates, stops the workers and returns the final
-// exact merge. The engine cannot be used afterwards.
+// Close flushes the engine's own handle, waits for every Producer handle to
+// be Closed, stops the workers and returns the final exact merge. The engine
+// cannot be used afterwards. Close blocks until all handles are Closed —
+// their final flushes must land before the shard queues are torn down, which
+// is what makes the returned sketch equal the single-threaded run over the
+// producers' combined stream.
 func (e *Engine[S]) Close() (S, error) {
 	var zero S
+	e.mu.Lock()
 	if e.closed {
+		e.mu.Unlock()
 		return zero, ErrClosed
 	}
-	e.dispatch()
 	e.closed = true
+	e.mu.Unlock()
+
+	e.def.Close()
+	e.producers.Wait()
 	for _, sh := range e.shards {
 		close(sh.ch)
 	}
@@ -307,10 +416,42 @@ func (e *Engine[S]) Close() (S, error) {
 	return out, nil
 }
 
-// Convenience constructors for the concrete sketch types ---------------------
+// Sketch-family constructors -------------------------------------------------
 
-// NewCountMin builds an engine whose shards are clones of proto (sharing its
-// hash functions). proto itself is never written to. proto must not use
+// LinearSketch is the contract a sketch type must satisfy to ride the
+// engine: clonable (empty replica, same hash functions), mergeable (exact
+// counter addition) and serializable (the versioned binary encoding). Every
+// linear family in internal/sketch — CountMin, CountSketch, the
+// heavy-hitter tracker, the dyadic hierarchy — satisfies it; NewLinear turns
+// any of them, or a caller's own type, into an engine.
+type LinearSketch[S any] interface {
+	Update(item uint64, delta float64)
+	Clone() S
+	Merge(src S) error
+	MarshalBinary() ([]byte, error)
+}
+
+// NewLinear builds an engine whose shards are clones of proto (sharing its
+// hash functions; proto itself is never written to), with the replica's own
+// MarshalBinary as the snapshot encoder. decode reverses it: it must
+// deserialize a replica and reject sketches incompatible with proto — the
+// engine trusts it as the gatekeeper for MergeEncoded.
+func NewLinear[S LinearSketch[S]](cfg Config, proto S, decode func([]byte) (S, error)) *Engine[S] {
+	return New(cfg,
+		func() S { return proto.Clone() },
+		func(s S, batch []Update) {
+			for _, u := range batch {
+				s.Update(u.Item, u.Delta)
+			}
+		},
+		func(dst, src S) error { return dst.Merge(src) },
+	).WithCodec(
+		func(s S) ([]byte, error) { return s.MarshalBinary() },
+		decode,
+	)
+}
+
+// NewCountMin builds an engine over Count-Min replicas. proto must not use
 // conservative update: conservative sketches are not linear, so sharding
 // them cannot be exact and their Merge always fails — better to refuse here
 // than after the whole stream has been ingested.
@@ -318,100 +459,84 @@ func NewCountMin(cfg Config, proto *sketch.CountMin) *Engine[*sketch.CountMin] {
 	if proto.Conservative() {
 		panic("engine: conservative-update CountMin is not linear and cannot be sharded")
 	}
-	return New(cfg,
-		func() *sketch.CountMin { return proto.Clone() },
-		func(cm *sketch.CountMin, batch []Update) {
-			for _, u := range batch {
-				cm.Update(u.Item, u.Delta)
+	return NewLinear(cfg, proto, func(data []byte) (*sketch.CountMin, error) {
+		var cm sketch.CountMin
+		if err := cm.UnmarshalBinary(data); err != nil {
+			return nil, err
+		}
+		if err := proto.CompatibleWith(&cm); err != nil {
+			return nil, err
+		}
+		return &cm, nil
+	})
+}
+
+// NewCountSketch builds an engine over Count-Sketch replicas (sharing
+// proto's hash and sign functions).
+func NewCountSketch(cfg Config, proto *sketch.CountSketch) *Engine[*sketch.CountSketch] {
+	return NewLinear(cfg, proto, func(data []byte) (*sketch.CountSketch, error) {
+		var cs sketch.CountSketch
+		if err := cs.UnmarshalBinary(data); err != nil {
+			return nil, err
+		}
+		if err := proto.CompatibleWith(&cs); err != nil {
+			return nil, err
+		}
+		return &cs, nil
+	})
+}
+
+// NewDyadic builds an engine over dyadic-hierarchy replicas: each level is a
+// Count-Min, so the clone/merge law applies level-wise and the merged
+// hierarchy answers range sums, quantiles and heavy-hitter descents exactly
+// as a single-threaded run would.
+func NewDyadic(cfg Config, proto *sketch.Dyadic) *Engine[*sketch.Dyadic] {
+	return NewLinear(cfg, proto, func(data []byte) (*sketch.Dyadic, error) {
+		var d sketch.Dyadic
+		if err := d.UnmarshalBinary(data); err != nil {
+			return nil, err
+		}
+		if err := proto.CompatibleWith(&d); err != nil {
+			return nil, err
+		}
+		return &d, nil
+	})
+}
+
+// NewTracker builds an engine over heavy-hitter tracker replicas. The
+// Count-Min counters merge exactly; the candidate sets merge as a union
+// re-scored against the merged counters.
+func NewTracker(cfg Config, proto *sketch.HeavyHitterTracker) *Engine[*sketch.HeavyHitterTracker] {
+	return NewLinear(cfg, proto, func(data []byte) (*sketch.HeavyHitterTracker, error) {
+		// A peer may ship either a full tracker snapshot or a bare
+		// Count-Min (counters without candidate metadata); both merge
+		// exactly at the counter level.
+		kind, err := sketch.PeekKind(data)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case sketch.KindTracker:
+			var t sketch.HeavyHitterTracker
+			if err := t.UnmarshalBinary(data); err != nil {
+				return nil, err
 			}
-		},
-		func(dst, src *sketch.CountMin) error { return dst.Merge(src) },
-	).WithCodec(
-		func(cm *sketch.CountMin) ([]byte, error) { return cm.MarshalBinary() },
-		func(data []byte) (*sketch.CountMin, error) {
+			if err := proto.CompatibleWith(&t); err != nil {
+				return nil, err
+			}
+			return &t, nil
+		case sketch.KindCountMin:
 			var cm sketch.CountMin
 			if err := cm.UnmarshalBinary(data); err != nil {
 				return nil, err
 			}
-			if err := proto.CompatibleWith(&cm); err != nil {
+			t := proto.Clone()
+			if err := t.AbsorbCountMin(&cm); err != nil {
 				return nil, err
 			}
-			return &cm, nil
-		},
-	)
-}
-
-// NewCountSketch builds an engine whose shards are clones of proto (sharing
-// its hash and sign functions). proto itself is never written to.
-func NewCountSketch(cfg Config, proto *sketch.CountSketch) *Engine[*sketch.CountSketch] {
-	return New(cfg,
-		func() *sketch.CountSketch { return proto.Clone() },
-		func(cs *sketch.CountSketch, batch []Update) {
-			for _, u := range batch {
-				cs.Update(u.Item, u.Delta)
-			}
-		},
-		func(dst, src *sketch.CountSketch) error { return dst.Merge(src) },
-	).WithCodec(
-		func(cs *sketch.CountSketch) ([]byte, error) { return cs.MarshalBinary() },
-		func(data []byte) (*sketch.CountSketch, error) {
-			var cs sketch.CountSketch
-			if err := cs.UnmarshalBinary(data); err != nil {
-				return nil, err
-			}
-			if err := proto.CompatibleWith(&cs); err != nil {
-				return nil, err
-			}
-			return &cs, nil
-		},
-	)
-}
-
-// NewTracker builds an engine whose shards are clones of a heavy-hitter
-// tracker prototype. The Count-Min counters merge exactly; the candidate
-// sets merge as a union re-scored against the merged counters.
-func NewTracker(cfg Config, proto *sketch.HeavyHitterTracker) *Engine[*sketch.HeavyHitterTracker] {
-	return New(cfg,
-		func() *sketch.HeavyHitterTracker { return proto.Clone() },
-		func(t *sketch.HeavyHitterTracker, batch []Update) {
-			for _, u := range batch {
-				t.Update(u.Item, u.Delta)
-			}
-		},
-		func(dst, src *sketch.HeavyHitterTracker) error { return dst.Merge(src) },
-	).WithCodec(
-		func(t *sketch.HeavyHitterTracker) ([]byte, error) { return t.MarshalBinary() },
-		func(data []byte) (*sketch.HeavyHitterTracker, error) {
-			// A peer may ship either a full tracker snapshot or a bare
-			// Count-Min (counters without candidate metadata); both merge
-			// exactly at the counter level.
-			kind, err := sketch.PeekKind(data)
-			if err != nil {
-				return nil, err
-			}
-			switch kind {
-			case sketch.KindTracker:
-				var t sketch.HeavyHitterTracker
-				if err := t.UnmarshalBinary(data); err != nil {
-					return nil, err
-				}
-				if err := proto.CompatibleWith(&t); err != nil {
-					return nil, err
-				}
-				return &t, nil
-			case sketch.KindCountMin:
-				var cm sketch.CountMin
-				if err := cm.UnmarshalBinary(data); err != nil {
-					return nil, err
-				}
-				t := proto.Clone()
-				if err := t.AbsorbCountMin(&cm); err != nil {
-					return nil, err
-				}
-				return t, nil
-			default:
-				return nil, fmt.Errorf("engine: cannot merge a %v encoding into a heavy-hitter tracker", kind)
-			}
-		},
-	)
+			return t, nil
+		default:
+			return nil, fmt.Errorf("engine: cannot merge a %v encoding into a heavy-hitter tracker", kind)
+		}
+	})
 }

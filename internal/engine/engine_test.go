@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/sketch"
@@ -91,6 +92,243 @@ func TestCountSketchShardingIsExact(t *testing.T) {
 			t.Fatalf("estimate(%d) %v != %v", item, a, b)
 		}
 	}
+}
+
+// TestConcurrentProducersExact: the multi-producer law. P goroutines ingest
+// disjoint slices of one stream through private handles — no shared locks —
+// and the merged Close must still equal the single-threaded sketch counter
+// for counter. Run under -race this is also the data-race oracle for the
+// whole producer path.
+func TestConcurrentProducersExact(t *testing.T) {
+	proto := sketch.NewCountMin(xrand.New(21), 512, 4)
+	single := proto.Clone()
+	s := newZipf(22, 1<<14, 120_000)
+	for _, u := range s.Updates {
+		single.Update(u.Item, float64(u.Delta))
+	}
+
+	for _, producers := range []int{1, 2, 4, 8} {
+		eng := NewCountMin(Config{Workers: 4, BatchSize: 503}, proto)
+		var wg sync.WaitGroup
+		for pid := 0; pid < producers; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				p := eng.Producer()
+				defer p.Close()
+				for i := pid; i < len(s.Updates); i += producers {
+					u := s.Updates[i]
+					p.Update(u.Item, float64(u.Delta))
+				}
+			}(pid)
+		}
+		wg.Wait()
+		merged, err := eng.Close()
+		if err != nil {
+			t.Fatalf("producers=%d: close: %v", producers, err)
+		}
+		if !countersEqual(single.Counters(), merged.Counters()) {
+			t.Fatalf("producers=%d: merged counters differ from single-threaded sketch", producers)
+		}
+		if single.TotalMass() != merged.TotalMass() {
+			t.Fatalf("producers=%d: total mass %v != %v", producers, merged.TotalMass(), single.TotalMass())
+		}
+	}
+}
+
+// TestSnapshotDuringConcurrentIngest: barriers and producers may overlap.
+// Snapshots taken while producers are mid-stream must be internally
+// consistent (every included update counted exactly once), and the final
+// Close must still be exact. The mass check works because every update has
+// delta 1: any batch double-counted or dropped by a racy barrier would show
+// up as a wrong total.
+func TestSnapshotDuringConcurrentIngest(t *testing.T) {
+	proto := sketch.NewCountMin(xrand.New(23), 256, 4)
+	single := proto.Clone()
+	const producers, perProducer = 4, 30_000
+	eng := NewCountMin(Config{Workers: 3, BatchSize: 128}, proto)
+
+	var wg sync.WaitGroup
+	for pid := 0; pid < producers; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			p := eng.Producer()
+			defer p.Close()
+			for i := 0; i < perProducer; i++ {
+				p.Update(uint64(pid*perProducer+i)%4096, 1)
+			}
+		}(pid)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			snap, err := eng.Snapshot()
+			if err != nil {
+				t.Errorf("mid-stream snapshot: %v", err)
+				return
+			}
+			if mass := snap.TotalMass(); mass < 0 || mass > producers*perProducer {
+				t.Errorf("mid-stream snapshot mass %v out of range [0, %d]", mass, producers*perProducer)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	for i := 0; i < producers*perProducer; i++ {
+		single.Update(uint64(i)%4096, 1)
+	}
+	merged, err := eng.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !countersEqual(single.Counters(), merged.Counters()) {
+		t.Fatal("concurrent snapshots perturbed the final merge")
+	}
+}
+
+// TestDyadicEngineIsExact: the NewDyadic constructor — levels are CountMins,
+// so the clone/merge law applies level-wise and the sharded hierarchy
+// answers quantile and range queries exactly like the single-threaded one.
+func TestDyadicEngineIsExact(t *testing.T) {
+	proto := sketch.NewDyadic(xrand.New(25), 12, 256, 4)
+	single := proto.Clone()
+	s := newZipf(26, 1<<12, 60_000)
+	for _, u := range s.Updates {
+		single.Update(u.Item, float64(u.Delta))
+	}
+
+	eng := NewDyadic(Config{Workers: 4, BatchSize: 251}, proto)
+	var wg sync.WaitGroup
+	const producers = 4
+	for pid := 0; pid < producers; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			p := eng.Producer()
+			defer p.Close()
+			for i := pid; i < len(s.Updates); i += producers {
+				u := s.Updates[i]
+				p.Update(u.Item, float64(u.Delta))
+			}
+		}(pid)
+	}
+	wg.Wait()
+	merged, err := eng.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for item := uint64(0); item < 1<<12; item += 11 {
+		if a, b := single.Estimate(item), merged.Estimate(item); a != b {
+			t.Fatalf("estimate(%d): single %v != sharded %v", item, a, b)
+		}
+	}
+	for _, phi := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+		if a, b := single.Quantile(phi), merged.Quantile(phi); a != b {
+			t.Fatalf("Quantile(%v): single %v != sharded %v", phi, a, b)
+		}
+	}
+	if a, b := single.RangeSum(100, 2000), merged.RangeSum(100, 2000); a != b {
+		t.Fatalf("RangeSum: single %v != sharded %v", a, b)
+	}
+}
+
+// TestDyadicEngineWireMerge: the Dyadic codec registered by NewDyadic —
+// SnapshotEncoded bytes from one engine fold into another via MergeEncoded,
+// and incompatible hierarchies are refused.
+func TestDyadicEngineWireMerge(t *testing.T) {
+	proto := sketch.NewDyadic(xrand.New(27), 10, 128, 3)
+	single := proto.Clone()
+	s := newZipf(28, 1<<10, 20_000)
+	half := len(s.Updates) / 2
+
+	engA := NewDyadic(Config{Workers: 2}, proto)
+	engB := NewDyadic(Config{Workers: 3}, proto)
+	for i, u := range s.Updates {
+		single.Update(u.Item, float64(u.Delta))
+		if i < half {
+			engA.Update(u.Item, float64(u.Delta))
+		} else {
+			engB.Update(u.Item, float64(u.Delta))
+		}
+	}
+	wire, err := engB.SnapshotEncoded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := engA.MergeEncoded(wire); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := engA.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for item := uint64(0); item < 1<<10; item += 7 {
+		if a, b := single.Estimate(item), merged.Estimate(item); a != b {
+			t.Fatalf("estimate(%d): single %v != merged-over-wire %v", item, a, b)
+		}
+	}
+
+	// Foreign seeds and mismatched universes must be refused.
+	engC := NewDyadic(Config{Workers: 2}, proto)
+	foreign, err := sketch.NewDyadic(xrand.New(99), 10, 128, 3).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engC.MergeEncoded(foreign); err == nil {
+		t.Error("foreign hash seeds: expected error")
+	}
+	wrongU, err := sketch.NewDyadic(xrand.New(27), 11, 128, 3).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engC.MergeEncoded(wrongU); err == nil {
+		t.Error("mismatched universe: expected error")
+	}
+	if _, err := engC.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProducerLifecycle: double Close is a no-op, Flush after Close is a
+// no-op, Update after Close panics, and Producer() after Engine.Close
+// panics.
+func TestProducerLifecycle(t *testing.T) {
+	eng := NewCountMin(Config{Workers: 2}, sketch.NewCountMin(xrand.New(29), 64, 2))
+	p := eng.Producer()
+	p.Update(1, 1)
+	p.Close()
+	p.Close() // idempotent
+	p.Flush() // no-op on a closed handle
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Update on a closed producer did not panic")
+			}
+		}()
+		p.Update(2, 1)
+	}()
+	merged, err := eng.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Estimate(1) != 1 {
+		t.Fatalf("estimate(1) = %v after handle flush, want 1", merged.Estimate(1))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Producer() after Engine.Close did not panic")
+			}
+		}()
+		eng.Producer()
+	}()
 }
 
 // TestSnapshotMidStream: a snapshot taken mid-stream must equal a

@@ -14,6 +14,16 @@
 // and merges pairwise converges to byte-for-byte the sketch one process
 // would have built from the whole stream.
 //
+// Ingestion is concurrent end to end. Every /v1/update handler routes its
+// batch through one of Config.Producers engine producer handles — round-robin
+// lanes with lane-local locks — so parallel clients never serialize behind a
+// global mutex, and the linearity law above guarantees the interleaving
+// doesn't matter: the merged counters equal a single-threaded run exactly
+// (asserted under the race detector by the concurrent-ingestion test).
+// Queries are answered from a barrier snapshot cached per write generation;
+// snapshot, merge and stats share one narrow barrier lock that the update
+// hot path never touches.
+//
 // The same snapshot bytes double as the crash-recovery format: with a
 // snapshot directory configured, the server ships its state to disk
 // periodically and on shutdown, and folds the file back in on startup, so a

@@ -8,9 +8,11 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -34,6 +36,11 @@ type Config struct {
 	Seed uint64
 	// Engine shapes the sharded ingestion underneath (workers, batch size).
 	Engine engine.Config
+	// Producers is the number of parallel ingestion lanes: engine producer
+	// handles that /v1/update requests are spread across round-robin, so P
+	// requests ingest concurrently instead of queueing on one lock. Zero
+	// means GOMAXPROCS.
+	Producers int
 	// SnapshotDir, when non-empty, enables snapshot shipping: the server
 	// recovers from SnapshotDir/sketchd.snap on startup (if present), writes
 	// it on Close, and every SnapshotEvery in between. Counters recover
@@ -64,6 +71,9 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Producers <= 0 {
+		c.Producers = runtime.GOMAXPROCS(0)
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
@@ -71,6 +81,15 @@ func (c Config) withDefaults() Config {
 		c.Logf = func(string, ...interface{}) {}
 	}
 	return c
+}
+
+// ingestLane is one parallel ingestion path: an engine producer handle plus
+// the mutex that keeps a single lane's handle single-writer. Requests pick a
+// lane round-robin, so P lanes admit P concurrent /v1/update bodies and the
+// only contention left is 1/P lane-local.
+type ingestLane struct {
+	mu sync.Mutex
+	p  *engine.Producer[*sketch.HeavyHitterTracker]
 }
 
 // Server owns a sharded sketch engine and exposes it over HTTP:
@@ -83,28 +102,42 @@ func (c Config) withDefaults() Config {
 //	GET  /v1/stats     counters and sketch shape
 //	GET  /v1/healthz   liveness
 //
-// The engine's producer side is single-goroutine by contract, so the server
-// serializes all engine access behind a mutex; the shard workers still run
-// concurrently underneath, and queries are answered from a consistent
-// barrier snapshot that is cached until the next write.
+// Ingestion is concurrent end to end: each /v1/update handler routes its
+// batch through one of Config.Producers engine producer handles (round-robin
+// lanes, each with a lane-local lock), so updates never serialize behind a
+// global mutex — the linearity of the sketches makes any interleaving merge
+// exactly. Queries are answered from a consistent barrier snapshot cached
+// until the write generation moves; snapshot, merge and stats share one
+// narrow barrier lock that the update hot path never touches.
 type Server struct {
 	cfg   Config
 	proto *sketch.HeavyHitterTracker
 	mux   *http.ServeMux
 
-	mu        sync.Mutex // guards eng (single-producer contract), snap*, stats, closed
-	eng       *engine.Engine[*sketch.HeavyHitterTracker]
-	closed    bool // Close has begun: write handlers answer 503, repeat Close bails out
-	engClosed bool // the engine is gone: snapshots (and so reads) fail too
+	eng      *engine.Engine[*sketch.HeavyHitterTracker]
+	lanes    []*ingestLane
+	nextLane atomic.Uint64 // round-robin lane cursor
 
-	// gen counts writes (updates and merges); snapGen records the write
-	// generation snapCache was taken at, so read endpoints can reuse one
-	// barrier snapshot until the state actually changes.
-	gen       int64
+	// closed fences writes once Close has begun. Close sets it before
+	// locking and retiring the lanes, so a write handler that wins a lane
+	// lock afterwards observes it and answers 503 instead of touching a
+	// retired handle.
+	closed atomic.Bool
+
+	// gen counts acknowledged writes (updates and merges); snapGen records
+	// the write generation snapCache was taken at, so read endpoints reuse
+	// one barrier snapshot until the state actually changes.
+	gen atomic.Int64
+
+	// snapMu is the narrow barrier lock: it serializes engine barrier
+	// operations (Snapshot/MergeEncoded/Close) and guards the snapshot
+	// cache. The /v1/update hot path never takes it.
+	snapMu    sync.Mutex
+	engClosed bool // the engine is gone: snapshots (and so reads) fail too
 	snapGen   int64
 	snapCache *sketch.HeavyHitterTracker
 
-	stats Stats
+	updates, batches, merges, snapshots atomic.Int64
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -122,8 +155,6 @@ func New(cfg Config) (*Server, error) {
 		eng:   engine.NewTracker(cfg.Engine, proto),
 		stop:  make(chan struct{}),
 	}
-	s.stats.Width, s.stats.Depth, s.stats.K = cfg.Width, cfg.Depth, cfg.K
-	s.stats.Workers = s.eng.Workers()
 
 	if cfg.SnapshotDir != "" {
 		path := filepath.Join(cfg.SnapshotDir, SnapshotFileName)
@@ -141,6 +172,13 @@ func New(cfg Config) (*Server, error) {
 			}
 			cfg.Logf("server: recovered %d snapshot bytes from %s", len(data), path)
 		}
+	}
+
+	// The ingestion lanes come after recovery so the error paths above can
+	// still close the engine without waiting on open handles.
+	s.lanes = make([]*ingestLane, cfg.Producers)
+	for i := range s.lanes {
+		s.lanes[i] = &ingestLane{p: s.eng.Producer()}
 	}
 
 	s.mux = http.NewServeMux()
@@ -164,32 +202,37 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the HTTP handler serving the API above.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the snapshot writer, ships a final snapshot when SnapshotDir
-// is configured, and shuts the engine down. Writes are fenced off (503)
-// before the final snapshot is taken, so every update the server has
-// acknowledged is in the recovery file; reads keep working until the engine
-// itself is gone.
+// Close stops the snapshot writer, retires the ingestion lanes, ships a
+// final snapshot when SnapshotDir is configured, and shuts the engine down.
+// Writes are fenced off (503) before the final snapshot is taken, so every
+// update the server has acknowledged is in the recovery file; reads keep
+// working until the engine itself is gone.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Swap(true) {
 		return ErrServerClosed
 	}
-	s.closed = true
-	s.mu.Unlock()
-
 	close(s.stop)
 	s.wg.Wait()
+
+	// Retire the lanes. closed is already set, so a handler that acquires a
+	// lane lock from here on answers 503 without touching the handle; a
+	// handler that held the lock first finishes its flush before the handle
+	// closes, so its acknowledged batch reaches the final snapshot.
+	for _, lane := range s.lanes {
+		lane.mu.Lock()
+		lane.p.Close()
+		lane.mu.Unlock()
+	}
 
 	var saveErr error
 	if s.cfg.SnapshotDir != "" {
 		_, saveErr = s.SaveSnapshot()
 	}
 
-	s.mu.Lock()
+	s.snapMu.Lock()
 	s.engClosed = true
 	_, err := s.eng.Close()
-	s.mu.Unlock()
+	s.snapMu.Unlock()
 	if err != nil && saveErr == nil {
 		saveErr = err
 	}
@@ -225,15 +268,13 @@ func (s *Server) SaveSnapshot() (string, error) {
 	if s.cfg.SnapshotDir == "" {
 		return "", errors.New("server: no snapshot directory configured")
 	}
-	s.mu.Lock()
+	s.snapMu.Lock()
 	data, err := s.encodedSnapshotLocked()
-	if err == nil {
-		s.stats.Snapshots++
-	}
-	s.mu.Unlock()
+	s.snapMu.Unlock()
 	if err != nil {
 		return "", err
 	}
+	s.snapshots.Add(1)
 	if err := os.MkdirAll(s.cfg.SnapshotDir, 0o755); err != nil {
 		return "", err
 	}
@@ -258,25 +299,60 @@ func (s *Server) SaveSnapshot() (string, error) {
 	return path, nil
 }
 
+// ingest routes one decoded batch through a producer lane and bumps the
+// write generation. It returns false when the server is shutting down. This
+// is the whole /v1/update hot path: an atomic lane pick and one lane-local
+// lock — never the barrier lock, never a global one.
+func (s *Server) ingest(updates []engine.Update) bool {
+	lane := s.lanes[s.nextLane.Add(1)%uint64(len(s.lanes))]
+	lane.mu.Lock()
+	defer lane.mu.Unlock()
+	// Re-check under the lane lock: Close sets closed before it locks and
+	// retires the lanes, so observing false here guarantees the handle is
+	// live and this flush lands before the final snapshot.
+	if s.closed.Load() {
+		return false
+	}
+	lane.p.UpdateBatch(updates)
+	lane.p.Flush()
+	s.gen.Add(1)
+	return true
+}
+
 // snapshotLocked returns a consistent barrier snapshot of the engine,
 // reusing the cached one when no write has happened since it was taken.
-// Callers must hold s.mu.
+// Callers must hold s.snapMu.
+//
+// The generation is loaded before the barrier: a write that bumps gen after
+// the load but before the barrier lands in the snapshot anyway (the barrier
+// happens later), so the cache is only ever stamped with a generation it
+// fully covers — a reader that saw an update acknowledged is never served a
+// cache from before it.
 func (s *Server) snapshotLocked() (*sketch.HeavyHitterTracker, error) {
 	if s.engClosed {
 		return nil, ErrServerClosed
 	}
-	if s.snapCache != nil && s.snapGen == s.gen {
+	g := s.gen.Load()
+	if s.snapCache != nil && s.snapGen == g {
 		return s.snapCache, nil
 	}
 	snap, err := s.eng.Snapshot()
 	if err != nil {
 		return nil, err
 	}
-	s.snapCache, s.snapGen = snap, s.gen
+	s.snapCache, s.snapGen = snap, g
 	return snap, nil
 }
 
-// encodedSnapshotLocked marshals the current snapshot. Callers must hold s.mu.
+// snapshot is snapshotLocked behind the barrier lock, for read handlers.
+func (s *Server) snapshot() (*sketch.HeavyHitterTracker, error) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.snapshotLocked()
+}
+
+// encodedSnapshotLocked marshals the current snapshot. Callers must hold
+// s.snapMu.
 func (s *Server) encodedSnapshotLocked() ([]byte, error) {
 	snap, err := s.snapshotLocked()
 	if err != nil {
@@ -332,18 +408,12 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if !s.ingest(updates) {
 		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
-	s.eng.UpdateBatch(updates)
-	s.gen++
-	s.stats.Updates += int64(len(updates))
-	s.stats.Batches++
-	s.mu.Unlock()
-
+	s.updates.Add(int64(len(updates)))
+	s.batches.Add(1)
 	writeJSON(w, http.StatusOK, UpdateResponse{Accepted: len(updates)})
 }
 
@@ -363,9 +433,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		items[i] = item
 	}
 
-	s.mu.Lock()
-	snap, err := s.snapshotLocked()
-	s.mu.Unlock()
+	snap, err := s.snapshot()
 	if err != nil {
 		writeSnapshotErr(w, err)
 		return
@@ -397,9 +465,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		phi = f
 	}
 
-	s.mu.Lock()
-	snap, err := s.snapshotLocked()
-	s.mu.Unlock()
+	snap, err := s.snapshot()
 	if err != nil {
 		writeSnapshotErr(w, err)
 		return
@@ -420,16 +486,14 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
+	s.snapMu.Lock()
 	data, err := s.encodedSnapshotLocked()
-	if err == nil {
-		s.stats.Snapshots++
-	}
-	s.mu.Unlock()
+	s.snapMu.Unlock()
 	if err != nil {
 		writeSnapshotErr(w, err)
 		return
 	}
+	s.snapshots.Add(1)
 	w.Header().Set("Content-Type", contentTypeSnapshot)
 	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 	w.WriteHeader(http.StatusOK)
@@ -445,29 +509,34 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "empty body: POST the bytes of a peer's /v1/snapshot")
 		return
 	}
-
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Load() {
 		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
-	err := s.eng.MergeEncoded(data)
+
+	s.snapMu.Lock()
+	var err error
 	var mass float64
-	if err == nil {
-		s.gen++
-		s.stats.Merges++
+	// Re-check closed under the barrier lock (the analogue of ingest's
+	// re-check under the lane lock): Close sets it before the final
+	// SaveSnapshot, so a merge that squeezed past the check above cannot be
+	// acknowledged after the recovery file was written and then lost.
+	if s.engClosed || s.closed.Load() {
+		err = ErrServerClosed
+	} else if err = s.eng.MergeEncoded(data); err == nil {
+		s.gen.Add(1)
+		s.merges.Add(1)
 		var snap *sketch.HeavyHitterTracker
 		if snap, err = s.snapshotLocked(); err == nil {
 			mass = snap.TotalMass()
 		}
 	}
-	s.mu.Unlock()
+	s.snapMu.Unlock()
 
 	if err != nil {
 		s.cfg.Logf("server: merge rejected: %v", err)
 		switch {
-		case errors.Is(err, engine.ErrClosed):
+		case errors.Is(err, engine.ErrClosed), errors.Is(err, ErrServerClosed):
 			writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
 		default:
 			// Everything else means the posted bytes were malformed or came
@@ -480,17 +549,23 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	stats := s.stats
-	snap, err := s.snapshotLocked()
-	if err == nil {
-		stats.TotalMass = snap.TotalMass()
+	stats := Stats{
+		Width:     s.cfg.Width,
+		Depth:     s.cfg.Depth,
+		K:         s.cfg.K,
+		Workers:   s.eng.Workers(),
+		Producers: len(s.lanes),
+		Updates:   s.updates.Load(),
+		Batches:   s.batches.Load(),
+		Merges:    s.merges.Load(),
+		Snapshots: s.snapshots.Load(),
 	}
-	s.mu.Unlock()
+	snap, err := s.snapshot()
 	if err != nil {
 		writeSnapshotErr(w, err)
 		return
 	}
+	stats.TotalMass = snap.TotalMass()
 	writeJSON(w, http.StatusOK, stats)
 }
 

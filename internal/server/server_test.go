@@ -3,10 +3,12 @@ package server
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/engine"
@@ -113,6 +115,122 @@ func TestEndToEndExactnessOverTheWire(t *testing.T) {
 	}
 	if stats.TotalMass != reference.TotalMass() {
 		t.Fatalf("merged total mass %v != reference %v", stats.TotalMass, reference.TotalMass())
+	}
+}
+
+// TestConcurrentUpdateExactness: the lock-free ingestion path under -race.
+// Eight goroutines POST disjoint slices of one stream to a single daemon —
+// chunked so the producer lanes genuinely interleave — while other
+// goroutines hammer the read endpoints mid-stream. Afterwards every sampled
+// counter must equal the single-threaded reference sketch exactly: the
+// HTTP-level statement of the E11/E12 deviation-0 invariant for concurrent
+// producers.
+func TestConcurrentUpdateExactness(t *testing.T) {
+	cfg := Config{
+		Width: 1024, Depth: 4, K: 48, Seed: 13,
+		Engine:    engine.Config{Workers: 3, BatchSize: 101},
+		Producers: 4,
+	}
+	_, client := testDaemon(t, cfg)
+	ctx := context.Background()
+
+	reference := sketch.NewHeavyHitterTracker(xrand.New(cfg.Seed), cfg.Width, cfg.Depth, cfg.K)
+	s := stream.Zipf(xrand.New(77), 1<<14, 80_000, 1.1)
+	for _, u := range s.Updates {
+		reference.Update(u.Item, float64(u.Delta))
+	}
+
+	const writers = 8
+	const chunk = 512
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for wid := 0; wid < writers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			// Writer wid owns every writers-th update: the slices are
+			// disjoint and together cover the stream exactly once.
+			var own []engine.Update
+			for i := wid; i < len(s.Updates); i += writers {
+				own = append(own, engine.Update{Item: s.Updates[i].Item, Delta: float64(s.Updates[i].Delta)})
+			}
+			for start := 0; start < len(own); start += chunk {
+				end := min(start+chunk, len(own))
+				if err := client.Update(ctx, own[start:end]); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", wid, err)
+					return
+				}
+			}
+		}(wid)
+	}
+	// Concurrent readers: mid-stream queries must stay consistent (and under
+	// -race, prove the snapshot cache and barrier lock don't race the lanes).
+	readStop := make(chan struct{})
+	var readWG sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			for {
+				select {
+				case <-readStop:
+					return
+				default:
+				}
+				if _, err := client.Query(ctx, 1, 2, 3); err != nil {
+					errs <- fmt.Errorf("mid-stream query: %w", err)
+					return
+				}
+				if _, err := client.Stats(ctx); err != nil {
+					errs <- fmt.Errorf("mid-stream stats: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(readStop)
+	readWG.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Counter-for-counter exactness: a dense sample of the universe plus
+	// every reference top-k item must match the single-threaded sketch.
+	items := make([]uint64, 0, 1<<10)
+	for item := uint64(0); item < 1<<14; item += 17 {
+		items = append(items, item)
+	}
+	for _, ic := range reference.TopK() {
+		items = append(items, ic.Item)
+	}
+	for start := 0; start < len(items); start += 256 {
+		end := min(start+256, len(items))
+		estimates, err := client.Query(ctx, items[start:end]...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, item := range items[start:end] {
+			if want := reference.Estimate(item); estimates[i] != want {
+				t.Fatalf("estimate(%d) after concurrent ingestion = %v, reference = %v (deviation %v)",
+					item, estimates[i], want, estimates[i]-want)
+			}
+		}
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalMass != reference.TotalMass() {
+		t.Fatalf("total mass after concurrent ingestion %v != reference %v", stats.TotalMass, reference.TotalMass())
+	}
+	if stats.Updates != int64(len(s.Updates)) {
+		t.Fatalf("stats count %d updates, want %d", stats.Updates, len(s.Updates))
+	}
+	if stats.Producers != cfg.Producers {
+		t.Fatalf("stats report %d producers, want %d", stats.Producers, cfg.Producers)
 	}
 }
 

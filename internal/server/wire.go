@@ -93,6 +93,7 @@ type Stats struct {
 	Depth     int     `json:"depth"`
 	K         int     `json:"k"`
 	Workers   int     `json:"workers"`
+	Producers int     `json:"producers"`
 	Updates   int64   `json:"updates"`
 	Batches   int64   `json:"batches"`
 	Merges    int64   `json:"merges"`

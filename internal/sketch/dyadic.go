@@ -182,6 +182,60 @@ func (d *Dyadic) SizeCounters() int {
 // LogUniverse returns the number of dyadic levels minus one.
 func (d *Dyadic) LogUniverse() int { return d.logU }
 
+// Clone returns an empty hierarchy whose level sketches share d's hash
+// functions, suitable for sketching a disjoint part of the stream and merging
+// back — the same clone/merge law as the flat sketches, applied level-wise.
+func (d *Dyadic) Clone() *Dyadic {
+	out := &Dyadic{
+		logU:     d.logU,
+		levels:   make([]*CountMin, len(d.levels)),
+		universe: d.universe,
+	}
+	for l, cm := range d.levels {
+		out.levels[l] = cm.Clone()
+	}
+	return out
+}
+
+// CompatibleWith returns nil when other was built with the same universe and
+// every level shares d's dimensions, hash seed and family — the precondition
+// for an exact merge. Like the flat sketches' CompatibleWith, this is the
+// check transports run on serialized hierarchies from possibly misconfigured
+// peers; Merge itself trusts in-process callers beyond the dimension check.
+func (d *Dyadic) CompatibleWith(other *Dyadic) error {
+	if d.logU != other.logU {
+		return fmt.Errorf("sketch: dyadic universe mismatch: 2^%d vs 2^%d", d.logU, other.logU)
+	}
+	for l := range d.levels {
+		if err := d.levels[l].CompatibleWith(other.levels[l]); err != nil {
+			return fmt.Errorf("sketch: dyadic level %d: %w", l, err)
+		}
+	}
+	return nil
+}
+
+// Merge adds other's counters into d, level by level. Each level is a linear
+// Count-Min, so the merged hierarchy answers every range sum, quantile and
+// heavy-hitter query exactly as if d had processed both streams itself. The
+// universes and per-level dimensions are validated up front so a mismatch
+// cannot leave d partially merged.
+func (d *Dyadic) Merge(other *Dyadic) error {
+	if d.logU != other.logU {
+		return fmt.Errorf("sketch: cannot merge dyadic hierarchies over different universes (2^%d vs 2^%d)", d.logU, other.logU)
+	}
+	for l := range d.levels {
+		if d.levels[l].Width() != other.levels[l].Width() || d.levels[l].Depth() != other.levels[l].Depth() {
+			return fmt.Errorf("sketch: cannot merge dyadic level %d of different dimensions", l)
+		}
+	}
+	for l := range d.levels {
+		if err := d.levels[l].Merge(other.levels[l]); err != nil {
+			return fmt.Errorf("sketch: merging dyadic level %d: %w", l, err)
+		}
+	}
+	return nil
+}
+
 // HeavyHitterTracker combines a Count-Min sketch with a candidate heap so
 // that heavy hitters can be reported after a single pass without a second
 // pass over the stream and without knowing the universe. This is the

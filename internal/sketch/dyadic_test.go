@@ -109,6 +109,71 @@ func TestDyadicQuantile(t *testing.T) {
 	}
 }
 
+// TestDyadicCloneMergeIsExact: the clone/merge law applied level-wise — two
+// clones sketch disjoint halves and the merge answers every point, range and
+// quantile query exactly as the sketch that saw the whole stream.
+func TestDyadicCloneMergeIsExact(t *testing.T) {
+	proto := NewDyadic(xrand.New(31), 12, 256, 4)
+	single := proto.Clone()
+	shardA := proto.Clone()
+	shardB := proto.Clone()
+
+	s := stream.Zipf(xrand.New(32), 1<<12, 30_000, 1.1)
+	for i, u := range s.Updates {
+		single.Update(u.Item, float64(u.Delta))
+		if i%2 == 0 {
+			shardA.Update(u.Item, float64(u.Delta))
+		} else {
+			shardB.Update(u.Item, float64(u.Delta))
+		}
+	}
+	if err := shardA.CompatibleWith(shardB); err != nil {
+		t.Fatalf("clones of one prototype must be compatible: %v", err)
+	}
+	if err := shardA.Merge(shardB); err != nil {
+		t.Fatal(err)
+	}
+	for item := uint64(0); item < 1<<12; item += 13 {
+		if a, b := single.Estimate(item), shardA.Estimate(item); a != b {
+			t.Fatalf("estimate(%d): single %v != merged %v", item, a, b)
+		}
+	}
+	for _, rg := range [][2]uint64{{0, (1 << 12) - 1}, {100, 300}, {7, 7}} {
+		if a, b := single.RangeSum(rg[0], rg[1]), shardA.RangeSum(rg[0], rg[1]); a != b {
+			t.Fatalf("RangeSum(%d,%d): single %v != merged %v", rg[0], rg[1], a, b)
+		}
+	}
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		if a, b := single.Quantile(phi), shardA.Quantile(phi); a != b {
+			t.Fatalf("Quantile(%v): single %v != merged %v", phi, a, b)
+		}
+	}
+	if single.TotalMass() != shardA.TotalMass() {
+		t.Fatalf("total mass %v != %v", shardA.TotalMass(), single.TotalMass())
+	}
+}
+
+// TestDyadicMergeRejectsMismatch: merges across different universes or level
+// dimensions must fail up front without touching any counter.
+func TestDyadicMergeRejectsMismatch(t *testing.T) {
+	d := NewDyadic(xrand.New(41), 8, 128, 3)
+	d.Update(5, 2)
+	before := d.Estimate(5)
+
+	if err := d.Merge(NewDyadic(xrand.New(41), 9, 128, 3)); err == nil {
+		t.Error("universe mismatch: expected error")
+	}
+	if err := d.Merge(NewDyadic(xrand.New(41), 8, 64, 3)); err == nil {
+		t.Error("level dimension mismatch: expected error")
+	}
+	if err := d.CompatibleWith(NewDyadic(xrand.New(42), 8, 128, 3)); err == nil {
+		t.Error("foreign hash seed: expected CompatibleWith error")
+	}
+	if d.Estimate(5) != before {
+		t.Error("rejected merge modified the counters")
+	}
+}
+
 func TestDyadicPanics(t *testing.T) {
 	r := xrand.New(1)
 	for _, f := range []func(){

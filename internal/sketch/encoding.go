@@ -41,6 +41,7 @@ const (
 	kindBloom       = 3
 	kindIBLT        = 4
 	kindTracker     = 5
+	kindDyadic      = 6
 )
 
 // Kind is the exported view of the wire-format kind byte, so transport
@@ -55,6 +56,7 @@ const (
 	KindBloom       Kind = kindBloom
 	KindIBLT        Kind = kindIBLT
 	KindTracker     Kind = kindTracker
+	KindDyadic      Kind = kindDyadic
 )
 
 // String names the kind for error messages.
@@ -70,6 +72,8 @@ func (k Kind) String() string {
 		return "IBLT"
 	case KindTracker:
 		return "HeavyHitterTracker"
+	case KindDyadic:
+		return "Dyadic"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -90,7 +94,7 @@ func PeekKind(data []byte) (Kind, error) {
 	}
 	k := Kind(data[5])
 	switch k {
-	case KindCountMin, KindCountSketch, KindBloom, KindIBLT, KindTracker:
+	case KindCountMin, KindCountSketch, KindBloom, KindIBLT, KindTracker, KindDyadic:
 		return k, nil
 	default:
 		return 0, fmt.Errorf("sketch: unknown sketch kind %d", uint8(k))
@@ -457,6 +461,72 @@ func (t *HeavyHitterTracker) UnmarshalBinary(data []byte) error {
 		out.offer(item, cm.Estimate(item))
 	}
 	*t = *out
+	return nil
+}
+
+// Dyadic ---------------------------------------------------------------------
+
+// MarshalBinary encodes the hierarchy: a versioned header, the universe
+// exponent logU, and each level's (length-prefixed) Count-Min encoding from
+// level 0 upward. Every level carries its own hash seed, so the decoded
+// hierarchy answers range sums, quantiles and heavy-hitter descents
+// bit-identically to the original.
+func (d *Dyadic) MarshalBinary() ([]byte, error) {
+	levels := make([][]byte, len(d.levels))
+	total := 0
+	for l, cm := range d.levels {
+		data, err := cm.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("sketch: Dyadic level %d: %w", l, err)
+		}
+		levels[l] = data
+		total += 4 + len(data)
+	}
+	w := writer{buf: make([]byte, 0, 6+4+total)}
+	w.header(kindDyadic)
+	w.u32(uint32(d.logU))
+	for _, data := range levels {
+		w.u32(uint32(len(data)))
+		w.buf = append(w.buf, data...)
+	}
+	return w.buf, nil
+}
+
+// UnmarshalBinary decodes a hierarchy produced by MarshalBinary,
+// reconstructing every level's hash functions from its serialized seed.
+func (d *Dyadic) UnmarshalBinary(data []byte) error {
+	r := reader{buf: data}
+	if !r.expectHeader(kindDyadic, "Dyadic") {
+		return r.err
+	}
+	logU := r.u32()
+	if r.err == nil && (logU < 1 || logU > 63) {
+		r.fail("Dyadic: universe exponent %d out of range [1, 63]", logU)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	out := &Dyadic{
+		logU:     int(logU),
+		levels:   make([]*CountMin, logU+1),
+		universe: 1 << logU,
+	}
+	for l := range out.levels {
+		cmLen := r.u32()
+		cmBytes := r.take(int(cmLen))
+		if r.err != nil {
+			return r.err
+		}
+		cm := &CountMin{}
+		if err := cm.UnmarshalBinary(cmBytes); err != nil {
+			return fmt.Errorf("sketch: Dyadic level %d: %w", l, err)
+		}
+		out.levels[l] = cm
+	}
+	if err := r.done("Dyadic"); err != nil {
+		return err
+	}
+	*d = *out
 	return nil
 }
 

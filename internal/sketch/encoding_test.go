@@ -241,6 +241,123 @@ func TestMergeOverTheWire(t *testing.T) {
 	}
 }
 
+// TestDyadicRoundTrip: the hierarchy encoding must reproduce every point,
+// range and quantile answer exactly, keep behaving identically on later
+// updates (hash seeds ride along level by level), and merge over the wire as
+// exactly as an in-process merge.
+func TestDyadicRoundTrip(t *testing.T) {
+	d := NewDyadic(xrand.New(51), 12, 256, 4)
+	s := stream.Zipf(xrand.New(52), 1<<12, 25_000, 1.1)
+	feedStream(s, d.Update)
+
+	data, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, err := PeekKind(data); err != nil || kind != KindDyadic {
+		t.Fatalf("PeekKind = %v, %v; want KindDyadic", kind, err)
+	}
+	var back Dyadic
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.LogUniverse() != d.LogUniverse() || back.Universe() != d.Universe() {
+		t.Fatalf("shape lost: logU %d/%d", back.LogUniverse(), d.LogUniverse())
+	}
+	for item := uint64(0); item < 1<<12; item += 19 {
+		if a, b := d.Estimate(item), back.Estimate(item); a != b {
+			t.Fatalf("estimate(%d) %v != %v after round trip", item, a, b)
+		}
+	}
+	for _, rg := range [][2]uint64{{0, (1 << 12) - 1}, {33, 900}} {
+		if a, b := d.RangeSum(rg[0], rg[1]), back.RangeSum(rg[0], rg[1]); a != b {
+			t.Fatalf("RangeSum(%d,%d) %v != %v after round trip", rg[0], rg[1], a, b)
+		}
+	}
+	if a, b := d.Quantile(0.5), back.Quantile(0.5); a != b {
+		t.Fatalf("median %v != %v after round trip", a, b)
+	}
+	// Bit-identical behavior going forward.
+	for i := uint64(0); i < 3_000; i++ {
+		item := (i * 2654435761) % (1 << 12)
+		d.Update(item, 1)
+		back.Update(item, 1)
+	}
+	for item := uint64(0); item < 1<<12; item += 41 {
+		if a, b := d.Estimate(item), back.Estimate(item); a != b {
+			t.Fatalf("post-round-trip updates diverged at item %d: %v != %v", item, a, b)
+		}
+	}
+	// The distributed-shard scenario: a deserialized hierarchy merges exactly.
+	single := NewDyadic(xrand.New(53), 10, 128, 3)
+	shardA := single.Clone()
+	shardB := single.Clone()
+	s2 := stream.Zipf(xrand.New(54), 1<<10, 10_000, 1.1)
+	for i, u := range s2.Updates {
+		single.Update(u.Item, float64(u.Delta))
+		if i%2 == 0 {
+			shardA.Update(u.Item, float64(u.Delta))
+		} else {
+			shardB.Update(u.Item, float64(u.Delta))
+		}
+	}
+	wireBytes, err := shardB.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire Dyadic
+	if err := wire.UnmarshalBinary(wireBytes); err != nil {
+		t.Fatal(err)
+	}
+	if err := shardA.Merge(&wire); err != nil {
+		t.Fatal(err)
+	}
+	for item := uint64(0); item < 1<<10; item += 7 {
+		if a, b := single.Estimate(item), shardA.Estimate(item); a != b {
+			t.Fatalf("estimate(%d): single %v != merged-over-wire %v", item, a, b)
+		}
+	}
+}
+
+// TestDyadicUnmarshalRejectsGarbage: corrupt hierarchy encodings must error.
+func TestDyadicUnmarshalRejectsGarbage(t *testing.T) {
+	d := NewDyadic(xrand.New(55), 6, 32, 2)
+	for i := uint64(0); i < 200; i++ {
+		d.Update(i%64, 1)
+	}
+	good, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target Dyadic
+	cases := map[string][]byte{
+		"empty":            {},
+		"truncated header": good[:8],
+		"truncated level":  good[:30],
+		"trailing":         append(append([]byte{}, good...), 1),
+		"logU zero":        corruptAt(good, 9, 0), // logU u32 big-endian low byte
+	}
+	for name, data := range cases {
+		if err := target.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: expected error, got nil", name)
+		}
+	}
+	// Corrupting an embedded level's family byte must surface its error.
+	// Layout: dyadic header (6) + logU (4) + level-0 length (4) = 14, then the
+	// embedded CountMin header (6) puts the family byte at offset 20.
+	badFamily := corruptAt(good, 20, 0xFF)
+	if err := target.UnmarshalBinary(badFamily); err == nil {
+		t.Error("embedded bad family: expected error, got nil")
+	}
+}
+
+// corruptAt returns a copy of data with one byte overwritten.
+func corruptAt(data []byte, offset int, b byte) []byte {
+	out := append([]byte{}, data...)
+	out[offset] = b
+	return out
+}
+
 // TestTrackerRoundTrip: the tracker encoding must reproduce estimates and
 // the candidate set exactly, and re-marshalling the reconstruction must give
 // byte-identical output (candidates are serialized in sorted order, so the
