@@ -70,19 +70,39 @@ func main() {
 	names := map[uint64]string{}
 
 	// For file/stdin input the reading goroutine owns one producer handle;
-	// synthetic streams below fan across -workers handles instead.
+	// synthetic streams below fan across -workers handles instead. Either
+	// way items are buffered into key/delta columns and ingested through
+	// UpdateBatch/UpdateColumns — the batch-first hot path — rather than one
+	// Update call per line.
 	var prod *engine.Producer[*sketch.HeavyHitterTracker]
 	if eng != nil {
 		prod = eng.Producer()
 	}
-	process := func(id uint64, label string) {
+	const ingestChunk = 4096
+	batchItems := make([]uint64, 0, ingestChunk)
+	batchDeltas := make([]float64, 0, ingestChunk)
+	flush := func() {
+		if len(batchItems) == 0 {
+			return
+		}
 		if prod != nil {
-			prod.Update(id, 1)
+			prod.UpdateColumns(batchItems, batchDeltas)
 		} else {
-			tracker.Update(id, 1)
+			tracker.UpdateBatch(batchItems, batchDeltas)
 		}
 		if exactCounter != nil {
-			exactCounter.Update(id, 1)
+			for _, id := range batchItems {
+				exactCounter.Update(id, 1)
+			}
+		}
+		batchItems = batchItems[:0]
+		batchDeltas = batchDeltas[:0]
+	}
+	process := func(id uint64, label string) {
+		batchItems = append(batchItems, id)
+		batchDeltas = append(batchDeltas, 1)
+		if len(batchItems) >= ingestChunk {
+			flush()
 		}
 		if label != "" {
 			names[id] = label
@@ -93,9 +113,10 @@ func main() {
 	if *synthetic > 0 {
 		s := stream.Zipf(r, 1<<20, *synthetic, 1.1)
 		if eng != nil {
-			// Concurrent producers: each goroutine takes its own handle and
-			// ingests a disjoint slice — no locks anywhere on the path, and
-			// the merge is still exact.
+			// Concurrent producers: each goroutine takes its own handle,
+			// gathers its disjoint slice into columns, and ships them through
+			// UpdateColumns — no locks anywhere on the path, and the merge is
+			// still exact.
 			var wg sync.WaitGroup
 			for pid := 0; pid < *workers; pid++ {
 				wg.Add(1)
@@ -103,9 +124,23 @@ func main() {
 					defer wg.Done()
 					p := eng.Producer()
 					defer p.Close()
-					for i := pid; i < len(s.Updates); i += *workers {
-						p.Update(s.Updates[i].Item, 1)
+					// Stride the worker's disjoint slice directly into one
+					// chunk-sized column pair, reused across chunks — constant
+					// memory however long the stream (UpdateColumns copies,
+					// so reuse is safe).
+					chunk := make([]uint64, 0, ingestChunk)
+					ones := make([]float64, ingestChunk)
+					for i := range ones {
+						ones[i] = 1
 					}
+					for i := pid; i < len(s.Updates); i += *workers {
+						chunk = append(chunk, s.Updates[i].Item)
+						if len(chunk) == ingestChunk {
+							p.UpdateColumns(chunk, ones)
+							chunk = chunk[:0]
+						}
+					}
+					p.UpdateColumns(chunk, ones[:len(chunk)])
 				}(pid)
 			}
 			wg.Wait()
@@ -148,6 +183,7 @@ func main() {
 		}
 	}
 
+	flush() // drain the partially filled ingest columns
 	if eng != nil {
 		prod.Close() // flush the reader-side handle; Close waits for it
 		merged, err := eng.Close()

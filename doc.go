@@ -6,15 +6,20 @@
 // sections:
 //
 //	internal/core     the unifying "sketch = sparse linear map" view
+//	internal/hashing  multiply-shift, polynomial and tabulation hash families
+//	                  with scalar and batched (HashBatch/SignBatch) kernels
 //	internal/sketch   Count-Min, Count-Sketch, Misra-Gries, SpaceSaving,
 //	                  Bloom filters, IBLT, dyadic heavy hitters & quantiles,
-//	                  plus versioned binary serialization for the linear
-//	                  sketches (hash seeds ride along, so a deserialized
-//	                  sketch hashes identically and merges exactly)
+//	                  with flat counter layouts and batch-first UpdateBatch
+//	                  hot paths, plus versioned binary serialization for the
+//	                  linear sketches (hash seeds ride along, so a
+//	                  deserialized sketch hashes identically and merges
+//	                  exactly)
 //	internal/engine   concurrent sharded ingestion: N workers with private
 //	                  sketch replicas built from identical hash seeds, any
-//	                  number of lock-free producer handles feeding them, and
-//	                  an exact linear merge on Snapshot/Close
+//	                  number of lock-free producer handles feeding them
+//	                  columnar batches, and an exact linear merge on
+//	                  Snapshot/Close
 //	internal/server   the HTTP ingestion/snapshot daemon behind cmd/sketchd:
 //	                  concurrently ingested batched updates, live queries,
 //	                  snapshot export and exact cross-process merge, plus a
@@ -25,7 +30,7 @@
 //	                  SRHT, sketch-and-solve regression and low-rank
 //	internal/sfft     sparse Fourier transform and sparse Hadamard transform
 //	internal/fourier  FFT / FWHT / window-filter substrate
-//	internal/bench    the E1-E12 experiment harness (see
+//	internal/bench    the E1-E13 experiment harness (see
 //	                  internal/bench/DESIGN.md for each experiment's claim,
 //	                  workload and metrics)
 //

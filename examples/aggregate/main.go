@@ -65,11 +65,11 @@ func main() {
 
 	switch {
 	case *push != "":
-		updates := streamHalf(*seed, *n, *half)
+		items, deltas := streamHalf(*seed, *n, *half)
 		client := server.NewClient(*push, nil)
-		pushConcurrently(client, updates, *pushers, nil)
+		pushConcurrently(client, items, deltas, *pushers, nil)
 		fmt.Printf("pushed %d updates (half %d of %d) to %s over %d concurrent connections\n",
-			len(updates), *half, *n, *push, *pushers)
+			len(items), *half, *n, *push, *pushers)
 
 	case *merge != "":
 		urls := strings.Split(*merge, ",")
@@ -102,12 +102,15 @@ func main() {
 	}
 }
 
-// pushConcurrently splits updates across `pushers` goroutines, each POSTing
-// its disjoint interleaved slice in chunks so requests genuinely overlap on
-// the daemon's producer lanes. When refEng is non-nil, each pusher also
-// feeds its slice through a private engine producer handle — building the
+// pushConcurrently splits the key/delta columns across `pushers` goroutines,
+// each POSTing its disjoint interleaved slice in chunks so requests genuinely
+// overlap on the daemon's producer lanes. Updates stay in column form from
+// here to the daemon's counters: the client encodes columns, the server
+// decodes straight into its lane columns, and the engine hands them whole to
+// the sketch's batched update path. When refEng is non-nil, each pusher also
+// feeds its columns through a private engine producer handle — building the
 // in-process reference with exactly the pipeline the daemons use.
-func pushConcurrently(client *server.Client, updates []engine.Update, pushers int, refEng *engine.Engine[*sketch.HeavyHitterTracker]) {
+func pushConcurrently(client *server.Client, items []uint64, deltas []float64, pushers int, refEng *engine.Engine[*sketch.HeavyHitterTracker]) {
 	const chunk = 2048
 	ctx := context.Background()
 	var wg sync.WaitGroup
@@ -115,18 +118,20 @@ func pushConcurrently(client *server.Client, updates []engine.Update, pushers in
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			own := make([]engine.Update, 0, len(updates)/pushers+1)
-			for i := w; i < len(updates); i += pushers {
-				own = append(own, updates[i])
+			ownItems := make([]uint64, 0, len(items)/pushers+1)
+			ownDeltas := make([]float64, 0, len(items)/pushers+1)
+			for i := w; i < len(items); i += pushers {
+				ownItems = append(ownItems, items[i])
+				ownDeltas = append(ownDeltas, deltas[i])
 			}
 			if refEng != nil {
 				p := refEng.Producer()
-				p.UpdateBatch(own)
+				p.UpdateColumns(ownItems, ownDeltas)
 				p.Close()
 			}
-			for start := 0; start < len(own); start += chunk {
-				end := min(start+chunk, len(own))
-				if err := client.Update(ctx, own[start:end]); err != nil {
+			for start := 0; start < len(ownItems); start += chunk {
+				end := min(start+chunk, len(ownItems))
+				if err := client.UpdateColumns(ctx, ownItems[start:end], ownDeltas[start:end]); err != nil {
 					log.Fatal(err)
 				}
 			}
@@ -161,7 +166,8 @@ func demo(seed uint64, n, pushers int) {
 		if halfIdx == 1 {
 			client = clientB
 		}
-		pushConcurrently(client, streamHalf(seed, n, halfIdx), pushers, refEng)
+		items, deltas := streamHalf(seed, n, halfIdx)
+		pushConcurrently(client, items, deltas, pushers, refEng)
 	}
 	reference, err := refEng.Close()
 	if err != nil {
@@ -231,15 +237,17 @@ func startDaemon(cfg server.Config) (addr string, closeFn func()) {
 }
 
 // streamHalf deterministically generates the full Zipf stream and returns
-// the requested half, so independent processes sharing -seed and -n split
-// the work without coordinating.
-func streamHalf(seed uint64, n, half int) []engine.Update {
+// the requested half as key/delta columns, so independent processes sharing
+// -seed and -n split the work without coordinating.
+func streamHalf(seed uint64, n, half int) ([]uint64, []float64) {
 	s := stream.Zipf(xrand.New(seed), 1<<20, n, 1.1)
-	out := make([]engine.Update, 0, n/2+1)
+	items := make([]uint64, 0, n/2+1)
+	deltas := make([]float64, 0, n/2+1)
 	for i, u := range s.Updates {
 		if i%2 == half {
-			out = append(out, engine.Update{Item: u.Item, Delta: float64(u.Delta)})
+			items = append(items, u.Item)
+			deltas = append(deltas, float64(u.Delta))
 		}
 	}
-	return out
+	return items, deltas
 }

@@ -33,10 +33,16 @@ func main() {
 	s := stream.Zipf(r, 1<<16, 200_000, 1.2)
 	cm := sketch.NewCountMin(r, 2048, 4)
 	exact := stream.NewExactCounter()
-	for _, u := range s.Updates {
-		cm.Update(u.Item, float64(u.Delta))
+	// Batch-first ingestion: hand the stream to the sketch as parallel
+	// key/delta columns. UpdateBatch drives the vectorizable hash kernels
+	// and is bit-identical to calling cm.Update once per item — just faster.
+	items := make([]uint64, len(s.Updates))
+	deltas := make([]float64, len(s.Updates))
+	for i, u := range s.Updates {
+		items[i], deltas[i] = u.Item, float64(u.Delta)
 		exact.Update(u.Item, u.Delta)
 	}
+	cm.UpdateBatch(items, deltas)
 	fmt.Printf("   sketch: %d counters instead of %d exact entries\n", cm.Size(), exact.DistinctItems())
 	for _, ic := range exact.TopK(3) {
 		fmt.Printf("   item %6d  true count %6d   sketch estimate %6.0f\n", ic.Item, ic.Count, cm.Estimate(ic.Item))

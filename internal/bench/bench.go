@@ -1,7 +1,8 @@
 // Package bench is the experiment harness: it regenerates, as printed
 // tables, every quantitative claim of the survey (experiments E1–E10 in
 // DESIGN.md, plus the engine-scaling experiments E11, sharded ingestion,
-// and E12, multi-producer ingestion). Each experiment builds its synthetic
+// E12, multi-producer ingestion, and E13, batch-first ingestion through the
+// flat counter layout and hash kernels). Each experiment builds its synthetic
 // workload, sweeps the relevant parameter, runs the hashing-based method and
 // its baselines, and reports the metrics the claim is about
 // (recall/precision, measurement counts, running times, distortions,
@@ -92,7 +93,7 @@ type Experiment struct {
 	Run   func(cfg Config) []Table
 }
 
-// Registry returns every experiment in order E1..E12.
+// Registry returns every experiment in order E1..E13.
 func Registry() []Experiment {
 	return []Experiment{
 		{ID: "e1", Claim: "§1: frequent elements map to heavy buckets; sketches recover them in one pass with limited storage", Run: RunE1HeavyHitters},
@@ -107,6 +108,7 @@ func Registry() []Experiment {
 		{ID: "e10", Claim: "§2 [GM11]: IBLTs list the whole sketched set exactly below a load threshold", Run: RunE10IBLT},
 		{ID: "e11", Claim: "§1: sketches are linear maps, so sharded ingestion merges exactly and throughput scales with cores", Run: RunE11ShardedIngest},
 		{ID: "e12", Claim: "§1: linearity tolerates any update interleaving, so lock-free multi-producer ingestion beats a global mutex and still merges exactly", Run: RunE12MultiProducerIngest},
+		{ID: "e13", Claim: "§1: a sketch update is a sparse matrix-vector product, so batch-first ingestion through flat counters and vectorizable hash kernels beats per-item dispatch bit-for-bit exactly", Run: RunE13BatchIngest},
 	}
 }
 

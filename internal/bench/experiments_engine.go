@@ -93,6 +93,134 @@ func RunE11ShardedIngest(cfg Config) []Table {
 	return []Table{table}
 }
 
+// RunE13BatchIngest measures the batch-first hot path against per-item
+// ingestion at every layer it touches: the sketch itself (UpdateBatch over
+// the flat counter array driven by the devirtualized hash kernels, vs one
+// interface-dispatched Update per item), and the engine (columnar producer
+// batches flowing whole into the replicas' UpdateBatch). Count-Min and
+// Count-Sketch are both swept — the latter exercises the sign kernels too —
+// and every configuration's exactness column reports the largest estimate
+// deviation from the per-item reference, which linearity plus the
+// bit-identical-batch contract says must always be exactly 0.
+func RunE13BatchIngest(cfg Config) []Table {
+	universe := uint64(1 << 20)
+	length := 2_000_000
+	if cfg.Quick {
+		universe = 1 << 16
+		length = 100_000
+	}
+	const width, depth = 4096, 4
+
+	r := xrand.New(cfg.Seed)
+	s := stream.Zipf(r, universe, length, 1.1)
+	items := make([]uint64, len(s.Updates))
+	deltas := make([]float64, len(s.Updates))
+	for i, u := range s.Updates {
+		items[i] = u.Item
+		deltas[i] = float64(u.Delta)
+	}
+	rate := func(d float64) string { return fmt.Sprintf("%.2f", float64(length)/d/1e6) }
+
+	// Count-Min table ------------------------------------------------------
+	cmProto := sketch.NewCountMin(xrand.New(cfg.Seed+1), width, depth)
+	cmRef := cmProto.Clone()
+	scalarSecs := timeIt(func() {
+		for i := range items {
+			cmRef.Update(items[i], deltas[i])
+		}
+	}).Seconds()
+	cmErr := func(got *sketch.CountMin) float64 {
+		var worst float64
+		for item := uint64(0); item < universe; item += 101 {
+			if d := absFloat(cmRef.Estimate(item) - got.Estimate(item)); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+
+	cmTable := Table{
+		Title: fmt.Sprintf("E13a: batch vs scalar ingestion, %d Zipf updates, Count-Min %dx%d, GOMAXPROCS=%d",
+			length, width, depth, runtime.GOMAXPROCS(0)),
+		Columns: []string{"config", "items/sec (M)", "speedup vs scalar", "max |err| vs scalar"},
+	}
+	cmTable.AddRow("scalar Update", rate(scalarSecs), "1.00x", "-")
+	for _, batchLen := range []int{64, 1024, 4096} {
+		cm := cmProto.Clone()
+		secs := timeIt(func() {
+			for start := 0; start < len(items); start += batchLen {
+				end := min(start+batchLen, len(items))
+				cm.UpdateBatch(items[start:end], deltas[start:end])
+			}
+		}).Seconds()
+		cmTable.AddRow(
+			fmt.Sprintf("UpdateBatch n=%d", batchLen),
+			rate(secs),
+			fmt.Sprintf("%.2fx", scalarSecs/secs),
+			fmtFloat(cmErr(cm)),
+		)
+	}
+	{
+		eng := engine.NewCountMin(engine.Config{Workers: 2, BatchSize: 4096}, cmProto)
+		var merged *sketch.CountMin
+		var err error
+		secs := timeIt(func() {
+			const chunk = 4096
+			for start := 0; start < len(items); start += chunk {
+				end := min(start+chunk, len(items))
+				eng.UpdateColumns(items[start:end], deltas[start:end])
+			}
+			merged, err = eng.Close()
+		}).Seconds()
+		if err != nil {
+			panic(fmt.Sprintf("bench: E13 engine close: %v", err))
+		}
+		cmTable.AddRow("engine columns (2 shards)", rate(secs), fmt.Sprintf("%.2fx", scalarSecs/secs), fmtFloat(cmErr(merged)))
+	}
+
+	// Count-Sketch table (buckets and signs both go through kernels) -------
+	csProto := sketch.NewCountSketch(xrand.New(cfg.Seed+2), width, depth)
+	csRef := csProto.Clone()
+	csScalarSecs := timeIt(func() {
+		for i := range items {
+			csRef.Update(items[i], deltas[i])
+		}
+	}).Seconds()
+	csErr := func(got *sketch.CountSketch) float64 {
+		var worst float64
+		for item := uint64(0); item < universe; item += 101 {
+			if d := absFloat(csRef.Estimate(item) - got.Estimate(item)); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+
+	csTable := Table{
+		Title: fmt.Sprintf("E13b: batch vs scalar ingestion, %d Zipf updates, Count-Sketch %dx%d (bucket + sign kernels)",
+			length, width, depth),
+		Columns: []string{"config", "items/sec (M)", "speedup vs scalar", "max |err| vs scalar"},
+	}
+	csTable.AddRow("scalar Update", rate(csScalarSecs), "1.00x", "-")
+	for _, batchLen := range []int{1024, 4096} {
+		cs := csProto.Clone()
+		secs := timeIt(func() {
+			for start := 0; start < len(items); start += batchLen {
+				end := min(start+batchLen, len(items))
+				cs.UpdateBatch(items[start:end], deltas[start:end])
+			}
+		}).Seconds()
+		csTable.AddRow(
+			fmt.Sprintf("UpdateBatch n=%d", batchLen),
+			rate(secs),
+			fmt.Sprintf("%.2fx", csScalarSecs/secs),
+			fmtFloat(csErr(cs)),
+		)
+	}
+
+	return []Table{cmTable, csTable}
+}
+
 // RunE12MultiProducerIngest measures concurrent ingestion throughput of the
 // producer-handle pipeline against the PR-2 mutex discipline it replaced,
 // sweeping the producer count, and verifies that both merged results equal

@@ -129,6 +129,33 @@ func TestE12MultiProducerExact(t *testing.T) {
 	}
 }
 
+// TestE13BatchIngestExact: every batched configuration — sketch-level
+// UpdateBatch at any chunk size, and the engine's columnar path — must
+// report exactly zero estimate deviation from the per-item reference. This
+// is the bit-identical-batch contract; speedup is hardware-dependent and
+// not asserted.
+func TestE13BatchIngestExact(t *testing.T) {
+	tables := RunE13BatchIngest(Config{Seed: 37, Quick: true})
+	if len(tables) != 2 {
+		t.Fatalf("E13 should produce two tables, got %d", len(tables))
+	}
+	for _, tbl := range tables {
+		batchRows := 0
+		for _, row := range tbl.Rows {
+			if row[3] == "-" {
+				continue // scalar baseline row
+			}
+			batchRows++
+			if v := parseCell(t, row[3]); v != 0 {
+				t.Errorf("%s: %s: max estimate deviation %v, want exactly 0", tbl.Title, row[0], v)
+			}
+		}
+		if batchRows < 2 {
+			t.Fatalf("%s: expected at least 2 batch rows, got %d", tbl.Title, batchRows)
+		}
+	}
+}
+
 // TestE2MultiplyShiftFastest: the multiply-shift hash family should give the
 // highest update throughput among the Count-Min variants.
 func TestE2MultiplyShiftFastest(t *testing.T) {

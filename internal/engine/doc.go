@@ -33,10 +33,15 @@
 //     round-robin gives perfect load balance with zero per-item routing cost.
 //     Each producer handle keeps its own cursor (staggered at creation), so
 //     producers spread across the shard ring without coordinating.
-//   - Batching amortizes channel synchronization: a producer fills a slice
-//     of updates (BatchSize, default 1024) and hands the whole slice to a
-//     worker, so channel overhead is paid once per batch rather than once
-//     per item. Drained batch slices are recycled through a shared free list.
+//   - Batching amortizes channel synchronization: a producer fills a pair of
+//     key/delta columns (BatchSize, default 1024) and hands the pair to a
+//     worker whole, so channel overhead is paid once per batch rather than
+//     once per item, and the worker passes the columns straight to the
+//     replica's UpdateBatch — the batched sketch path over the flat counter
+//     layout and the hash kernels of internal/hashing. Drained columns are
+//     recycled through a shared free list. Callers that already hold columns
+//     (the server's wire decoder, benchmark harnesses) use UpdateColumns and
+//     skip the per-record unpacking entirely.
 //   - Snapshot uses a barrier protocol: a sync token is enqueued on every
 //     shard's (FIFO) channel; each worker acknowledges it after applying all
 //     earlier batches and then blocks until the merge has read its replica.

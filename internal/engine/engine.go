@@ -52,10 +52,19 @@ var ErrClosed = errors.New("engine: closed")
 // serialize their concrete replica type. Register one with WithCodec.
 var ErrNoCodec = errors.New("engine: replica type has no binary codec registered")
 
+// batch is a pair of parallel key/delta columns — the unit of work handed to
+// a shard. Columns, not records: the worker passes them straight to the
+// replica's UpdateBatch, which drives the vectorizable hash kernels, so an
+// update crosses the engine without ever being boxed into a per-item struct.
+type batch struct {
+	items  []uint64
+	deltas []float64
+}
+
 // op is a shard channel message: either a batch of updates or a snapshot
 // barrier token (ready/resume non-nil).
 type op struct {
-	batch  []Update
+	b      batch
 	ready  chan<- struct{} // worker sends when all earlier batches are applied
 	resume <-chan struct{} // worker blocks here until the merge has read its replica
 }
@@ -76,7 +85,7 @@ type shard[S any] struct {
 // private batch buffer, so the hot path shares no locks). Snapshot, Absorb
 // and the encoded variants are safe to call while producers are ingesting;
 // they cut a consistent barrier across the shard queues. The engine-level
-// Update/UpdateBatch/Flush methods are a convenience for single-goroutine
+// Update/UpdateBatch/UpdateColumns/Flush methods are a convenience for single-goroutine
 // callers — they ride the engine's own producer handle and must not be used
 // concurrently (with each other or with Snapshot/Close); concurrent
 // ingesters take handles instead.
@@ -85,7 +94,7 @@ type Engine[S any] struct {
 	shards []*shard[S]
 
 	newReplica func() S
-	apply      func(S, []Update)
+	apply      func(S, []uint64, []float64)
 	merge      func(dst, src S) error
 
 	// encode/decode translate a replica to and from the versioned binary
@@ -93,7 +102,7 @@ type Engine[S any] struct {
 	encode func(S) ([]byte, error)
 	decode func([]byte) (S, error)
 
-	free chan []Update // recycled batch slices, shared by all producers
+	free chan batch // recycled column pairs, shared by all producers
 
 	// mu serializes the engine's structural transitions — producer
 	// registration, barriers (Snapshot/Absorb) and the Close handshake. The
@@ -110,8 +119,9 @@ type Engine[S any] struct {
 // New creates an engine over an arbitrary replica type. newReplica must
 // return an empty replica sharing hash functions with every other replica it
 // returns (for the sketch types, a closure over prototype.Clone()); apply
-// folds a batch of updates into a replica; merge adds src into dst.
-func New[S any](cfg Config, newReplica func() S, apply func(S, []Update), merge func(dst, src S) error) *Engine[S] {
+// folds a batch of updates — parallel key/delta columns — into a replica;
+// merge adds src into dst.
+func New[S any](cfg Config, newReplica func() S, apply func(S, []uint64, []float64), merge func(dst, src S) error) *Engine[S] {
 	cfg = cfg.withDefaults()
 	e := &Engine[S]{
 		cfg:        cfg,
@@ -119,7 +129,7 @@ func New[S any](cfg Config, newReplica func() S, apply func(S, []Update), merge 
 		newReplica: newReplica,
 		apply:      apply,
 		merge:      merge,
-		free:       make(chan []Update, cfg.Workers*cfg.QueueDepth+1),
+		free:       make(chan batch, cfg.Workers*cfg.QueueDepth+1),
 	}
 	for i := range e.shards {
 		sh := &shard[S]{
@@ -143,10 +153,10 @@ func (e *Engine[S]) run(sh *shard[S]) {
 			<-o.resume
 			continue
 		}
-		e.apply(sh.replica, o.batch)
-		// Recycle the slice if the free list has room; drop it otherwise.
+		e.apply(sh.replica, o.b.items, o.b.deltas)
+		// Recycle the columns if the free list has room; drop them otherwise.
 		select {
-		case e.free <- o.batch[:0]:
+		case e.free <- batch{items: o.b.items[:0], deltas: o.b.deltas[:0]}:
 		default:
 		}
 	}
@@ -165,9 +175,14 @@ func (e *Engine[S]) run(sh *shard[S]) {
 // A handle is not itself goroutine-safe: each concurrent ingester takes its
 // own via Engine.Producer. Every handle must be Closed (flushing its buffer)
 // before Engine.Close can complete.
+//
+// The handle buffers key/delta columns, not records: Update appends to both
+// columns, UpdateColumns bulk-copies caller columns, and a full buffer is
+// handed to a shard whole, where it flows unchanged into the replica's
+// batched update path.
 type Producer[S any] struct {
 	e      *Engine[S]
-	cur    []Update
+	cur    batch
 	next   int
 	closed bool
 }
@@ -183,46 +198,95 @@ func (e *Engine[S]) Producer() *Producer[S] {
 	}
 	e.producers.Add(1)
 	return &Producer[S]{
-		e:    e,
-		cur:  make([]Update, 0, e.cfg.BatchSize),
+		e: e,
+		cur: batch{
+			items:  make([]uint64, 0, e.cfg.BatchSize),
+			deltas: make([]float64, 0, e.cfg.BatchSize),
+		},
 		next: int(e.stagger.Add(1)-1) % len(e.shards),
 	}
 }
 
-// Update appends one record to the handle's batch, dispatching the batch to
-// a shard when it reaches BatchSize.
+// Update appends one record to the handle's columns, dispatching the batch
+// to a shard when it reaches BatchSize.
 func (p *Producer[S]) Update(item uint64, delta float64) {
 	if p.closed {
 		panic("engine: producer Update after Close")
 	}
-	p.cur = append(p.cur, Update{Item: item, Delta: delta})
-	if len(p.cur) >= p.e.cfg.BatchSize {
+	p.cur.items = append(p.cur.items, item)
+	p.cur.deltas = append(p.cur.deltas, delta)
+	if len(p.cur.items) >= p.e.cfg.BatchSize {
 		p.dispatch()
 	}
 }
 
+// UpdateColumns appends parallel key/delta columns — the engine's native
+// batch shape, and what the server's wire decoder produces. The columns are
+// bulk-copied into the handle's buffer (the caller keeps ownership and may
+// reuse them immediately), dispatching to a shard each time the buffer
+// fills, so a large caller batch moves through memcpy-speed copies instead
+// of a per-item loop.
+func (p *Producer[S]) UpdateColumns(items []uint64, deltas []float64) {
+	if p.closed {
+		panic("engine: producer UpdateColumns after Close")
+	}
+	if len(items) != len(deltas) {
+		panic(fmt.Sprintf("engine: UpdateColumns length mismatch (%d items, %d deltas)", len(items), len(deltas)))
+	}
+	for len(items) > 0 {
+		n := p.e.cfg.BatchSize - len(p.cur.items)
+		if n > len(items) {
+			n = len(items)
+		}
+		p.cur.items = append(p.cur.items, items[:n]...)
+		p.cur.deltas = append(p.cur.deltas, deltas[:n]...)
+		items, deltas = items[n:], deltas[n:]
+		if len(p.cur.items) >= p.e.cfg.BatchSize {
+			p.dispatch()
+		}
+	}
+}
+
 // UpdateBatch appends a slice of records (the slice is copied into internal
-// batches; the caller keeps ownership).
+// column batches; the caller keeps ownership). Callers that already hold
+// columns should prefer UpdateColumns, which skips the per-record unpacking.
 func (p *Producer[S]) UpdateBatch(updates []Update) {
-	for _, u := range updates {
-		p.Update(u.Item, u.Delta)
+	if p.closed {
+		panic("engine: producer UpdateBatch after Close")
+	}
+	for len(updates) > 0 {
+		n := p.e.cfg.BatchSize - len(p.cur.items)
+		if n > len(updates) {
+			n = len(updates)
+		}
+		for _, u := range updates[:n] {
+			p.cur.items = append(p.cur.items, u.Item)
+			p.cur.deltas = append(p.cur.deltas, u.Delta)
+		}
+		updates = updates[n:]
+		if len(p.cur.items) >= p.e.cfg.BatchSize {
+			p.dispatch()
+		}
 	}
 }
 
 // dispatch hands the current batch to the handle's next shard round-robin
-// and starts a fresh batch from the shared free list.
+// and starts a fresh column pair from the shared free list.
 func (p *Producer[S]) dispatch() {
-	if len(p.cur) == 0 {
+	if len(p.cur.items) == 0 {
 		return
 	}
 	e := p.e
-	e.shards[p.next].ch <- op{batch: p.cur}
+	e.shards[p.next].ch <- op{b: p.cur}
 	p.next = (p.next + 1) % len(e.shards)
 	select {
 	case b := <-e.free:
 		p.cur = b
 	default:
-		p.cur = make([]Update, 0, e.cfg.BatchSize)
+		p.cur = batch{
+			items:  make([]uint64, 0, e.cfg.BatchSize),
+			deltas: make([]float64, 0, e.cfg.BatchSize),
+		}
 	}
 }
 
@@ -263,6 +327,12 @@ func (e *Engine[S]) Update(item uint64, delta float64) {
 // handle (see Update for the concurrency contract).
 func (e *Engine[S]) UpdateBatch(updates []Update) {
 	e.def.UpdateBatch(updates)
+}
+
+// UpdateColumns appends parallel key/delta columns through the engine's own
+// producer handle (see Update for the concurrency contract).
+func (e *Engine[S]) UpdateColumns(items []uint64, deltas []float64) {
+	e.def.UpdateColumns(items, deltas)
 }
 
 // Flush dispatches the engine handle's partially filled batch so it becomes
@@ -419,13 +489,16 @@ func (e *Engine[S]) Close() (S, error) {
 // Sketch-family constructors -------------------------------------------------
 
 // LinearSketch is the contract a sketch type must satisfy to ride the
-// engine: clonable (empty replica, same hash functions), mergeable (exact
-// counter addition) and serializable (the versioned binary encoding). Every
-// linear family in internal/sketch — CountMin, CountSketch, the
+// engine: batch-updatable (parallel key/delta columns — the shard workers
+// hand whole batches to UpdateBatch, which is where the vectorizable hash
+// kernels live), clonable (empty replica, same hash functions), mergeable
+// (exact counter addition) and serializable (the versioned binary encoding).
+// Every linear family in internal/sketch — CountMin, CountSketch, the
 // heavy-hitter tracker, the dyadic hierarchy — satisfies it; NewLinear turns
 // any of them, or a caller's own type, into an engine.
 type LinearSketch[S any] interface {
 	Update(item uint64, delta float64)
+	UpdateBatch(items []uint64, deltas []float64)
 	Clone() S
 	Merge(src S) error
 	MarshalBinary() ([]byte, error)
@@ -439,11 +512,7 @@ type LinearSketch[S any] interface {
 func NewLinear[S LinearSketch[S]](cfg Config, proto S, decode func([]byte) (S, error)) *Engine[S] {
 	return New(cfg,
 		func() S { return proto.Clone() },
-		func(s S, batch []Update) {
-			for _, u := range batch {
-				s.Update(u.Item, u.Delta)
-			}
-		},
+		func(s S, items []uint64, deltas []float64) { s.UpdateBatch(items, deltas) },
 		func(dst, src S) error { return dst.Merge(src) },
 	).WithCodec(
 		func(s S) ([]byte, error) { return s.MarshalBinary() },

@@ -428,6 +428,58 @@ func TestUpdateBatchAndFlush(t *testing.T) {
 	}
 }
 
+// TestUpdateColumnsExact: the columnar ingestion path — caller columns bulk-
+// copied into producer buffers, dispatched whole, applied via the replicas'
+// UpdateBatch — must merge to exactly the single-threaded sketch, for column
+// slices of every awkward size (smaller than, equal to and spanning the
+// producer batch size).
+func TestUpdateColumnsExact(t *testing.T) {
+	proto := sketch.NewCountMin(xrand.New(31), 256, 4)
+	single := proto.Clone()
+	s := newZipf(33, 1<<12, 30_000)
+	items := make([]uint64, len(s.Updates))
+	deltas := make([]float64, len(s.Updates))
+	for i, u := range s.Updates {
+		items[i], deltas[i] = u.Item, float64(u.Delta)
+	}
+	single.UpdateBatch(items, deltas)
+
+	eng := NewCountMin(Config{Workers: 3, BatchSize: 100}, proto)
+	sizes := []int{1, 99, 100, 101, 1000, 7}
+	at := 0
+	for i := 0; at < len(items); i++ {
+		n := sizes[i%len(sizes)]
+		if at+n > len(items) {
+			n = len(items) - at
+		}
+		eng.UpdateColumns(items[at:at+n], deltas[at:at+n])
+		at += n
+	}
+	merged, err := eng.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !countersEqual(single.Counters(), merged.Counters()) {
+		t.Fatal("columnar engine ingestion differs from single-threaded sketch")
+	}
+	if single.TotalMass() != merged.TotalMass() {
+		t.Fatalf("total mass: single %v, engine %v", single.TotalMass(), merged.TotalMass())
+	}
+}
+
+// TestUpdateColumnsLengthMismatchPanics pins the contract violation to a
+// panic rather than silently zipping unequal columns.
+func TestUpdateColumnsLengthMismatchPanics(t *testing.T) {
+	eng := NewCountMin(Config{Workers: 1}, sketch.NewCountMin(xrand.New(35), 64, 2))
+	defer eng.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("UpdateColumns length mismatch did not panic")
+		}
+	}()
+	eng.UpdateColumns(make([]uint64, 3), make([]float64, 2))
+}
+
 // TestAbsorbIsExact: folding an externally built replica into a running
 // engine must be indistinguishable from having ingested its stream directly.
 func TestAbsorbIsExact(t *testing.T) {
@@ -545,9 +597,9 @@ func TestMergeEncodedRejectsIncompatible(t *testing.T) {
 func TestNoCodec(t *testing.T) {
 	eng := New(Config{Workers: 1},
 		func() map[uint64]float64 { return map[uint64]float64{} },
-		func(m map[uint64]float64, batch []Update) {
-			for _, u := range batch {
-				m[u.Item] += u.Delta
+		func(m map[uint64]float64, items []uint64, deltas []float64) {
+			for i, item := range items {
+				m[item] += deltas[i]
 			}
 		},
 		func(dst, src map[uint64]float64) error {

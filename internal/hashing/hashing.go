@@ -10,6 +10,11 @@
 // independent buckets plus pairwise independent signs, and the sparse Fourier
 // transform's permutation needs a random invertible affine map, all of which
 // are provided here.
+//
+// Every family also implements the batched contracts of batch.go
+// (BatchHasher.HashBatch, BatchSignHasher.SignBatch): devirtualized loop
+// kernels that map a whole column of keys per call, bit-identically to the
+// scalar methods. The sketches' UpdateBatch hot paths are built on them.
 package hashing
 
 import (

@@ -66,6 +66,18 @@ func (c *Client) Update(ctx context.Context, updates []engine.Update) error {
 	return err
 }
 
+// UpdateColumns ships parallel key/delta columns (binary format, same wire
+// bytes as Update) — the natural call for producers that already hold
+// columns, matching the server's column-decoding ingest path end to end.
+func (c *Client) UpdateColumns(ctx context.Context, items []uint64, deltas []float64) error {
+	if len(items) != len(deltas) {
+		return fmt.Errorf("server: UpdateColumns length mismatch (%d items, %d deltas)", len(items), len(deltas))
+	}
+	body := AppendBatchColumns(make([]byte, 0, batchHeaderLen+batchRecordLen*len(items)), items, deltas)
+	_, err := c.do(ctx, http.MethodPost, "/v1/update", contentTypeBatch, body)
+	return err
+}
+
 // Query returns the estimates for the given items, in the same order.
 func (c *Client) Query(ctx context.Context, items ...uint64) ([]float64, error) {
 	if len(items) == 0 {

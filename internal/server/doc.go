@@ -14,12 +14,16 @@
 // and merges pairwise converges to byte-for-byte the sketch one process
 // would have built from the whole stream.
 //
-// Ingestion is concurrent end to end. Every /v1/update handler routes its
-// batch through one of Config.Producers engine producer handles — round-robin
-// lanes with lane-local locks — so parallel clients never serialize behind a
-// global mutex, and the linearity law above guarantees the interleaving
-// doesn't matter: the merged counters equal a single-threaded run exactly
-// (asserted under the race detector by the concurrent-ingestion test).
+// Ingestion is concurrent end to end, and batch-first. Every /v1/update
+// handler routes its batch through one of Config.Producers engine producer
+// handles — round-robin lanes with lane-local locks — so parallel clients
+// never serialize behind a global mutex, and the linearity law above
+// guarantees the interleaving doesn't matter: the merged counters equal a
+// single-threaded run exactly (asserted under the race detector by the
+// concurrent-ingestion test). The binary update body decodes straight into
+// the lane's reusable key/delta columns (DecodeBatchColumns — no per-item
+// structs), which flow whole through the producer handle into the sketches'
+// batched update path.
 // Queries are answered from a barrier snapshot cached per write generation;
 // snapshot, merge and stats share one narrow barrier lock that the update
 // hot path never touches.

@@ -83,13 +83,19 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// ingestLane is one parallel ingestion path: an engine producer handle plus
-// the mutex that keeps a single lane's handle single-writer. Requests pick a
-// lane round-robin, so P lanes admit P concurrent /v1/update bodies and the
-// only contention left is 1/P lane-local.
+// ingestLane is one parallel ingestion path: an engine producer handle, the
+// mutex that keeps a single lane's handle single-writer, and the lane's
+// reusable key/delta decode columns. Requests pick a lane round-robin, so P
+// lanes admit P concurrent /v1/update bodies and the only contention left is
+// 1/P lane-local. A request body is decoded straight into the lane's columns
+// (binary batches in one bounds-checked scan, no per-item structs) and the
+// columns are handed to the producer whole, so the steady-state update path
+// allocates nothing per request beyond what net/http itself does.
 type ingestLane struct {
-	mu sync.Mutex
-	p  *engine.Producer[*sketch.HeavyHitterTracker]
+	mu     sync.Mutex
+	p      *engine.Producer[*sketch.HeavyHitterTracker]
+	items  []uint64  // reusable decode column, guarded by mu
+	deltas []float64 // reusable decode column, guarded by mu
 }
 
 // Server owns a sharded sketch engine and exposes it over HTTP:
@@ -299,24 +305,14 @@ func (s *Server) SaveSnapshot() (string, error) {
 	return path, nil
 }
 
-// ingest routes one decoded batch through a producer lane and bumps the
-// write generation. It returns false when the server is shutting down. This
-// is the whole /v1/update hot path: an atomic lane pick and one lane-local
-// lock — never the barrier lock, never a global one.
-func (s *Server) ingest(updates []engine.Update) bool {
-	lane := s.lanes[s.nextLane.Add(1)%uint64(len(s.lanes))]
-	lane.mu.Lock()
-	defer lane.mu.Unlock()
-	// Re-check under the lane lock: Close sets closed before it locks and
-	// retires the lanes, so observing false here guarantees the handle is
-	// live and this flush lands before the final snapshot.
-	if s.closed.Load() {
-		return false
-	}
-	lane.p.UpdateBatch(updates)
+// ingestColumns hands a lane's decoded columns to its producer and bumps the
+// write generation. The caller holds lane.mu and has re-checked closed. This
+// plus the decode is the whole /v1/update hot path: an atomic lane pick and
+// one lane-local lock — never the barrier lock, never a global one.
+func (s *Server) ingestColumns(lane *ingestLane) {
+	lane.p.UpdateColumns(lane.items, lane.deltas)
 	lane.p.Flush()
 	s.gen.Add(1)
-	return true
 }
 
 // snapshotLocked returns a consistent barrier snapshot of the engine,
@@ -382,25 +378,20 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	var updates []engine.Update
+	// JSON parses before the lane lock (the parse allocates its own request
+	// struct, so overlapping parses on one lane cost nothing); the binary
+	// format decodes under the lock, straight into the lane's reusable
+	// columns — that decode is one bounds-checked scan and is part of this
+	// lane's pipeline either way.
 	ct := r.Header.Get("Content-Type")
+	isBinary := strings.HasPrefix(ct, contentTypeBatch)
+	var req UpdateRequest
 	switch {
-	case strings.HasPrefix(ct, contentTypeBatch):
-		var err error
-		updates, err = DecodeBatch(data)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
-			return
-		}
+	case isBinary:
 	case ct == "" || strings.HasPrefix(ct, contentTypeJSON):
-		var req UpdateRequest
 		if err := json.Unmarshal(data, &req); err != nil {
 			writeErr(w, http.StatusBadRequest, "decoding JSON updates: %v", err)
 			return
-		}
-		updates = make([]engine.Update, len(req.Updates))
-		for i, u := range req.Updates {
-			updates[i] = engine.Update{Item: u.Item, Delta: u.Delta}
 		}
 	default:
 		writeErr(w, http.StatusUnsupportedMediaType, "unsupported Content-Type %q (want %s or %s)",
@@ -408,13 +399,36 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if !s.ingest(updates) {
+	lane := s.lanes[s.nextLane.Add(1)%uint64(len(s.lanes))]
+	lane.mu.Lock()
+	defer lane.mu.Unlock()
+	// Re-check under the lane lock: Close sets closed before it locks and
+	// retires the lanes, so observing false here guarantees the handle is
+	// live and this flush lands before the final snapshot.
+	if s.closed.Load() {
 		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
-	s.updates.Add(int64(len(updates)))
+	lane.items, lane.deltas = lane.items[:0], lane.deltas[:0]
+	if isBinary {
+		var err error
+		lane.items, lane.deltas, err = DecodeBatchColumns(data, lane.items, lane.deltas)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	} else {
+		for _, u := range req.Updates {
+			lane.items = append(lane.items, u.Item)
+			lane.deltas = append(lane.deltas, u.Delta)
+		}
+	}
+
+	s.ingestColumns(lane)
+	accepted := len(lane.items)
+	s.updates.Add(int64(accepted))
 	s.batches.Add(1)
-	writeJSON(w, http.StatusOK, UpdateResponse{Accepted: len(updates)})
+	writeJSON(w, http.StatusOK, UpdateResponse{Accepted: accepted})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {

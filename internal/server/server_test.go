@@ -440,6 +440,45 @@ func TestBatchRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBatchColumnsRoundTrip: the columnar encoder/decoder pair must produce
+// exactly the record encoder's wire bytes, round-trip losslessly, and append
+// into reused buffers without clobbering prior contents.
+func TestBatchColumnsRoundTrip(t *testing.T) {
+	items := []uint64{1, 1 << 60, 0}
+	deltas := []float64{2.5, -3, 0}
+	records := []engine.Update{{Item: 1, Delta: 2.5}, {Item: 1 << 60, Delta: -3}, {Item: 0, Delta: 0}}
+
+	colBytes := AppendBatchColumns(nil, items, deltas)
+	recBytes := AppendBatch(nil, records)
+	if !bytes.Equal(colBytes, recBytes) {
+		t.Fatal("AppendBatchColumns wire bytes differ from AppendBatch")
+	}
+
+	// Decode appends after existing contents (the lanes reset to [:0], but
+	// the contract is append).
+	gotItems, gotDeltas, err := DecodeBatchColumns(colBytes, []uint64{7}, []float64{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantItems := append([]uint64{7}, items...)
+	wantDeltas := append([]float64{8}, deltas...)
+	if len(gotItems) != len(wantItems) || len(gotDeltas) != len(wantDeltas) {
+		t.Fatalf("decoded %d/%d entries, want %d/%d", len(gotItems), len(gotDeltas), len(wantItems), len(wantDeltas))
+	}
+	for i := range wantItems {
+		if gotItems[i] != wantItems[i] || gotDeltas[i] != wantDeltas[i] {
+			t.Fatalf("entry %d: (%d, %v), want (%d, %v)", i, gotItems[i], gotDeltas[i], wantItems[i], wantDeltas[i])
+		}
+	}
+
+	if _, _, err := DecodeBatchColumns(colBytes[:len(colBytes)-1], nil, nil); err == nil {
+		t.Fatal("truncated columnar batch: expected error")
+	}
+	if _, _, err := DecodeBatchColumns([]byte("XXXXXXXX"), nil, nil); err == nil {
+		t.Fatal("bad magic: expected error")
+	}
+}
+
 // corrupt returns a copy of data with one byte overwritten.
 func corrupt(data []byte, offset int, b byte) []byte {
 	out := append([]byte{}, data...)

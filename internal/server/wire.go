@@ -118,29 +118,63 @@ func AppendBatch(buf []byte, updates []engine.Update) []byte {
 	return buf
 }
 
-// DecodeBatch parses a binary update batch. The count word is validated
-// against the actual body length before any allocation, so a corrupt header
-// cannot demand unbounded memory.
-func DecodeBatch(data []byte) ([]engine.Update, error) {
+// AppendBatchColumns appends the binary encoding of parallel key/delta
+// columns to buf and returns the extended slice. It produces exactly the
+// bytes AppendBatch would for the equivalent record slice — the wire format
+// is unchanged; only the in-memory shape differs. The columns must have
+// equal length (panics otherwise — silently dropping surplus deltas would
+// put a valid-looking but lossy batch on the wire).
+func AppendBatchColumns(buf []byte, items []uint64, deltas []float64) []byte {
+	if len(items) != len(deltas) {
+		panic(fmt.Sprintf("server: AppendBatchColumns length mismatch (%d items, %d deltas)", len(items), len(deltas)))
+	}
+	buf = append(buf, batchMagic[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(items)))
+	for i, item := range items {
+		buf = binary.BigEndian.AppendUint64(buf, item)
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(deltas[i]))
+	}
+	return buf
+}
+
+// DecodeBatchColumns parses a binary update batch straight into key/delta
+// columns, appending to the caller's (typically reused) buffers and
+// returning the extended slices — the zero-copy-shape path the server's
+// ingest lanes use, one bounds-checked scan with no per-item structs. The
+// count word is validated against the actual body length before any
+// allocation, so a corrupt header cannot demand unbounded memory.
+func DecodeBatchColumns(data []byte, items []uint64, deltas []float64) ([]uint64, []float64, error) {
 	if len(data) < batchHeaderLen {
-		return nil, fmt.Errorf("server: truncated batch (need %d header bytes, have %d)", batchHeaderLen, len(data))
+		return items, deltas, fmt.Errorf("server: truncated batch (need %d header bytes, have %d)", batchHeaderLen, len(data))
 	}
 	if [4]byte(data[:4]) != batchMagic {
-		return nil, fmt.Errorf("server: bad batch magic %q", data[:4])
+		return items, deltas, fmt.Errorf("server: bad batch magic %q", data[:4])
 	}
 	n := binary.BigEndian.Uint32(data[4:8])
 	payload := data[batchHeaderLen:]
 	if uint64(len(payload)) != uint64(n)*batchRecordLen {
-		return nil, fmt.Errorf("server: batch payload is %d bytes, header claims %d records (%d bytes)",
+		return items, deltas, fmt.Errorf("server: batch payload is %d bytes, header claims %d records (%d bytes)",
 			len(payload), n, uint64(n)*batchRecordLen)
 	}
-	updates := make([]engine.Update, n)
+	for i := 0; i < int(n); i++ {
+		rec := payload[i*batchRecordLen : i*batchRecordLen+batchRecordLen]
+		items = append(items, binary.BigEndian.Uint64(rec[:8]))
+		deltas = append(deltas, math.Float64frombits(binary.BigEndian.Uint64(rec[8:16])))
+	}
+	return items, deltas, nil
+}
+
+// DecodeBatch parses a binary update batch into a record slice. Transports
+// that can consume columns should prefer DecodeBatchColumns; this wrapper
+// remains for callers that want the record shape (tests, tooling).
+func DecodeBatch(data []byte) ([]engine.Update, error) {
+	items, deltas, err := DecodeBatchColumns(data, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	updates := make([]engine.Update, len(items))
 	for i := range updates {
-		rec := payload[i*batchRecordLen:]
-		updates[i] = engine.Update{
-			Item:  binary.BigEndian.Uint64(rec[:8]),
-			Delta: math.Float64frombits(binary.BigEndian.Uint64(rec[8:16])),
-		}
+		updates[i] = engine.Update{Item: items[i], Delta: deltas[i]}
 	}
 	return updates, nil
 }

@@ -18,6 +18,10 @@ type BloomFilter struct {
 	count  int
 	// seed fully determines the hash functions; see MarshalBinary.
 	seed uint64
+	// bucketScratch is the reusable bit-position column for AddBatch (zero
+	// allocations steady-state). Writes are single-goroutine; Contains never
+	// touches it.
+	bucketScratch []uint64
 }
 
 // NewBloomFilter creates a filter with m bits and k hash functions.
@@ -68,6 +72,28 @@ func (bf *BloomFilter) Add(item uint64) {
 		bf.bits[b/64] |= 1 << (b % 64)
 	}
 	bf.count++
+}
+
+// AddBatch inserts every item, producing exactly the filter that item-by-item
+// Add calls would: each hash function maps the whole key column through its
+// batched kernel, then sets the bits. Bit-setting is idempotent and
+// order-independent, so reordering the (item, hash) pairs changes nothing.
+// The scratch column is reused across calls (zero allocations steady-state).
+func (bf *BloomFilter) AddBatch(items []uint64) {
+	if len(items) == 0 {
+		return
+	}
+	if cap(bf.bucketScratch) < len(items) {
+		bf.bucketScratch = make([]uint64, len(items))
+	}
+	buckets := bf.bucketScratch[:len(items)]
+	for _, h := range bf.hashes {
+		hashing.HashBatch(h, items, buckets)
+		for _, b := range buckets {
+			bf.bits[b/64] |= 1 << (b % 64)
+		}
+	}
+	bf.count += len(items)
 }
 
 // Contains reports whether the item may have been inserted. False positives

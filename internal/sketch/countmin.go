@@ -14,10 +14,17 @@ import (
 // returns the minimum counter over the rows, which for non-negative streams
 // overestimates the true count by at most eps*||x||_1 with probability at
 // least 1-delta when w = ceil(e/eps) and d = ceil(ln(1/delta)).
+//
+// The counters live in one flat contiguous array (row r occupies
+// counts[r*width : (r+1)*width]), so the batched update path walks memory
+// row-by-row with no pointer chasing, and UpdateBatch drives each row through
+// the devirtualized hash kernels of internal/hashing. The batch path is
+// bit-identical to per-item updates: for any one counter, the same deltas
+// arrive in the same stream order either way.
 type CountMin struct {
 	width  int
 	depth  int
-	counts [][]float64
+	counts []float64 // flat, row-major: row r at counts[r*width:(r+1)*width]
 	hashes []hashing.Hasher
 	// conservative enables conservative update (only raise the counters that
 	// are below the new lower bound); only valid for non-negative deltas.
@@ -28,6 +35,15 @@ type CountMin struct {
 	// and UnmarshalBinary rebuilds hashers that are bit-identical in behavior.
 	seed   uint64
 	family hashing.Family
+
+	// bucketScratch is the reusable per-sketch bucket column for UpdateBatch
+	// (grown once to the largest batch seen, zero allocations steady-state).
+	// It makes writes single-goroutine, like the counters themselves; reads
+	// (Estimate) never touch it, so snapshots stay safe to query concurrently.
+	bucketScratch []uint64
+	// oneKey/oneDelta back the per-item Update, which is a len-1 UpdateBatch.
+	oneKey   [1]uint64
+	oneDelta [1]float64
 }
 
 // CountMinOption configures a CountMin sketch at construction time.
@@ -71,14 +87,13 @@ func newCountMinFromSeed(seed uint64, width, depth int, family hashing.Family, c
 	cm := &CountMin{
 		width:        width,
 		depth:        depth,
-		counts:       make([][]float64, depth),
+		counts:       make([]float64, width*depth),
 		hashes:       make([]hashing.Hasher, depth),
 		conservative: conservative,
 		seed:         seed,
 		family:       family,
 	}
 	for i := 0; i < depth; i++ {
-		cm.counts[i] = make([]float64, width)
 		cm.hashes[i] = hashing.NewHasher(family, hr, uint64(width))
 	}
 	return cm
@@ -108,34 +123,82 @@ func (cm *CountMin) Depth() int { return cm.depth }
 // Size returns the total number of counters (the sketch's space in words).
 func (cm *CountMin) Size() int { return cm.width * cm.depth }
 
+// row returns the counter slice of one row (a view into the flat array).
+func (cm *CountMin) row(r int) []float64 {
+	return cm.counts[r*cm.width : (r+1)*cm.width]
+}
+
 // bucket returns the bucket index of item in row. Hash ranges may be rounded
 // up to a power of two (multiply-shift), so reduce modulo width.
 func (cm *CountMin) bucket(row int, item uint64) int {
 	return int(cm.hashes[row].Hash(item) % uint64(cm.width))
 }
 
+// buckets returns the reusable bucket column, grown to hold n entries.
+func (cm *CountMin) buckets(n int) []uint64 {
+	if cap(cm.bucketScratch) < n {
+		cm.bucketScratch = make([]uint64, n)
+	}
+	return cm.bucketScratch[:n]
+}
+
 // Update adds delta to the item's count. Negative deltas are allowed only
-// when conservative update is disabled.
+// when conservative update is disabled. It is a len-1 UpdateBatch.
 func (cm *CountMin) Update(item uint64, delta float64) {
-	if cm.conservative {
-		if delta < 0 {
-			panic("sketch: conservative-update CountMin cannot process negative deltas")
-		}
-		// Conservative update: the new lower bound for the item's count is
-		// estimate + delta; raise only the counters that are below it.
-		est := cm.Estimate(item)
-		target := est + delta
-		for row := 0; row < cm.depth; row++ {
-			b := cm.bucket(row, item)
-			if cm.counts[row][b] < target {
-				cm.counts[row][b] = target
-			}
-		}
-		cm.totalMass += delta
+	cm.oneKey[0] = item
+	cm.oneDelta[0] = delta
+	cm.UpdateBatch(cm.oneKey[:], cm.oneDelta[:])
+}
+
+// UpdateBatch adds deltas[i] to items[i]'s count for every i, equivalent to
+// (and bit-identical with) calling Update item by item but driven through the
+// batched hash kernels: each row hashes the whole key column in one
+// devirtualized loop, then scatters the deltas into that row's contiguous
+// counters. The scratch column is reused across calls, so steady-state
+// ingestion does not allocate. The slices must have equal length; the sketch
+// does not retain them.
+func (cm *CountMin) UpdateBatch(items []uint64, deltas []float64) {
+	if len(items) != len(deltas) {
+		panic(fmt.Sprintf("sketch: CountMin.UpdateBatch length mismatch (%d items, %d deltas)", len(items), len(deltas)))
+	}
+	if len(items) == 0 {
 		return
 	}
-	for row := 0; row < cm.depth; row++ {
-		cm.counts[row][cm.bucket(row, item)] += delta
+	if cm.conservative {
+		// Conservative update is not linear: each item's target depends on its
+		// current estimate, so the batch degenerates to the per-item loop.
+		for i, item := range items {
+			cm.updateConservative(item, deltas[i])
+		}
+		return
+	}
+	buckets := cm.buckets(len(items))
+	w := uint64(cm.width)
+	for r := 0; r < cm.depth; r++ {
+		hashing.HashBatch(cm.hashes[r], items, buckets)
+		row := cm.row(r)
+		for i, b := range buckets {
+			row[b%w] += deltas[i]
+		}
+	}
+	for _, d := range deltas {
+		cm.totalMass += d
+	}
+}
+
+// updateConservative applies one conservative update: the new lower bound for
+// the item's count is estimate + delta; raise only the counters below it.
+func (cm *CountMin) updateConservative(item uint64, delta float64) {
+	if delta < 0 {
+		panic("sketch: conservative-update CountMin cannot process negative deltas")
+	}
+	est := cm.Estimate(item)
+	target := est + delta
+	for r := 0; r < cm.depth; r++ {
+		row := cm.row(r)
+		if b := cm.bucket(r, item); row[b] < target {
+			row[b] = target
+		}
 	}
 	cm.totalMass += delta
 }
@@ -144,8 +207,8 @@ func (cm *CountMin) Update(item uint64, delta float64) {
 // non-negative streams this never underestimates.
 func (cm *CountMin) Estimate(item uint64) float64 {
 	est := math.Inf(1)
-	for row := 0; row < cm.depth; row++ {
-		if v := cm.counts[row][cm.bucket(row, item)]; v < est {
+	for r := 0; r < cm.depth; r++ {
+		if v := cm.counts[r*cm.width+cm.bucket(r, item)]; v < est {
 			est = v
 		}
 	}
@@ -169,10 +232,11 @@ func (cm *CountMin) InnerProduct(other *CountMin) (float64, error) {
 			cm.depth, cm.width, other.depth, other.width)
 	}
 	est := math.Inf(1)
-	for row := 0; row < cm.depth; row++ {
+	for r := 0; r < cm.depth; r++ {
+		a, b := cm.row(r), other.row(r)
 		var s float64
-		for j := 0; j < cm.width; j++ {
-			s += cm.counts[row][j] * other.counts[row][j]
+		for j := range a {
+			s += a[j] * b[j]
 		}
 		if s < est {
 			est = s
@@ -210,37 +274,43 @@ func (cm *CountMin) Merge(other *CountMin) error {
 	if cm.conservative || other.conservative {
 		return fmt.Errorf("sketch: conservative-update CountMin sketches are not mergeable")
 	}
-	for row := 0; row < cm.depth; row++ {
-		for j := 0; j < cm.width; j++ {
-			cm.counts[row][j] += other.counts[row][j]
-		}
+	for i, v := range other.counts {
+		cm.counts[i] += v
 	}
 	cm.totalMass += other.totalMass
 	return nil
 }
 
 // Clone returns an empty sketch sharing cm's hash functions, suitable for
-// sketching a second stream and then merging or taking inner products.
+// sketching a second stream and then merging or taking inner products. The
+// clone gets its own counters and scratch, so clones ingest concurrently.
 func (cm *CountMin) Clone() *CountMin {
-	out := &CountMin{
+	return &CountMin{
 		width:        cm.width,
 		depth:        cm.depth,
-		counts:       make([][]float64, cm.depth),
+		counts:       make([]float64, len(cm.counts)),
 		hashes:       cm.hashes,
 		conservative: cm.conservative,
 		seed:         cm.seed,
 		family:       cm.family,
 	}
-	for i := range out.counts {
-		out.counts[i] = make([]float64, cm.width)
-	}
-	return out
 }
 
-// Counters returns the raw counter matrix (rows x width). The slice is the
-// live backing store; callers must not modify it. Exposed for the core
-// package's matrix view and for tests.
-func (cm *CountMin) Counters() [][]float64 { return cm.counts }
+// Counters returns the counter matrix as one row view per depth. The rows
+// alias the live flat backing store; callers must not modify them. Exposed
+// for the core package's matrix view and for tests.
+func (cm *CountMin) Counters() [][]float64 {
+	rows := make([][]float64, cm.depth)
+	for r := range rows {
+		rows[r] = cm.row(r)
+	}
+	return rows
+}
+
+// CounterData returns the flat row-major counter array (row r at
+// [r*width, (r+1)*width)). It is the live backing store; callers must not
+// modify it.
+func (cm *CountMin) CounterData() []float64 { return cm.counts }
 
 // RowBucket exposes the bucket an item maps to in a given row; used by the
 // core package to materialize the sketch as an explicit sparse matrix.

@@ -17,16 +17,30 @@ import (
 // with the l2 norm of the residual frequency vector rather than the l1 norm,
 // which is why the survey singles it out as the sketch behind compressed
 // sensing with sparse matrices [CM06].
+//
+// Like CountMin, the counters are one flat contiguous array (row r at
+// counts[r*width:(r+1)*width]) and UpdateBatch drives each row through the
+// batched hash and sign kernels of internal/hashing, bit-identical to the
+// per-item path.
 type CountSketch struct {
 	width  int
 	depth  int
-	counts [][]float64
+	counts []float64 // flat, row-major: row r at counts[r*width:(r+1)*width]
 	hashes []hashing.Hasher
 	signs  []hashing.SignHasher
 	// seed and family fully determine the hash and sign functions (drawn in a
 	// fixed order from xrand.New(seed)); see MarshalBinary.
 	seed   uint64
 	family hashing.Family
+
+	// bucketScratch/signScratch are the reusable per-sketch columns for
+	// UpdateBatch (zero allocations steady-state). Writes are single-goroutine
+	// like the counters; reads never touch them.
+	bucketScratch []uint64
+	signScratch   []float64
+	// oneKey/oneDelta back the per-item Update, which is a len-1 UpdateBatch.
+	oneKey   [1]uint64
+	oneDelta [1]float64
 }
 
 // CountSketchOption configures a CountSketch at construction time.
@@ -61,14 +75,13 @@ func newCountSketchFromSeed(seed uint64, width, depth int, family hashing.Family
 	cs := &CountSketch{
 		width:  width,
 		depth:  depth,
-		counts: make([][]float64, depth),
+		counts: make([]float64, width*depth),
 		hashes: make([]hashing.Hasher, depth),
 		signs:  make([]hashing.SignHasher, depth),
 		seed:   seed,
 		family: family,
 	}
 	for i := 0; i < depth; i++ {
-		cs.counts[i] = make([]float64, width)
 		cs.hashes[i] = hashing.NewHasher(family, hr, uint64(width))
 		cs.signs[i] = hashing.NewSigner(family, hr)
 	}
@@ -102,15 +115,54 @@ func (cs *CountSketch) Depth() int { return cs.depth }
 // Size returns the total number of counters.
 func (cs *CountSketch) Size() int { return cs.width * cs.depth }
 
+// row returns the counter slice of one row (a view into the flat array).
+func (cs *CountSketch) row(r int) []float64 {
+	return cs.counts[r*cs.width : (r+1)*cs.width]
+}
+
 func (cs *CountSketch) bucket(row int, item uint64) int {
 	return int(cs.hashes[row].Hash(item) % uint64(cs.width))
 }
 
+// scratch returns the reusable bucket and sign columns, grown to n entries.
+func (cs *CountSketch) scratch(n int) ([]uint64, []float64) {
+	if cap(cs.bucketScratch) < n {
+		cs.bucketScratch = make([]uint64, n)
+		cs.signScratch = make([]float64, n)
+	}
+	return cs.bucketScratch[:n], cs.signScratch[:n]
+}
+
 // Update adds delta to the item's count. Deltas of any sign are supported
-// (turnstile model).
+// (turnstile model). It is a len-1 UpdateBatch.
 func (cs *CountSketch) Update(item uint64, delta float64) {
-	for row := 0; row < cs.depth; row++ {
-		cs.counts[row][cs.bucket(row, item)] += cs.signs[row].Sign(item) * delta
+	cs.oneKey[0] = item
+	cs.oneDelta[0] = delta
+	cs.UpdateBatch(cs.oneKey[:], cs.oneDelta[:])
+}
+
+// UpdateBatch adds deltas[i] to items[i]'s count for every i, equivalent to
+// (and bit-identical with) per-item Update calls: each row hashes and signs
+// the whole key column through the batched kernels, then scatters the signed
+// deltas into that row's contiguous counters. The scratch columns are reused
+// across calls, so steady-state ingestion does not allocate. The slices must
+// have equal length; the sketch does not retain them.
+func (cs *CountSketch) UpdateBatch(items []uint64, deltas []float64) {
+	if len(items) != len(deltas) {
+		panic(fmt.Sprintf("sketch: CountSketch.UpdateBatch length mismatch (%d items, %d deltas)", len(items), len(deltas)))
+	}
+	if len(items) == 0 {
+		return
+	}
+	buckets, signs := cs.scratch(len(items))
+	w := uint64(cs.width)
+	for r := 0; r < cs.depth; r++ {
+		hashing.HashBatch(cs.hashes[r], items, buckets)
+		hashing.SignBatch(cs.signs[r], items, signs)
+		row := cs.row(r)
+		for i, b := range buckets {
+			row[b%w] += signs[i] * deltas[i]
+		}
 	}
 }
 
@@ -118,8 +170,8 @@ func (cs *CountSketch) Update(item uint64, delta float64) {
 // sign-corrected counter values. The estimate is unbiased.
 func (cs *CountSketch) Estimate(item uint64) float64 {
 	ests := make([]float64, cs.depth)
-	for row := 0; row < cs.depth; row++ {
-		ests[row] = cs.signs[row].Sign(item) * cs.counts[row][cs.bucket(row, item)]
+	for r := 0; r < cs.depth; r++ {
+		ests[r] = cs.signs[r].Sign(item) * cs.counts[r*cs.width+cs.bucket(r, item)]
 	}
 	return median(ests)
 }
@@ -127,7 +179,7 @@ func (cs *CountSketch) Estimate(item uint64) float64 {
 // EstimateRow returns the row-r estimate alone (used by recovery algorithms
 // that need per-row values).
 func (cs *CountSketch) EstimateRow(row int, item uint64) float64 {
-	return cs.signs[row].Sign(item) * cs.counts[row][cs.bucket(row, item)]
+	return cs.signs[row].Sign(item) * cs.counts[row*cs.width+cs.bucket(row, item)]
 }
 
 // F2 returns an estimate of the second frequency moment ||x||_2^2 of the
@@ -136,12 +188,12 @@ func (cs *CountSketch) EstimateRow(row int, item uint64) float64 {
 // is unbiased per row and concentrates as the width grows.
 func (cs *CountSketch) F2() float64 {
 	rows := make([]float64, cs.depth)
-	for row := 0; row < cs.depth; row++ {
+	for r := 0; r < cs.depth; r++ {
 		var s float64
-		for _, v := range cs.counts[row] {
+		for _, v := range cs.row(r) {
 			s += v * v
 		}
-		rows[row] = s
+		rows[r] = s
 	}
 	return median(rows)
 }
@@ -155,12 +207,13 @@ func (cs *CountSketch) InnerProduct(other *CountSketch) (float64, error) {
 			cs.depth, cs.width, other.depth, other.width)
 	}
 	rows := make([]float64, cs.depth)
-	for row := 0; row < cs.depth; row++ {
+	for r := 0; r < cs.depth; r++ {
+		a, b := cs.row(r), other.row(r)
 		var s float64
-		for j := 0; j < cs.width; j++ {
-			s += cs.counts[row][j] * other.counts[row][j]
+		for j := range a {
+			s += a[j] * b[j]
 		}
-		rows[row] = s
+		rows[r] = s
 	}
 	return median(rows), nil
 }
@@ -187,33 +240,39 @@ func (cs *CountSketch) Merge(other *CountSketch) error {
 	if cs.width != other.width || cs.depth != other.depth {
 		return fmt.Errorf("sketch: cannot merge CountSketch of different dimensions")
 	}
-	for row := 0; row < cs.depth; row++ {
-		for j := 0; j < cs.width; j++ {
-			cs.counts[row][j] += other.counts[row][j]
-		}
+	for i, v := range other.counts {
+		cs.counts[i] += v
 	}
 	return nil
 }
 
-// Clone returns an empty sketch sharing cs's hash and sign functions.
+// Clone returns an empty sketch sharing cs's hash and sign functions. The
+// clone gets its own counters and scratch, so clones ingest concurrently.
 func (cs *CountSketch) Clone() *CountSketch {
-	out := &CountSketch{
+	return &CountSketch{
 		width:  cs.width,
 		depth:  cs.depth,
-		counts: make([][]float64, cs.depth),
+		counts: make([]float64, len(cs.counts)),
 		hashes: cs.hashes,
 		signs:  cs.signs,
 		seed:   cs.seed,
 		family: cs.family,
 	}
-	for i := range out.counts {
-		out.counts[i] = make([]float64, cs.width)
-	}
-	return out
 }
 
-// Counters returns the raw counter matrix; callers must not modify it.
-func (cs *CountSketch) Counters() [][]float64 { return cs.counts }
+// Counters returns the counter matrix as one row view per depth; the rows
+// alias the live flat backing store and callers must not modify them.
+func (cs *CountSketch) Counters() [][]float64 {
+	rows := make([][]float64, cs.depth)
+	for r := range rows {
+		rows[r] = cs.row(r)
+	}
+	return rows
+}
+
+// CounterData returns the flat row-major counter array (the live backing
+// store; callers must not modify it).
+func (cs *CountSketch) CounterData() []float64 { return cs.counts }
 
 // RowBucket exposes the bucket an item maps to in a row (for the matrix view).
 func (cs *CountSketch) RowBucket(row int, item uint64) int {

@@ -24,4 +24,13 @@
 // Update(item, d2) is identical to Update(item, d1+d2), and two sketches
 // built with the same hash functions can be merged by adding their counter
 // arrays. The core package exposes this linearity as an explicit matrix.
+//
+// The update path is batch-first: counters live in one flat row-major array
+// (row stride = width) and every family exposes UpdateBatch (AddBatch for
+// the Bloom filter), which applies a whole column of keys and deltas per
+// hash row through the batched kernels of internal/hashing, reusing a
+// per-sketch scratch column so steady-state ingestion does not allocate.
+// Batched ingestion is bit-identical to per-item ingestion — for any one
+// counter the same deltas arrive in the same stream order — and per-item
+// Update survives as a len-1 batch.
 package sketch

@@ -19,6 +19,10 @@ type Dyadic struct {
 	logU     int
 	levels   []*CountMin // levels[l] sketches prefixes of length 2^l
 	universe uint64
+	// keyScratch is the reusable shifted-prefix column for UpdateBatch (zero
+	// allocations steady-state). Writes are single-goroutine; queries never
+	// touch it.
+	keyScratch []uint64
 }
 
 // NewDyadic creates a dyadic Count-Min hierarchy over the universe
@@ -59,6 +63,39 @@ func (d *Dyadic) Update(item uint64, delta float64) {
 	}
 	for l := 0; l <= d.logU; l++ {
 		d.levels[l].Update(item>>uint(l), delta)
+	}
+}
+
+// UpdateBatch adds deltas[i] to items[i]'s count at every level, equivalent
+// to (and bit-identical with) per-item Update calls: each level receives the
+// whole prefix column through its Count-Min's batched path. Levels own
+// disjoint counters, so running level-by-level instead of item-by-item
+// reorders nothing within any one counter. The shifted-prefix column is
+// reused across calls (zero allocations steady-state beyond the levels' own
+// scratch). The slices must have equal length.
+func (d *Dyadic) UpdateBatch(items []uint64, deltas []float64) {
+	if len(items) != len(deltas) {
+		panic(fmt.Sprintf("sketch: Dyadic.UpdateBatch length mismatch (%d items, %d deltas)", len(items), len(deltas)))
+	}
+	if len(items) == 0 {
+		return
+	}
+	for _, item := range items {
+		if item >= d.universe {
+			panic(fmt.Sprintf("sketch: Dyadic item %d outside universe %d", item, d.universe))
+		}
+	}
+	if cap(d.keyScratch) < len(items) {
+		d.keyScratch = make([]uint64, len(items))
+	}
+	prefixes := d.keyScratch[:len(items)]
+	copy(prefixes, items)
+	d.levels[0].UpdateBatch(prefixes, deltas)
+	for l := 1; l <= d.logU; l++ {
+		for i := range prefixes {
+			prefixes[i] >>= 1
+		}
+		d.levels[l].UpdateBatch(prefixes, deltas)
 	}
 }
 
@@ -306,6 +343,22 @@ func (t *HeavyHitterTracker) Update(item uint64, delta float64) {
 		return
 	}
 	t.offer(item, est)
+}
+
+// UpdateBatch processes the updates in order. The heap decision for item i
+// must see the sketch state after updates 0..i only — batching the counter
+// writes ahead of the estimates would let later updates leak into earlier
+// candidates' scores — so the tracker necessarily stays per-item; the method
+// exists so the tracker satisfies the engine's batched LinearSketch contract
+// with semantics identical to the scalar path. The slices must have equal
+// length.
+func (t *HeavyHitterTracker) UpdateBatch(items []uint64, deltas []float64) {
+	if len(items) != len(deltas) {
+		panic(fmt.Sprintf("sketch: HeavyHitterTracker.UpdateBatch length mismatch (%d items, %d deltas)", len(items), len(deltas)))
+	}
+	for i, item := range items {
+		t.Update(item, deltas[i])
+	}
 }
 
 // offer inserts a new candidate with the given estimate, evicting the current

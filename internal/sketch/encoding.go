@@ -251,10 +251,10 @@ func (cm *CountMin) MarshalBinary() ([]byte, error) {
 	w.u32(uint32(cm.depth))
 	w.u64(cm.seed)
 	w.f64(cm.totalMass)
-	for _, row := range cm.counts {
-		for _, v := range row {
-			w.f64(v)
-		}
+	// The flat counter array is row-major, so this emits exactly the same
+	// row-by-row byte stream as the pre-flat [][]float64 layout did.
+	for _, v := range cm.counts {
+		w.f64(v)
 	}
 	return w.buf, nil
 }
@@ -281,10 +281,8 @@ func (cm *CountMin) UnmarshalBinary(data []byte) error {
 	}
 	out := newCountMinFromSeed(seed, int(width), int(depth), family, conservative)
 	out.totalMass = totalMass
-	for _, row := range out.counts {
-		for j := range row {
-			row[j] = r.f64()
-		}
+	for i := range out.counts {
+		out.counts[i] = r.f64()
 	}
 	if err := r.done("CountMin"); err != nil {
 		return err
@@ -304,10 +302,9 @@ func (cs *CountSketch) MarshalBinary() ([]byte, error) {
 	w.u32(uint32(cs.width))
 	w.u32(uint32(cs.depth))
 	w.u64(cs.seed)
-	for _, row := range cs.counts {
-		for _, v := range row {
-			w.f64(v)
-		}
+	// Row-major flat array: byte stream identical to the pre-flat layout.
+	for _, v := range cs.counts {
+		w.f64(v)
 	}
 	return w.buf, nil
 }
@@ -329,10 +326,8 @@ func (cs *CountSketch) UnmarshalBinary(data []byte) error {
 		return r.err
 	}
 	out := newCountSketchFromSeed(seed, int(width), int(depth), family)
-	for _, row := range out.counts {
-		for j := range row {
-			row[j] = r.f64()
-		}
+	for i := range out.counts {
+		out.counts[i] = r.f64()
 	}
 	if err := r.done("CountSketch"); err != nil {
 		return err

@@ -31,6 +31,15 @@ type IBLT struct {
 	// seed fully determines the checksum and cell hash functions (drawn in a
 	// fixed order from xrand.New(seed)); see MarshalBinary.
 	seed uint64
+
+	// Reusable scratch (zero allocations steady-state). cellScratch holds the
+	// k deduplicated cell indices of the key being applied; hashScratch and
+	// checkScratch are the batch hash columns of UpdateBatch (hashScratch is
+	// hash-major: hash j's column at [j*n, (j+1)*n)). Writes are
+	// single-goroutine; the scratch is never aliased across keys.
+	cellScratch  []int
+	hashScratch  []uint64
+	checkScratch []uint64
 }
 
 type ibltCell struct {
@@ -71,28 +80,43 @@ func newIBLTFromSeed(seed uint64, m, k int) *IBLT {
 	return t
 }
 
-// cellsFor returns the distinct cell indices for a key. Distinctness is
-// enforced by linear probing on collisions so that a key always touches
-// exactly k cells (otherwise a key could contribute twice to one cell and
-// break the per-cell accounting).
+// cellsFor returns the distinct cell indices for a key in the table's
+// reusable scratch (valid until the next cellsFor call). It is for the
+// write paths — Update, UpdateBatch, and the peeling loop of ListEntries,
+// which are single-goroutine like every sketch write; read-only queries use
+// appendCells with their own slice so concurrent reads stay safe.
 func (t *IBLT) cellsFor(key uint64) []int {
-	m := len(t.cells)
-	out := make([]int, 0, t.k)
+	out := t.appendCells(t.cellScratch[:0], key)
+	t.cellScratch = out[:0]
+	return out
+}
+
+// appendCells appends the k distinct cell indices for a key to out.
+// Distinctness is enforced by linear probing on collisions so that a key
+// always touches exactly k cells (otherwise a key could contribute twice to
+// one cell and break the per-cell accounting).
+func (t *IBLT) appendCells(out []int, key uint64) []int {
 	for _, h := range t.hashes {
-		c := int(h.Hash(key))
-	probe:
-		for {
-			for _, prev := range out {
-				if prev == c {
-					c = (c + 1) % m
-					continue probe
-				}
-			}
-			break
-		}
-		out = append(out, c)
+		out = t.dedupCells(out, int(h.Hash(key)))
 	}
 	return out
+}
+
+// dedupCells appends cell index c to out, linear-probing past any index
+// already present.
+func (t *IBLT) dedupCells(out []int, c int) []int {
+	m := len(t.cells)
+probe:
+	for {
+		for _, prev := range out {
+			if prev == c {
+				c = (c + 1) % m
+				continue probe
+			}
+		}
+		break
+	}
+	return append(out, c)
 }
 
 // deltaResidue maps a signed delta to its residue modulo 2^61-1.
@@ -120,6 +144,61 @@ func (t *IBLT) Update(key uint64, delta int64) {
 		cell.count += delta
 		cell.keySum = hashing.AddMod61(cell.keySum, keyTerm)
 		cell.hashSum = hashing.AddMod61(cell.hashSum, checkTerm)
+	}
+}
+
+// UpdateBatch applies deltas[i] to keys[i] for every i, producing exactly
+// the table that key-by-key Update calls would: the checksum hash and the k
+// cell hashes each map the whole key column through their batched kernels,
+// then each key's cells are deduplicated (the same linear probe as the
+// per-item path, seeded by the same hash values) and its field terms applied.
+// Every cell field is modular or integer arithmetic, which is exactly
+// associative, so the result is identical regardless of the kernel-friendly
+// evaluation order. The scratch columns are reused across calls (zero
+// allocations steady-state). The slices must have equal length.
+func (t *IBLT) UpdateBatch(keys []uint64, deltas []int64) {
+	if len(keys) != len(deltas) {
+		panic(fmt.Sprintf("sketch: IBLT.UpdateBatch length mismatch (%d keys, %d deltas)", len(keys), len(deltas)))
+	}
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	for _, key := range keys {
+		if key >= hashing.MersennePrime61 {
+			panic(fmt.Sprintf("sketch: IBLT key %d exceeds maximum %d", key, uint64(hashing.MersennePrime61)-1))
+		}
+	}
+	if cap(t.checkScratch) < n {
+		t.checkScratch = make([]uint64, n)
+	}
+	if cap(t.hashScratch) < t.k*n {
+		t.hashScratch = make([]uint64, t.k*n)
+	}
+	checks := t.checkScratch[:n]
+	hashing.HashBatch(t.check, keys, checks)
+	cols := t.hashScratch[:t.k*n]
+	for j, h := range t.hashes {
+		hashing.HashBatch(h, keys, cols[j*n:(j+1)*n])
+	}
+	for i, key := range keys {
+		if deltas[i] == 0 {
+			continue
+		}
+		d := deltaResidue(deltas[i])
+		keyTerm := hashing.MulMod61(d, key)
+		checkTerm := hashing.MulMod61(d, checks[i])
+		cells := t.cellScratch[:0]
+		for j := 0; j < t.k; j++ {
+			cells = t.dedupCells(cells, int(cols[j*n+i]))
+		}
+		t.cellScratch = cells[:0]
+		for _, c := range cells {
+			cell := &t.cells[c]
+			cell.count += deltas[i]
+			cell.keySum = hashing.AddMod61(cell.keySum, keyTerm)
+			cell.hashSum = hashing.AddMod61(cell.hashSum, checkTerm)
+		}
 	}
 }
 
@@ -200,7 +279,9 @@ func (t *IBLT) ListEntries() (map[uint64]int64, error) {
 // ok=false means the query could not be answered (not that the key is
 // absent).
 func (t *IBLT) Get(key uint64) (count int64, ok bool) {
-	for _, c := range t.cellsFor(key) {
+	// A private cell slice, not the shared scratch: Get is a read and may
+	// run concurrently with other reads on the same table.
+	for _, c := range t.appendCells(make([]int, 0, t.k), key) {
 		if t.cells[c].isEmpty() {
 			return 0, true
 		}
