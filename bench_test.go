@@ -1,8 +1,8 @@
 package repro_test
 
 // One Go benchmark per experiment (E1–E10 in DESIGN.md, plus the E11
-// sharded-ingestion, E12 multi-producer and E13 batch-ingestion scaling
-// experiments). Each benchmark runs
+// sharded-ingestion, E12 multi-producer, E13 batch-ingestion and E14
+// delta-gossip experiments). Each benchmark runs
 // the corresponding experiment end to end and reports its wall-clock time;
 // the printed tables themselves are produced by cmd/sketchbench (or by the
 // experiment functions directly). Run with:
@@ -48,3 +48,4 @@ func BenchmarkE10IBLT(b *testing.B)                { runExperiment(b, "e10") }
 func BenchmarkE11ShardedIngest(b *testing.B)       { runExperiment(b, "e11") }
 func BenchmarkE12MultiProducerIngest(b *testing.B) { runExperiment(b, "e12") }
 func BenchmarkE13BatchIngest(b *testing.B)         { runExperiment(b, "e13") }
+func BenchmarkE14DeltaGossip(b *testing.B)         { runExperiment(b, "e14") }

@@ -8,16 +8,24 @@
 //
 // Because sketches are linear, a fleet of sketchd processes started with the
 // same -seed, -width and -depth can each ingest a slice of the stream and
-// reconcile by shipping /v1/snapshot bytes into a peer's /v1/merge; the
-// merged daemon then answers every query exactly as if it had seen the whole
-// stream itself. With -snapshot-dir the daemon also ships its state to disk
-// (periodically with -snapshot-every, and on shutdown), and recovers it
-// bit-identically on restart.
+// reconcile exactly. Two mechanisms exist. Pull: ship /v1/snapshot bytes
+// into a peer's /v1/merge for a one-shot full-state fold-in (bootstrap, ad
+// hoc aggregation). Push: start every daemon with -peers naming the others
+// and they gossip continuously — each daemon ships the *difference* between
+// its current state and the last state each peer acknowledged (a valid
+// sketch in its own right, mostly zero counters, shipped compressed) to
+// /v1/delta every -gossip-every, and a per-sender generation watermark
+// makes retries and reordering safe, so the whole mesh converges to exactly
+// the sketch one process would have built. With -snapshot-dir the daemon
+// also ships its state to disk (periodically with -snapshot-every, and on
+// shutdown), and recovers it bit-identically on restart. See
+// docs/CLUSTER.md for the operator guide.
 //
 // Usage:
 //
 //	sketchd -addr :7600 -width 4096 -depth 4 -k 64
 //	sketchd -addr 127.0.0.1:7601 -snapshot-dir /var/lib/sketchd -snapshot-every 30s
+//	sketchd -addr 127.0.0.1:7602 -peers 127.0.0.1:7601,127.0.0.1:7603 -gossip-every 1s
 //
 // API (see internal/server):
 //
@@ -26,7 +34,9 @@
 //	GET  /v1/topk      ?k=10 or ?phi=0.001
 //	GET  /v1/snapshot  versioned binary sketch encoding
 //	POST /v1/merge     a peer's snapshot bytes
-//	GET  /v1/stats, GET /v1/healthz
+//	POST /v1/delta     a gossip replication frame (sent by peers' replicators)
+//	GET  /v1/stats     counters, sketch shape, per-peer replication lag
+//	GET  /v1/healthz
 package main
 
 import (
@@ -38,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,10 +68,28 @@ func main() {
 		snapshotDir   = flag.String("snapshot-dir", "", "directory for snapshot shipping and startup recovery")
 		snapshotEvery = flag.Duration("snapshot-every", 0, "period of background snapshots to -snapshot-dir (0 = only on shutdown)")
 		maxBody       = flag.Int64("max-body", 0, "request body cap in bytes (0 = 8 MiB)")
+		peers         = flag.String("peers", "", "comma-separated peer base URLs (host:port or http://host:port) to gossip deltas to; list every other daemon in the mesh")
+		gossipEvery   = flag.Duration("gossip-every", 0, "period of delta shipping to -peers (0 = 1s when -peers is set)")
+		nodeID        = flag.String("node-id", "", "stable unique id for this daemon in gossip frames (default: the bound listen address)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "sketchd: ", log.LstdFlags)
+
+	// Listen before building the server so the bound address (port 0
+	// resolves here) can double as the default gossip node id.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if *nodeID == "" {
+		*nodeID = ln.Addr().String()
+	}
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
+
 	srv, err := server.New(server.Config{
 		Width:         *width,
 		Depth:         *depth,
@@ -71,16 +100,16 @@ func main() {
 		SnapshotDir:   *snapshotDir,
 		SnapshotEvery: *snapshotEvery,
 		MaxBodyBytes:  *maxBody,
+		Peers:         peerList,
+		GossipEvery:   *gossipEvery,
+		NodeID:        *nodeID,
 		Logf:          logger.Printf,
 	})
 	if err != nil {
+		ln.Close()
 		logger.Fatal(err)
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		logger.Fatal(err)
-	}
 	// Print the bound address on stdout so scripts using port 0 can find it.
 	fmt.Printf("listening on %s (countmin %dx%d, k=%d, seed=%d)\n",
 		ln.Addr(), *width, *depth, *k, *seed)
@@ -103,7 +132,8 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil {
 		logger.Printf("shutdown: %v", err)
 	}
-	// Close ships the final snapshot when -snapshot-dir is set.
+	// Close makes a final delta push to every -peers entry and ships the
+	// final snapshot when -snapshot-dir is set.
 	if err := srv.Close(); err != nil {
 		logger.Fatalf("close: %v", err)
 	}

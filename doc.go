@@ -22,15 +22,17 @@
 //	                  Snapshot/Close
 //	internal/server   the HTTP ingestion/snapshot daemon behind cmd/sketchd:
 //	                  concurrently ingested batched updates, live queries,
-//	                  snapshot export and exact cross-process merge, plus a
-//	                  thin Go client
+//	                  snapshot export, exact cross-process merge, and gossip
+//	                  delta-replication between peers (compressed snapshot
+//	                  differences shipped on a timer, watermark-idempotent),
+//	                  plus a thin Go client
 //	internal/cs       compressed sensing: sparse-matrix decoders and dense
 //	                  baselines (OMP, IHT, ISTA)
 //	internal/jl       Johnson-Lindenstrauss embeddings, feature hashing,
 //	                  SRHT, sketch-and-solve regression and low-rank
 //	internal/sfft     sparse Fourier transform and sparse Hadamard transform
 //	internal/fourier  FFT / FWHT / window-filter substrate
-//	internal/bench    the E1-E13 experiment harness (see
+//	internal/bench    the E1-E14 experiment harness (see
 //	                  internal/bench/DESIGN.md for each experiment's claim,
 //	                  workload and metrics)
 //

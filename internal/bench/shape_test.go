@@ -156,6 +156,32 @@ func TestE13BatchIngestExact(t *testing.T) {
 	}
 }
 
+// TestE14DeltaGossipExactAndSmaller: both shipping strategies must converge
+// every node onto the single-threaded reference exactly (deviation 0), and
+// delta shipping must move well under half the bytes full-snapshot shipping
+// does at the same convergence cadence — the whole point of gossiping
+// differences.
+func TestE14DeltaGossipExactAndSmaller(t *testing.T) {
+	tbl := RunE14DeltaGossip(Config{Seed: 41, Quick: true})[0]
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("E14 should produce 2 strategy rows, got %d", len(tbl.Rows))
+	}
+	bytesFor := map[string]float64{}
+	for _, row := range tbl.Rows {
+		if v := parseCell(t, row[4]); v != 0 {
+			t.Errorf("%s: max estimate deviation %v, want exactly 0", row[0], v)
+		}
+		bytesFor[row[0]] = parseCell(t, row[2])
+	}
+	full, delta := bytesFor["full-snapshot"], bytesFor["delta-gossip"]
+	if full == 0 || delta == 0 {
+		t.Fatalf("missing strategy rows: %v", bytesFor)
+	}
+	if delta >= full/2 {
+		t.Errorf("delta gossip shipped %.0f bytes, full snapshots %.0f: expected > 2x saving", delta, full)
+	}
+}
+
 // TestE2MultiplyShiftFastest: the multiply-shift hash family should give the
 // highest update throughput among the Count-Min variants.
 func TestE2MultiplyShiftFastest(t *testing.T) {

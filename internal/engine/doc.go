@@ -60,4 +60,13 @@
 // like a local one. Any type satisfying LinearSketch — the four built-in
 // families via NewCountMin/NewCountSketch/NewTracker/NewDyadic, or a
 // caller's own — gets all of this through NewLinear.
+//
+// Linearity also runs in reverse: DeltaSnapshot subtracts a retained
+// baseline from the current barrier snapshot, yielding a sketch of exactly
+// the updates absorbed since the baseline was cut. That difference is what
+// gossiping sketchd peers ship instead of full state (internal/server's
+// replicator): mostly-zero counters compress well, and the receiving peer
+// folds the delta in with the ordinary exact merge. The subtraction happens
+// after the barrier releases the workers, so keeping deltas flowing costs
+// the ingestion hot path nothing.
 package engine

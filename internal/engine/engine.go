@@ -52,6 +52,11 @@ var ErrClosed = errors.New("engine: closed")
 // serialize their concrete replica type. Register one with WithCodec.
 var ErrNoCodec = errors.New("engine: replica type has no binary codec registered")
 
+// ErrNoDelta is returned by DeltaSnapshot on engines built with New
+// directly and no subtraction registered via WithDelta. The convenience
+// constructors register the replica type's Sub automatically.
+var ErrNoDelta = errors.New("engine: replica type has no subtraction registered")
+
 // batch is a pair of parallel key/delta columns — the unit of work handed to
 // a shard. Columns, not records: the worker passes them straight to the
 // replica's UpdateBatch, which drives the vectorizable hash kernels, so an
@@ -96,6 +101,7 @@ type Engine[S any] struct {
 	newReplica func() S
 	apply      func(S, []uint64, []float64)
 	merge      func(dst, src S) error
+	sub        func(dst, src S) error // nil unless registered via WithDelta
 
 	// encode/decode translate a replica to and from the versioned binary
 	// sketch encoding; nil unless registered via WithCodec.
@@ -402,6 +408,62 @@ func (e *Engine[S]) WithCodec(encode func(S) ([]byte, error), decode func([]byte
 	return e
 }
 
+// WithDelta registers a subtraction function (dst -= src, counter-wise),
+// enabling DeltaSnapshot. The convenience constructors register the replica
+// type's Sub automatically. Returns the engine for chaining.
+func (e *Engine[S]) WithDelta(sub func(dst, src S) error) *Engine[S] {
+	e.sub = sub
+	return e
+}
+
+// DeltaSnapshot returns the current exact snapshot (see Snapshot) together
+// with its counter-wise difference from baseline: by linearity the delta is
+// itself a valid sketch — of exactly the updates the engine has absorbed
+// since baseline was cut — so it can be shipped to a peer that already
+// holds baseline and folded in with an ordinary merge. baseline must be a
+// replica sharing the engine's hash functions (an earlier DeltaSnapshot's
+// snap, or an empty clone for "everything so far"); it is read, never
+// written.
+//
+// The barrier stalls producers only for the merge of the shard replicas,
+// exactly as Snapshot does; the subtraction runs after the workers have
+// resumed, so retaining a baseline costs the hot path nothing. Callers that
+// gossip on a timer keep the returned snap as the next tick's baseline —
+// the delta then telescopes: baseline + delta equals snap counter for
+// counter (bit for bit whenever counter sums are exact in float64, e.g.
+// integer-valued streams).
+func (e *Engine[S]) DeltaSnapshot(baseline S) (snap, delta S, err error) {
+	var zero S
+	if e.sub == nil {
+		return zero, zero, ErrNoDelta
+	}
+	snap, err = e.Snapshot()
+	if err != nil {
+		return zero, zero, err
+	}
+	delta = e.newReplica()
+	if err = e.merge(delta, snap); err != nil {
+		return zero, zero, fmt.Errorf("engine: copying snapshot for delta: %w", err)
+	}
+	if err = e.sub(delta, baseline); err != nil {
+		return zero, zero, fmt.Errorf("engine: subtracting delta baseline: %w", err)
+	}
+	return snap, delta, nil
+}
+
+// DecodeReplica decodes a serialized replica with the engine's registered
+// codec — the same decoder MergeEncoded trusts as the gatekeeper for
+// incompatible sketches — without folding it in. Transports use it when
+// they need the decoded replica itself (to account for it separately, then
+// Absorb it). It requires a codec (ErrNoCodec otherwise).
+func (e *Engine[S]) DecodeReplica(data []byte) (S, error) {
+	var zero S
+	if e.decode == nil {
+		return zero, ErrNoCodec
+	}
+	return e.decode(data)
+}
+
 // Absorb folds an externally built replica — a peer process's deserialized
 // snapshot, a recovered on-disk shard — into the engine without stopping
 // ingestion. Linearity makes this exact: absorbing src is indistinguishable
@@ -492,7 +554,9 @@ func (e *Engine[S]) Close() (S, error) {
 // engine: batch-updatable (parallel key/delta columns — the shard workers
 // hand whole batches to UpdateBatch, which is where the vectorizable hash
 // kernels live), clonable (empty replica, same hash functions), mergeable
-// (exact counter addition) and serializable (the versioned binary encoding).
+// and subtractable (exact counter addition and its inverse, which is what
+// DeltaSnapshot ships between gossiping peers) and serializable (the
+// versioned binary encoding).
 // Every linear family in internal/sketch — CountMin, CountSketch, the
 // heavy-hitter tracker, the dyadic hierarchy — satisfies it; NewLinear turns
 // any of them, or a caller's own type, into an engine.
@@ -501,6 +565,7 @@ type LinearSketch[S any] interface {
 	UpdateBatch(items []uint64, deltas []float64)
 	Clone() S
 	Merge(src S) error
+	Sub(src S) error
 	MarshalBinary() ([]byte, error)
 }
 
@@ -517,6 +582,8 @@ func NewLinear[S LinearSketch[S]](cfg Config, proto S, decode func([]byte) (S, e
 	).WithCodec(
 		func(s S) ([]byte, error) { return s.MarshalBinary() },
 		decode,
+	).WithDelta(
+		func(dst, src S) error { return dst.Sub(src) },
 	)
 }
 

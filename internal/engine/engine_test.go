@@ -190,6 +190,84 @@ func TestSnapshotDuringConcurrentIngest(t *testing.T) {
 	}
 }
 
+// TestDeltaSnapshotTelescopes: DeltaSnapshot against a retained baseline
+// must yield deltas that (a) summarize exactly the updates between the two
+// cuts and (b) telescope — baseline plus delta equals the new snapshot
+// counter for counter. This is the gossip replicator's contract.
+func TestDeltaSnapshotTelescopes(t *testing.T) {
+	proto := sketch.NewCountMin(xrand.New(41), 512, 4)
+	eng := NewCountMin(Config{Workers: 3, BatchSize: 64}, proto)
+	s := newZipf(43, 1<<14, 30_000)
+
+	baseline := proto.Clone() // empty: the first delta is "everything so far"
+	reference := proto.Clone()
+	cut := len(s.Updates) / 3
+
+	ingest := func(updates []stream.Update) {
+		for _, u := range updates {
+			eng.Update(u.Item, float64(u.Delta))
+			reference.Update(u.Item, float64(u.Delta))
+		}
+		eng.Flush()
+	}
+
+	ingest(s.Updates[:cut])
+	snap1, delta1, err := eng.DeltaSnapshot(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First delta from an empty baseline is the full state.
+	if !countersEqual(delta1.Counters(), snap1.Counters()) {
+		t.Fatal("first delta from an empty baseline differs from the snapshot")
+	}
+
+	ingest(s.Updates[cut:])
+	snap2, delta2, err := eng.DeltaSnapshot(snap1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !countersEqual(snap2.Counters(), reference.Counters()) {
+		t.Fatal("second snapshot differs from the single-threaded reference")
+	}
+	// The tail-only sketch must equal the second delta exactly.
+	tail := proto.Clone()
+	for _, u := range s.Updates[cut:] {
+		tail.Update(u.Item, float64(u.Delta))
+	}
+	if !countersEqual(delta2.Counters(), tail.Counters()) {
+		t.Fatal("delta between cuts differs from the tail-only sketch")
+	}
+	// Telescoping: a peer that folded delta1 then delta2 holds snap2.
+	peer := proto.Clone()
+	if err := peer.Merge(delta1); err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.Merge(delta2); err != nil {
+		t.Fatal(err)
+	}
+	if !countersEqual(peer.Counters(), snap2.Counters()) {
+		t.Fatal("baseline + deltas do not reconstruct the snapshot")
+	}
+	if _, err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaSnapshotRequiresRegistration: engines built with the generic New
+// and no WithDelta must refuse DeltaSnapshot with ErrNoDelta.
+func TestDeltaSnapshotRequiresRegistration(t *testing.T) {
+	proto := sketch.NewCountMin(xrand.New(47), 64, 2)
+	eng := New(Config{Workers: 1},
+		func() *sketch.CountMin { return proto.Clone() },
+		func(s *sketch.CountMin, items []uint64, deltas []float64) { s.UpdateBatch(items, deltas) },
+		func(dst, src *sketch.CountMin) error { return dst.Merge(src) },
+	)
+	defer eng.Close()
+	if _, _, err := eng.DeltaSnapshot(proto.Clone()); err != ErrNoDelta {
+		t.Fatalf("DeltaSnapshot without WithDelta: got %v, want ErrNoDelta", err)
+	}
+}
+
 // TestDyadicEngineIsExact: the NewDyadic constructor — levels are CountMins,
 // so the clone/merge law applies level-wise and the sharded hierarchy
 // answers quantile and range queries exactly like the single-threaded one.

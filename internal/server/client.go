@@ -31,7 +31,27 @@ func NewClient(base string, hc *http.Client) *Client {
 	return &Client{base: base, hc: hc}
 }
 
-// do issues a request and decodes the error envelope on non-2xx statuses.
+// APIError is a non-2xx answer from the daemon: the HTTP status plus the
+// server's error message. Callers that must react to specific statuses —
+// the gossip replicator treats 409 (watermark conflict) differently from a
+// transport failure — unwrap it with errors.As.
+type APIError struct {
+	Status  int
+	Method  string
+	Path    string
+	Message string
+}
+
+// Error renders the failure with the server's message when it sent one.
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("server: %s %s: %s (HTTP %d)", e.Method, e.Path, e.Message, e.Status)
+	}
+	return fmt.Sprintf("server: %s %s: HTTP %d", e.Method, e.Path, e.Status)
+}
+
+// do issues a request and decodes the error envelope on non-2xx statuses
+// (returned as *APIError).
 func (c *Client) do(ctx context.Context, method, path string, contentType string, body []byte) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
 	if err != nil {
@@ -50,11 +70,12 @@ func (c *Client) do(ctx context.Context, method, path string, contentType string
 		return nil, err
 	}
 	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{Status: resp.StatusCode, Method: method, Path: path}
 		var e errorResponse
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return nil, fmt.Errorf("server: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+			apiErr.Message = e.Error
 		}
-		return nil, fmt.Errorf("server: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return nil, apiErr
 	}
 	return data, nil
 }
@@ -147,6 +168,29 @@ func (c *Client) Snapshot(ctx context.Context) ([]byte, error) {
 func (c *Client) Merge(ctx context.Context, snapshot []byte) error {
 	_, err := c.do(ctx, http.MethodPost, "/v1/merge", contentTypeSnapshot, snapshot)
 	return err
+}
+
+// PushDelta ships a replication delta frame to the daemon's /v1/delta
+// endpoint and returns its watermark acknowledgment. The server applies the
+// frame at most once (see DeltaFrame for the watermark protocol), so
+// retrying a frame whose response was lost is always safe. A watermark
+// conflict comes back as an *APIError with Status 409.
+func (c *Client) PushDelta(ctx context.Context, frame DeltaFrame) (DeltaResponse, error) {
+	return c.pushDeltaRaw(ctx, AppendDeltaFrame(nil, frame))
+}
+
+// pushDeltaRaw posts pre-encoded delta frame bytes — the replicator retries
+// un-acked frames verbatim, so it keeps the encoding around.
+func (c *Client) pushDeltaRaw(ctx context.Context, frame []byte) (DeltaResponse, error) {
+	data, err := c.do(ctx, http.MethodPost, "/v1/delta", contentTypeDelta, frame)
+	if err != nil {
+		return DeltaResponse{}, err
+	}
+	var resp DeltaResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return DeltaResponse{}, fmt.Errorf("server: decoding delta response: %w", err)
+	}
+	return resp, nil
 }
 
 // Stats fetches the daemon's counters and sketch shape.

@@ -1,7 +1,8 @@
 // Package server is the network ingestion front-end over internal/engine:
 // an HTTP daemon (cmd/sketchd) that owns a sharded heavy-hitter engine and
 // exposes updates, point queries, top-k reports, and — the part that makes
-// it distributed — snapshot export and merge.
+// it distributed — snapshot export, merge, and continuous gossip
+// delta-replication between peers.
 //
 // The design leans entirely on the survey's linearity law. A sketch is a
 // linear map of the frequency vector, so for any split of a stream across
@@ -13,6 +14,23 @@
 // the transport layer: a fleet of daemons that ingests a partitioned stream
 // and merges pairwise converges to byte-for-byte the sketch one process
 // would have built from the whole stream.
+//
+// Reconciliation is no longer only pull-driven. Linearity also makes the
+// *difference* of two snapshots a valid sketch — of exactly the updates
+// between them — so daemons started with Config.Peers run a replicator
+// goroutine that, every GossipEvery, ships each peer the delta between the
+// daemon's current locally ingested state and the last state that peer
+// acknowledged. Deltas are mostly zero counters and travel in the
+// compressed KindDelta envelope (sketch.EncodeDelta); POST /v1/delta folds
+// them in idempotently: the receiver keeps a per-sender generation
+// watermark, so retried or reordered frames are acknowledged without being
+// applied twice, and frames from a diverged sender are refused (409) and
+// re-aligned with a reset frame rather than double-counted. Only locally
+// ingested mass is gossiped — absorbed merges, applied deltas and recovered
+// snapshots are tracked in a separate "foreign" sketch and subtracted from
+// every shipment — so a full mesh converges to exactly the global sketch
+// with no relaying and no double-counting. See docs/CLUSTER.md for the
+// operator guide and DeltaFrame in wire.go for the protocol.
 //
 // Ingestion is concurrent end to end, and batch-first. Every /v1/update
 // handler routes its batch through one of Config.Producers engine producer

@@ -1,0 +1,452 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+// gossipNode is one daemon of an in-test mesh, served on a real loopback
+// listener (ports are bound before the servers are built, so every peer URL
+// is known up front — the same order of operations cmd/sketchd uses).
+type gossipNode struct {
+	srv    *Server
+	client *Client
+	url    string
+}
+
+// startMesh binds n loopback listeners, builds n Servers whose Peers lists
+// name every other node, and serves them. Cleanup closes everything.
+func startMesh(t *testing.T, n int, cfg Config) []*gossipNode {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*gossipNode, n)
+	for i := range nodes {
+		nodeCfg := cfg
+		nodeCfg.NodeID = fmt.Sprintf("node-%d", i)
+		for j, u := range urls {
+			if j != i {
+				nodeCfg.Peers = append(nodeCfg.Peers, u)
+			}
+		}
+		srv, err := New(nodeCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(listeners[i])
+		nodes[i] = &gossipNode{srv: srv, client: NewClient(urls[i], nil), url: urls[i]}
+		t.Cleanup(func() {
+			hs.Close()
+			srv.Close()
+		})
+	}
+	return nodes
+}
+
+// waitForMass polls a node until its total mass reaches want (gossip has
+// quiesced for this node) or the deadline passes.
+func waitForMass(t *testing.T, node *gossipNode, want float64) {
+	t.Helper()
+	ctx := context.Background()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		stats, err := node.client.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.TotalMass == want {
+			return
+		}
+		if stats.TotalMass > want {
+			t.Fatalf("node %s overshot: total mass %v, want %v — deltas double-counted", node.url, stats.TotalMass, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node %s did not converge: total mass %v, want %v", node.url, stats.TotalMass, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestGossipTrioConvergence is the acceptance invariant for delta
+// replication: three daemons in a full mesh ingest disjoint thirds of one
+// stream, gossip deltas on a timer, and after quiescence every peer answers
+// every sampled query exactly like the single-threaded reference sketch —
+// deviation 0, proven under -race by the ordinary test run.
+func TestGossipTrioConvergence(t *testing.T) {
+	cfg := Config{
+		Width: 1024, Depth: 4, K: 48, Seed: 19,
+		Engine:      engine.Config{Workers: 2, BatchSize: 101},
+		Producers:   2,
+		GossipEvery: 15 * time.Millisecond,
+	}
+	nodes := startMesh(t, 3, cfg)
+	ctx := context.Background()
+
+	reference := sketch.NewHeavyHitterTracker(xrand.New(cfg.Seed), cfg.Width, cfg.Depth, cfg.K)
+	s := stream.Zipf(xrand.New(131), 1<<15, 45_000, 1.1)
+	for _, u := range s.Updates {
+		reference.Update(u.Item, float64(u.Delta))
+	}
+
+	// Node i ingests every third update, in chunks so gossip interleaves
+	// with ingestion (deltas ship mid-stream, not just once at the end).
+	const chunk = 900
+	thirds := make([][]engine.Update, 3)
+	for i, u := range s.Updates {
+		thirds[i%3] = append(thirds[i%3], engine.Update{Item: u.Item, Delta: float64(u.Delta)})
+	}
+	for round := 0; round*chunk < len(thirds[0]); round++ {
+		for i, node := range nodes {
+			own := thirds[i]
+			start := round * chunk
+			if start >= len(own) {
+				continue
+			}
+			end := min(start+chunk, len(own))
+			if err := node.client.Update(ctx, own[start:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for _, node := range nodes {
+		waitForMass(t, node, reference.TotalMass())
+	}
+
+	// Every peer, every sampled counter — including the reference's heavy
+	// hitters — must equal the single-threaded sketch exactly.
+	items := make([]uint64, 0, 1<<11)
+	for item := uint64(0); item < 1<<15; item += 19 {
+		items = append(items, item)
+	}
+	for _, ic := range reference.TopK() {
+		items = append(items, ic.Item)
+	}
+	for _, node := range nodes {
+		for start := 0; start < len(items); start += 256 {
+			end := min(start+256, len(items))
+			estimates, err := node.client.Query(ctx, items[start:end]...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, item := range items[start:end] {
+				if want := reference.Estimate(item); estimates[i] != want {
+					t.Fatalf("node %s: estimate(%d) = %v, reference = %v (deviation %v)",
+						node.url, item, estimates[i], want, estimates[i]-want)
+				}
+			}
+		}
+		stats, err := node.client.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.DeltasApplied == 0 {
+			t.Fatalf("node %s converged without applying any deltas — gossip did not run", node.url)
+		}
+		if len(stats.Watermarks) != 2 {
+			t.Fatalf("node %s tracks %d sender watermarks, want 2", node.url, len(stats.Watermarks))
+		}
+	}
+}
+
+// TestGossipDeltaSmallerThanSnapshot: once a mesh has converged, an
+// incremental delta frame must be far smaller than the full dense snapshot —
+// the bytes argument for delta shipping, measured over real HTTP.
+func TestGossipDeltaSmallerThanSnapshot(t *testing.T) {
+	cfg := Config{
+		Width: 4096, Depth: 4, K: 32, Seed: 23,
+		GossipEvery: 10 * time.Millisecond,
+	}
+	nodes := startMesh(t, 2, cfg)
+	ctx := context.Background()
+
+	// A broad first wave touches many counters; the tail touches few.
+	wave := make([]engine.Update, 0, 20_000)
+	for i := 0; i < 20_000; i++ {
+		wave = append(wave, engine.Update{Item: uint64(i % 3800), Delta: 1})
+	}
+	if err := nodes[0].client.Update(ctx, wave); err != nil {
+		t.Fatal(err)
+	}
+	waitForMass(t, nodes[1], 20_000)
+
+	before, err := nodes[0].client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := []engine.Update{{Item: 1, Delta: 5}, {Item: 2, Delta: 7}}
+	if err := nodes[0].client.Update(ctx, tail); err != nil {
+		t.Fatal(err)
+	}
+	waitForMass(t, nodes[1], 20_012)
+	after, err := nodes[0].client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snapshot, err := nodes[0].client.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltaBytes := after.Peers[0].BytesShipped - before.Peers[0].BytesShipped
+	if deltaBytes <= 0 {
+		t.Fatal("no delta frames shipped for the tail updates")
+	}
+	if deltaBytes >= int64(len(snapshot))/4 {
+		t.Fatalf("incremental delta shipped %d bytes; full snapshot is %d — expected > 4x saving", deltaBytes, len(snapshot))
+	}
+}
+
+// TestGossipSenderRestartResync: a daemon that restarts (same -node-id,
+// fresh generation counter) must not have its post-restart deltas swallowed
+// as duplicates by a peer whose watermark remembers the previous
+// incarnation. The sender detects the stale watermark, resets it to zero,
+// and re-ships its post-restart local mass — nothing lost, and the
+// pre-restart mass the peer already holds is not double-counted.
+func TestGossipSenderRestartResync(t *testing.T) {
+	ctx := context.Background()
+	cfg := Config{Width: 512, Depth: 4, K: 16, Seed: 29}
+
+	// The durable peer B, no peers of its own.
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	urlB := "http://" + lnB.Addr().String()
+	nodeB, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsB := &http.Server{Handler: nodeB.Handler()}
+	go hsB.Serve(lnB)
+	t.Cleanup(func() { hsB.Close(); nodeB.Close() })
+	clientB := NewClient(urlB, nil)
+
+	startA := func() (*Server, *Client, func()) {
+		cfgA := cfg
+		cfgA.NodeID = "node-a" // same identity across both incarnations
+		cfgA.Peers = []string{urlB}
+		cfgA.GossipEvery = 10 * time.Millisecond
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := New(cfgA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		return srv, NewClient("http://"+ln.Addr().String(), nil), func() { hs.Close(); srv.Close() }
+	}
+
+	// First incarnation ships 100 mass on item 1, then dies.
+	srvA1, clientA1, stopA1 := startA()
+	if err := clientA1.Update(ctx, []engine.Update{{Item: 1, Delta: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	waitForMass(t, &gossipNode{client: clientB, url: urlB}, 100)
+	_ = srvA1
+	stopA1()
+
+	// Second incarnation (fresh state, same node id) ingests new mass. Its
+	// generation counter restarted, so without the resync its frames would
+	// be acked as duplicates and the 50 would never reach B.
+	_, clientA2, stopA2 := startA()
+	defer stopA2()
+	if err := clientA2.Update(ctx, []engine.Update{{Item: 2, Delta: 50}}); err != nil {
+		t.Fatal(err)
+	}
+	waitForMass(t, &gossipNode{client: clientB, url: urlB}, 150)
+
+	// B holds exactly one copy of each incarnation's mass.
+	estimates, err := clientB.Query(ctx, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estimates[0] != 100 || estimates[1] != 50 {
+		t.Fatalf("B's estimates after sender restart: item1=%v item2=%v, want 100 and 50", estimates[0], estimates[1])
+	}
+}
+
+// pushDeltaBytes posts raw bytes at /v1/delta and returns status and body.
+func pushDeltaBytes(t *testing.T, client *Client, body []byte) (int, string) {
+	t.Helper()
+	resp, err := http.Post(client.base+"/v1/delta", contentTypeDelta, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.String()
+}
+
+// deltaPayloadFor marshals a sketch and wraps it in the KindDelta envelope,
+// the shape /v1/delta expects inside a frame.
+func deltaPayloadFor(t *testing.T, sk interface{ MarshalBinary() ([]byte, error) }) []byte {
+	t.Helper()
+	data, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sketch.EncodeDelta(data)
+}
+
+// TestDeltaRejectsBadPayloads: every malformed or incompatible /v1/delta
+// body must come back 4xx with a useful message and leave the counters
+// untouched — truncated frames, foreign seeds, mismatched dimensions, junk
+// envelopes and stale watermarks alike.
+func TestDeltaRejectsBadPayloads(t *testing.T) {
+	cfg := Config{Width: 512, Depth: 4, K: 16, Seed: 3}
+	_, client := testDaemon(t, cfg)
+	ctx := context.Background()
+
+	// Seed the daemon with known mass so "counters untouched" is checkable.
+	if err := client.Update(ctx, []engine.Update{{Item: 9, Delta: 4}}); err != nil {
+		t.Fatal(err)
+	}
+
+	goodDelta := func() []byte {
+		cm := sketch.NewCountMin(xrand.New(cfg.Seed), cfg.Width, cfg.Depth)
+		cm.Update(1, 1)
+		return deltaPayloadFor(t, cm)
+	}()
+	frame := func(f DeltaFrame) []byte { return AppendDeltaFrame(nil, f) }
+	okFrame := frame(DeltaFrame{Sender: "peer", FromGen: 0, ToGen: 5, Payload: goodDelta})
+
+	cases := []struct {
+		name       string
+		body       []byte
+		wantStatus int
+		wantWord   string
+	}{
+		{"empty body", nil, http.StatusBadRequest, "truncated delta frame"},
+		{"garbage", []byte("hello sketchd"), http.StatusBadRequest, "magic"},
+		{"truncated frame", okFrame[:len(okFrame)-7], http.StatusBadRequest, "claims"},
+		{"truncated header", okFrame[:6], http.StatusBadRequest, "truncated"},
+		{"empty sender", frame(DeltaFrame{Sender: "", FromGen: 0, ToGen: 5, Payload: goodDelta}), http.StatusBadRequest, "sender"},
+		{"backwards generations", frame(DeltaFrame{Sender: "peer", FromGen: 9, ToGen: 5, Payload: goodDelta}), http.StatusBadRequest, "backwards"},
+		{"missing payload", frame(DeltaFrame{Sender: "peer", FromGen: 0, ToGen: 5}), http.StatusBadRequest, "no payload"},
+		{"payload not an envelope", frame(DeltaFrame{Sender: "peer", FromGen: 0, ToGen: 5,
+			Payload: []byte("not a delta envelope")}), http.StatusBadRequest, "magic"},
+		{"foreign seed", frame(DeltaFrame{Sender: "peer", FromGen: 0, ToGen: 5,
+			Payload: deltaPayloadFor(t, sketch.NewCountMin(xrand.New(cfg.Seed+1), cfg.Width, cfg.Depth))}),
+			http.StatusBadRequest, "hash mismatch"},
+		{"mismatched dims", frame(DeltaFrame{Sender: "peer", FromGen: 0, ToGen: 5,
+			Payload: deltaPayloadFor(t, sketch.NewCountMin(xrand.New(cfg.Seed), 64, 2))}),
+			http.StatusBadRequest, "dimension mismatch"},
+		{"wrong inner kind", frame(DeltaFrame{Sender: "peer", FromGen: 0, ToGen: 5,
+			Payload: deltaPayloadFor(t, sketch.NewBloomFilter(xrand.New(1), 256, 3))}),
+			http.StatusBadRequest, "cannot merge"},
+	}
+	for _, tc := range cases {
+		status, body := pushDeltaBytes(t, client, tc.body)
+		if status != tc.wantStatus {
+			t.Errorf("%s: HTTP %d, want %d (body %q)", tc.name, status, tc.wantStatus, body)
+		}
+		if !strings.Contains(body, tc.wantWord) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, body, tc.wantWord)
+		}
+	}
+
+	// Counters untouched by all of the above.
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalMass != 4 {
+		t.Fatalf("total mass %v after rejected deltas, want 4 (counters were touched)", stats.TotalMass)
+	}
+	if stats.DeltasApplied != 0 {
+		t.Fatalf("%d deltas recorded as applied", stats.DeltasApplied)
+	}
+
+	// The watermark protocol itself: apply, retry idempotently, reject a gap.
+	resp, err := client.PushDelta(ctx, DeltaFrame{Sender: "peer", FromGen: 0, ToGen: 5, Payload: goodDelta})
+	if err != nil || !resp.Applied || resp.Watermark != 5 {
+		t.Fatalf("first frame: resp %+v, err %v; want applied at watermark 5", resp, err)
+	}
+	resp, err = client.PushDelta(ctx, DeltaFrame{Sender: "peer", FromGen: 0, ToGen: 5, Payload: goodDelta})
+	if err != nil || resp.Applied || resp.Watermark != 5 {
+		t.Fatalf("retried frame: resp %+v, err %v; want idempotent no-op at watermark 5", resp, err)
+	}
+	_, err = client.PushDelta(ctx, DeltaFrame{Sender: "peer", FromGen: 3, ToGen: 9, Payload: goodDelta})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusConflict {
+		t.Fatalf("gapped frame: err %v, want HTTP 409", err)
+	}
+	if !strings.Contains(apiErr.Message, "watermark") {
+		t.Fatalf("409 message %q does not mention the watermark", apiErr.Message)
+	}
+
+	// Exactly one application of the 1-mass delta plus the original 4.
+	stats, err = client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalMass != 5 {
+		t.Fatalf("total mass %v, want 5 (the frame must apply exactly once)", stats.TotalMass)
+	}
+	if stats.DeltasApplied != 1 || stats.DeltasDuplicate != 1 || stats.DeltasRejected < int64(len(cases))+1 {
+		t.Fatalf("delta counters off: %+v", stats)
+	}
+	if stats.Watermarks["peer"] != 5 {
+		t.Fatalf("watermark for peer = %d, want 5", stats.Watermarks["peer"])
+	}
+
+	// A reset frame re-aligns the watermark without touching counters.
+	resp, err = client.PushDelta(ctx, DeltaFrame{Sender: "peer", FromGen: 42, ToGen: 42, Reset: true})
+	if err != nil || resp.Applied || resp.Watermark != 42 {
+		t.Fatalf("reset frame: resp %+v, err %v; want watermark 42, nothing applied", resp, err)
+	}
+	stats, err = client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalMass != 5 {
+		t.Fatalf("total mass %v after reset frame, want 5", stats.TotalMass)
+	}
+}
+
+// TestDeltaFrameRoundTrip: the frame codec in isolation.
+func TestDeltaFrameRoundTrip(t *testing.T) {
+	in := DeltaFrame{Sender: "node-a", FromGen: 7, ToGen: 19, Payload: []byte{1, 2, 3}}
+	out, err := DecodeDeltaFrame(AppendDeltaFrame(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sender != in.Sender || out.FromGen != in.FromGen || out.ToGen != in.ToGen ||
+		out.Reset != in.Reset || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	reset := DeltaFrame{Sender: "node-a", FromGen: 19, ToGen: 19, Reset: true}
+	out, err = DecodeDeltaFrame(AppendDeltaFrame(nil, reset))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Reset || out.ToGen != 19 || len(out.Payload) != 0 {
+		t.Fatalf("reset round trip: %+v", out)
+	}
+}

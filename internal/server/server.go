@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -53,8 +54,26 @@ type Config struct {
 	SnapshotEvery time.Duration
 	// MaxBodyBytes caps request bodies; zero means 8 MiB.
 	MaxBodyBytes int64
+	// Peers are the base URLs of the other daemons in a gossip mesh (e.g.
+	// "http://10.0.0.2:7600"; a bare host:port gets http:// prepended). When
+	// set, a replicator goroutine ships this daemon's locally ingested
+	// updates to every peer as snapshot *deltas* every GossipEvery —
+	// linearity makes the difference of two snapshots a valid sketch — and
+	// a per-sender generation watermark on the receiving side makes
+	// redelivery idempotent. Every daemon in the mesh must share Seed,
+	// Width and Depth, and should list every other daemon (deltas carry
+	// only locally ingested mass and are deliberately not relayed, which is
+	// what makes a full mesh converge without double-counting).
+	Peers []string
+	// GossipEvery is the delta-shipping period; zero with Peers set means
+	// one second. Ignored without Peers.
+	GossipEvery time.Duration
+	// NodeID names this daemon in the delta frames it sends — the key peers
+	// keep their watermark under. It must be unique per daemon and stable
+	// for the daemon's lifetime; empty means a host-pid-sequence identifier.
+	NodeID string
 	// Logf, when non-nil, receives one line per notable event (recovery,
-	// snapshot writes, merge rejections).
+	// snapshot writes, merge rejections, gossip resyncs).
 	Logf func(format string, args ...interface{})
 }
 
@@ -77,11 +96,38 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	peers := make([]string, 0, len(c.Peers))
+	for _, p := range c.Peers {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !strings.Contains(p, "://") {
+			p = "http://" + p
+		}
+		peers = append(peers, strings.TrimRight(p, "/"))
+	}
+	c.Peers = peers
+	if len(c.Peers) > 0 && c.GossipEvery <= 0 {
+		c.GossipEvery = time.Second
+	}
+	if c.NodeID == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "sketchd"
+		}
+		// The sequence number keeps in-process fleets (tests, examples)
+		// distinct even though they share a hostname and pid.
+		c.NodeID = fmt.Sprintf("%s-%d-%d", host, os.Getpid(), nodeSeq.Add(1))
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...interface{}) {}
 	}
 	return c
 }
+
+// nodeSeq disambiguates default node ids within one process.
+var nodeSeq atomic.Int64
 
 // ingestLane is one parallel ingestion path: an engine producer handle, the
 // mutex that keeps a single lane's handle single-writer, and the lane's
@@ -105,7 +151,8 @@ type ingestLane struct {
 //	GET  /v1/topk      ranked candidates (?k=...), or ?phi=... for heavy hitters
 //	GET  /v1/snapshot  the exact merged state, versioned binary encoding
 //	POST /v1/merge     fold a peer's snapshot in (exact linear merge)
-//	GET  /v1/stats     counters and sketch shape
+//	POST /v1/delta     fold a peer's gossip delta frame in (watermark-idempotent)
+//	GET  /v1/stats     counters, sketch shape, per-peer replication lag
 //	GET  /v1/healthz   liveness
 //
 // Ingestion is concurrent end to end: each /v1/update handler routes its
@@ -130,23 +177,68 @@ type Server struct {
 	// retired handle.
 	closed atomic.Bool
 
-	// gen counts acknowledged writes (updates and merges); snapGen records
-	// the write generation snapCache was taken at, so read endpoints reuse
-	// one barrier snapshot until the state actually changes.
+	// gen counts acknowledged writes (updates, merges and applied deltas);
+	// snapGen records the write generation snapCache was taken at, so read
+	// endpoints reuse one barrier snapshot until the state actually changes.
 	gen atomic.Int64
+	// localGen counts acknowledged *locally ingested* batches only — the
+	// generation currency of the gossip protocol. Deltas ship the window
+	// (fromGen, toGen] in these units; foreign mass (merges, applied
+	// deltas) bumps gen but not localGen, which is why it is never gossiped
+	// onward.
+	localGen atomic.Int64
 
 	// snapMu is the narrow barrier lock: it serializes engine barrier
-	// operations (Snapshot/MergeEncoded/Close) and guards the snapshot
-	// cache. The /v1/update hot path never takes it.
+	// operations (Snapshot/Absorb/Close) and guards the snapshot cache, the
+	// foreign tracker and the watermark map. The /v1/update hot path never
+	// takes it.
 	snapMu    sync.Mutex
 	engClosed bool // the engine is gone: snapshots (and so reads) fail too
 	snapGen   int64
 	snapCache *sketch.HeavyHitterTracker
+	// foreign accumulates every sketch absorbed from outside the local
+	// stream: recovered snapshots, /v1/merge bodies and applied /v1/delta
+	// payloads. The replicator ships (engine snapshot - foreign), i.e. the
+	// sketch of locally ingested updates only — peers receive each node's
+	// own mass exactly once, never a relayed copy of their own.
+	foreign *sketch.HeavyHitterTracker
+	// watermarks maps a sender's NodeID to the toGen of the newest delta
+	// frame applied from it; the receiver-side half of the idempotency
+	// protocol (see DeltaFrame in wire.go).
+	watermarks map[string]uint64
+	// maxDeltaInner caps the declared inner length of /v1/delta envelopes
+	// (a small multiple of this daemon's own dense encoding size).
+	maxDeltaInner int
 
-	updates, batches, merges, snapshots atomic.Int64
+	updates, batches, merges, snapshots            atomic.Int64
+	deltasApplied, deltasDuplicate, deltasRejected atomic.Int64
+
+	// peerMu guards the replication fields of the peer states below (the
+	// replicator goroutine mutates them, /v1/stats reads them).
+	peerMu sync.Mutex
+	peers  []*peerState
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// peerState is the sender-side replication state for one gossip peer: the
+// last local snapshot the peer acknowledged (the subtraction baseline for
+// the next delta), and — when an ack never arrived — the encoded frame to
+// retry verbatim. All fields except url and client are guarded by
+// Server.peerMu.
+type peerState struct {
+	url    string
+	client *Client
+
+	baseline     *sketch.HeavyHitterTracker // local state as of the last ack
+	baseGen      int64                      // localGen the baseline was cut at
+	pending      []byte                     // un-acked frame, retried verbatim
+	pendingLocal *sketch.HeavyHitterTracker
+	pendingGen   int64
+	framesAcked  int64
+	bytesShipped int64
+	lastErr      string
 }
 
 // New builds a Server, recovering state from SnapshotDir/sketchd.snap when
@@ -156,10 +248,19 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	proto := sketch.NewHeavyHitterTracker(xrand.New(cfg.Seed), cfg.Width, cfg.Depth, cfg.K)
 	s := &Server{
-		cfg:   cfg,
-		proto: proto,
-		eng:   engine.NewTracker(cfg.Engine, proto),
-		stop:  make(chan struct{}),
+		cfg:        cfg,
+		proto:      proto,
+		eng:        engine.NewTracker(cfg.Engine, proto),
+		foreign:    proto.Clone(),
+		watermarks: make(map[string]uint64),
+		stop:       make(chan struct{}),
+	}
+	// A compatible peer's dense delta encoding can never legitimately exceed
+	// its own sketch's size (counters plus a full candidate set) — cap the
+	// compressed envelope's declared inner length there, so a forged header
+	// in a tiny /v1/delta body cannot demand an outsized allocation.
+	if empty, err := proto.MarshalBinary(); err == nil {
+		s.maxDeltaInner = 2 * (len(empty) + 8*cfg.K + 1024)
 	}
 
 	if cfg.SnapshotDir != "" {
@@ -172,12 +273,32 @@ func New(cfg Config) (*Server, error) {
 			s.eng.Close() // don't leak the worker goroutines
 			return nil, fmt.Errorf("server: reading snapshot %s: %w", path, err)
 		default:
-			if err := s.eng.MergeEncoded(data); err != nil {
+			// Recovered state counts as foreign for gossip purposes: the
+			// peers that were alive before the crash already hold it (they
+			// received it as deltas then), so re-shipping it would
+			// double-count. A peer that never saw it can be bootstrapped
+			// with /v1/snapshot -> /v1/merge (see docs/CLUSTER.md).
+			src, err := s.eng.DecodeReplica(data)
+			if err == nil {
+				err = s.eng.Absorb(src)
+			}
+			if err == nil {
+				err = s.foreign.Merge(src)
+			}
+			if err != nil {
 				s.eng.Close() // don't leak the worker goroutines
 				return nil, fmt.Errorf("server: recovering from %s: %w", path, err)
 			}
 			cfg.Logf("server: recovered %d snapshot bytes from %s", len(data), path)
 		}
+	}
+
+	for _, url := range cfg.Peers {
+		s.peers = append(s.peers, &peerState{
+			url:      url,
+			client:   NewClient(url, &http.Client{Timeout: 10 * time.Second}),
+			baseline: proto.Clone(),
+		})
 	}
 
 	// The ingestion lanes come after recovery so the error paths above can
@@ -193,6 +314,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /v1/merge", s.handleMerge)
+	s.mux.HandleFunc("POST /v1/delta", s.handleDelta)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -202,17 +324,22 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.snapshotLoop()
 	}
+	if len(s.peers) > 0 {
+		s.wg.Add(1)
+		go s.gossipLoop()
+	}
 	return s, nil
 }
 
 // Handler returns the HTTP handler serving the API above.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the snapshot writer, retires the ingestion lanes, ships a
+// Close stops the snapshot writer and the gossip replicator, retires the
+// ingestion lanes, makes a final delta push to every gossip peer, ships a
 // final snapshot when SnapshotDir is configured, and shuts the engine down.
-// Writes are fenced off (503) before the final snapshot is taken, so every
-// update the server has acknowledged is in the recovery file; reads keep
-// working until the engine itself is gone.
+// Writes are fenced off (503) before the final flushes, so every update the
+// server has acknowledged reaches both the peers and the recovery file;
+// reads keep working until the engine itself is gone.
 func (s *Server) Close() error {
 	if s.closed.Swap(true) {
 		return ErrServerClosed
@@ -228,6 +355,16 @@ func (s *Server) Close() error {
 		lane.mu.Lock()
 		lane.p.Close()
 		lane.mu.Unlock()
+	}
+
+	// Final gossip flush: one last delta push per peer, so a graceful
+	// shutdown hands every acknowledged local update to the mesh. Peers
+	// that are down simply miss it (logged); their watermark makes the
+	// frame safe to lose.
+	if len(s.peers) > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		s.gossipTick(ctx)
+		cancel()
 	}
 
 	var saveErr error
@@ -313,6 +450,7 @@ func (s *Server) ingestColumns(lane *ingestLane) {
 	lane.p.UpdateColumns(lane.items, lane.deltas)
 	lane.p.Flush()
 	s.gen.Add(1)
+	s.localGen.Add(1) // local ingestion: this batch is ours to gossip
 }
 
 // snapshotLocked returns a consistent barrier snapshot of the engine,
@@ -528,24 +666,33 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.snapMu.Lock()
-	var err error
+	// Decode and validate outside the barrier lock; the engine's registered
+	// decoder is the gatekeeper for malformed and incompatible payloads.
+	src, err := s.eng.DecodeReplica(data)
+
 	var mass float64
-	// Re-check closed under the barrier lock (the analogue of ingest's
-	// re-check under the lane lock): Close sets it before the final
-	// SaveSnapshot, so a merge that squeezed past the check above cannot be
-	// acknowledged after the recovery file was written and then lost.
-	if s.engClosed || s.closed.Load() {
-		err = ErrServerClosed
-	} else if err = s.eng.MergeEncoded(data); err == nil {
-		s.gen.Add(1)
-		s.merges.Add(1)
-		var snap *sketch.HeavyHitterTracker
-		if snap, err = s.snapshotLocked(); err == nil {
-			mass = snap.TotalMass()
+	if err == nil {
+		s.snapMu.Lock()
+		// Re-check closed under the barrier lock (the analogue of ingest's
+		// re-check under the lane lock): Close sets it before the final
+		// SaveSnapshot, so a merge that squeezed past the check above cannot
+		// be acknowledged after the recovery file was written and then lost.
+		if s.engClosed || s.closed.Load() {
+			err = ErrServerClosed
+		} else if err = s.eng.Absorb(src); err == nil {
+			// Merged snapshots are foreign mass: the gossip replicator must
+			// not ship them back out as if this daemon had ingested them.
+			if err = s.foreign.Merge(src); err == nil {
+				s.gen.Add(1)
+				s.merges.Add(1)
+				var snap *sketch.HeavyHitterTracker
+				if snap, err = s.snapshotLocked(); err == nil {
+					mass = snap.TotalMass()
+				}
+			}
 		}
+		s.snapMu.Unlock()
 	}
-	s.snapMu.Unlock()
 
 	if err != nil {
 		s.cfg.Logf("server: merge rejected: %v", err)
@@ -562,24 +709,379 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, MergeResponse{TotalMass: mass})
 }
 
+// handleDelta folds a peer's replication frame in. The per-sender
+// generation watermark makes the endpoint idempotent: a frame is applied
+// exactly once no matter how often the sender retries it, and a frame from
+// a diverged sender (one side restarted) is refused with 409 rather than
+// risk double-counting — the sender then re-aligns with a reset frame.
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	frame, err := DecodeDeltaFrame(data)
+	if err != nil {
+		s.deltasRejected.Add(1)
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.closed.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+
+	// Unwrap and decode the payload outside the barrier lock; the engine's
+	// registered decoder rejects foreign seeds, mismatched dimensions and
+	// malformed bytes before any counter is touched.
+	var src *sketch.HeavyHitterTracker
+	if !frame.Reset {
+		inner, err := sketch.DecodeDeltaLimit(frame.Payload, s.maxDeltaInner)
+		if err != nil {
+			s.deltasRejected.Add(1)
+			writeErr(w, http.StatusBadRequest, "delta payload: %v", err)
+			return
+		}
+		if src, err = s.eng.DecodeReplica(inner); err != nil {
+			s.deltasRejected.Add(1)
+			writeErr(w, http.StatusBadRequest, "delta payload: %v", err)
+			return
+		}
+	}
+
+	s.snapMu.Lock()
+	if s.engClosed || s.closed.Load() {
+		s.snapMu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	mark := s.watermarks[frame.Sender]
+	switch {
+	case frame.Reset:
+		// Re-alignment after a restart on either side: adopt the sender's
+		// declared generation as the new watermark without touching a
+		// counter. Lowering is deliberate — a restarted sender resets us to
+		// 0 and then re-ships its (post-restart) local mass from scratch.
+		s.watermarks[frame.Sender] = frame.ToGen
+		mark = frame.ToGen
+		s.snapMu.Unlock()
+		s.cfg.Logf("server: gossip watermark for %q reset to %d", frame.Sender, mark)
+		writeJSON(w, http.StatusOK, DeltaResponse{Applied: false, Watermark: mark})
+
+	case frame.ToGen <= mark:
+		// A retry of a frame already applied (its ack was lost). Acknowledge
+		// without applying — this is what makes redelivery safe.
+		s.snapMu.Unlock()
+		s.deltasDuplicate.Add(1)
+		writeJSON(w, http.StatusOK, DeltaResponse{Applied: false, Watermark: mark})
+
+	case frame.FromGen != mark:
+		// The frame's window does not start at our watermark: the sender and
+		// we disagree about what has been shipped (somebody restarted).
+		// Refuse — applying would double-count the overlap or skip a gap.
+		s.snapMu.Unlock()
+		s.deltasRejected.Add(1)
+		writeErr(w, http.StatusConflict,
+			"stale watermark for sender %q: frame covers generations (%d, %d], receiver watermark is %d",
+			frame.Sender, frame.FromGen, frame.ToGen, mark)
+
+	default:
+		err := s.eng.Absorb(src)
+		if err == nil {
+			// Applied deltas are foreign mass — never gossiped onward.
+			err = s.foreign.Merge(src)
+		}
+		if err != nil {
+			s.snapMu.Unlock()
+			s.cfg.Logf("server: delta from %q rejected: %v", frame.Sender, err)
+			s.deltasRejected.Add(1)
+			if errors.Is(err, engine.ErrClosed) {
+				writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+			} else {
+				writeErr(w, http.StatusBadRequest, "%v", err)
+			}
+			return
+		}
+		s.watermarks[frame.Sender] = frame.ToGen
+		s.gen.Add(1)
+		s.snapMu.Unlock()
+		s.deltasApplied.Add(1)
+		writeJSON(w, http.StatusOK, DeltaResponse{Applied: true, Watermark: frame.ToGen})
+	}
+}
+
+// Gossip replication (sender side) -------------------------------------------
+
+// gossipLoop ships deltas to every peer each GossipEvery until Close.
+func (s *Server) gossipLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.GossipEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.gossipTick(context.Background())
+		}
+	}
+}
+
+// gossipTick cuts one local-state snapshot and pushes every peer's delta
+// against it. Skipped entirely when every peer has acknowledged the current
+// local generation and nothing is pending — an idle mesh costs no barriers.
+func (s *Server) gossipTick(ctx context.Context) {
+	if !s.gossipWorkPending() {
+		return
+	}
+	local, gen, err := s.localSnapshot()
+	if err != nil {
+		if !errors.Is(err, ErrServerClosed) && !errors.Is(err, engine.ErrClosed) {
+			s.cfg.Logf("server: gossip snapshot failed: %v", err)
+		}
+		return
+	}
+	for _, p := range s.peers {
+		s.pushPeer(ctx, p, local, gen)
+	}
+}
+
+// gossipWorkPending reports whether any peer lags the current local
+// generation or holds an un-acked frame.
+func (s *Server) gossipWorkPending() bool {
+	g := s.localGen.Load()
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	for _, p := range s.peers {
+		if p.pending != nil || p.baseGen != g {
+			return true
+		}
+	}
+	return false
+}
+
+// localSnapshot cuts the sketch of *locally ingested* updates: the engine's
+// exact barrier snapshot minus the foreign tracker (everything absorbed from
+// peers, merges and recovery). It refreshes the read-path snapshot cache on
+// the way, and returns the local write generation the cut covers.
+func (s *Server) localSnapshot() (*sketch.HeavyHitterTracker, int64, error) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.engClosed {
+		return nil, 0, ErrServerClosed
+	}
+	// Both generations load before the barrier, so the snapshot covers at
+	// least everything they count (late-racing writes land in the snapshot
+	// too — harmless, the retained baseline keeps them from shipping twice).
+	gGlobal := s.gen.Load()
+	gLocal := s.localGen.Load()
+	snap, local, err := s.eng.DeltaSnapshot(s.foreign)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.snapCache, s.snapGen = snap, gGlobal
+	return local, gLocal, nil
+}
+
+// pushPeer ships one peer its delta: first any un-acked frame verbatim
+// (the watermark makes redelivery idempotent), then the difference between
+// the current local state and the peer's acknowledged baseline.
+func (s *Server) pushPeer(ctx context.Context, p *peerState, local *sketch.HeavyHitterTracker, gen int64) {
+	s.peerMu.Lock()
+	pending, pendingLocal, pendingGen := p.pending, p.pendingLocal, p.pendingGen
+	baseline, baseGen := p.baseline, p.baseGen
+	everAcked := p.framesAcked > 0
+	s.peerMu.Unlock()
+
+	if pending != nil {
+		resp, err := p.client.pushDeltaRaw(ctx, pending)
+		switch {
+		case err == nil && !resp.Applied && resp.Watermark > uint64(pendingGen):
+			// The receiver's watermark outruns our whole history: we
+			// restarted and it still remembers the previous incarnation.
+			// Without this check the no-op ack would be mistaken for a
+			// successful retry and post-restart mass would silently never
+			// replicate.
+			s.resyncRestartedSender(ctx, p)
+			return
+		case err == nil:
+			s.peerMu.Lock()
+			p.baseline, p.baseGen = pendingLocal, pendingGen
+			p.pending, p.pendingLocal = nil, nil
+			p.framesAcked++
+			p.bytesShipped += int64(len(pending))
+			p.lastErr = ""
+			baseline, baseGen = pendingLocal, pendingGen
+			s.peerMu.Unlock()
+		case isWatermarkConflict(err) && !everAcked:
+			s.resyncRestartedSender(ctx, p)
+			return
+		case isWatermarkConflict(err):
+			s.resyncPeer(ctx, p, local, gen)
+			return
+		default:
+			s.peerMu.Lock()
+			p.lastErr = err.Error()
+			s.peerMu.Unlock()
+			return
+		}
+	}
+
+	if gen == baseGen {
+		return // the peer already has every locally ingested update
+	}
+
+	// delta = local now - local as of the last ack: a valid sketch of
+	// exactly the updates ingested here since then (linearity).
+	delta := local.Copy()
+	if err := delta.Sub(baseline); err != nil {
+		s.cfg.Logf("server: computing delta for %s: %v", p.url, err)
+		return
+	}
+	inner, err := delta.MarshalBinary()
+	if err != nil {
+		s.cfg.Logf("server: encoding delta for %s: %v", p.url, err)
+		return
+	}
+	frame := AppendDeltaFrame(nil, DeltaFrame{
+		Sender:  s.cfg.NodeID,
+		FromGen: uint64(baseGen),
+		ToGen:   uint64(gen),
+		Payload: sketch.EncodeDelta(inner),
+	})
+
+	resp, err := p.client.pushDeltaRaw(ctx, frame)
+	switch {
+	case err == nil && !resp.Applied:
+		// A fresh frame (not a retry) was acked without being applied: the
+		// receiver's watermark already covers our window, i.e. it remembers
+		// a previous incarnation of this node id — we restarted. Without
+		// this check the no-op ack would advance the baseline and
+		// post-restart mass would silently never replicate.
+		s.resyncRestartedSender(ctx, p)
+	case err == nil:
+		s.peerMu.Lock()
+		p.baseline, p.baseGen = local, gen
+		p.framesAcked++
+		p.bytesShipped += int64(len(frame))
+		p.lastErr = ""
+		s.peerMu.Unlock()
+	case isWatermarkConflict(err) && !everAcked:
+		s.resyncRestartedSender(ctx, p)
+	case isWatermarkConflict(err):
+		s.resyncPeer(ctx, p, local, gen)
+	default:
+		// Transport failure or 5xx: the outcome is unknown, so keep the
+		// frame and retry it verbatim next tick. If the peer did apply it,
+		// the retry is absorbed idempotently (toGen <= watermark).
+		s.peerMu.Lock()
+		p.pending, p.pendingLocal, p.pendingGen = frame, local, gen
+		p.lastErr = err.Error()
+		s.peerMu.Unlock()
+	}
+}
+
+// resyncRestartedSender re-aligns a peer after *this* daemon restarted: the
+// peer's watermark outruns our restarted generation counter (detected from
+// a no-op ack whose watermark exceeds the frame we just sent, or a 409 on
+// our very first frame). Reset the peer's watermark to zero and start over
+// with an empty baseline: our local sketch contains only post-restart mass
+// (recovered snapshots count as foreign), and the peer's copy of our
+// pre-restart mass stays where its counters already are — so the full
+// re-ship loses nothing and double-counts nothing.
+func (s *Server) resyncRestartedSender(ctx context.Context, p *peerState) {
+	frame := AppendDeltaFrame(nil, DeltaFrame{
+		Sender: s.cfg.NodeID,
+		Reset:  true, // FromGen = ToGen = 0: restart the window from scratch
+	})
+	_, err := p.client.pushDeltaRaw(ctx, frame)
+	s.peerMu.Lock()
+	p.pending, p.pendingLocal = nil, nil
+	p.baseline, p.baseGen = s.proto.Clone(), 0
+	if err != nil {
+		p.lastErr = err.Error() // the next frame will conflict and retry the resync
+	} else {
+		p.lastErr = ""
+	}
+	s.peerMu.Unlock()
+	s.cfg.Logf("server: peer %s remembers a previous incarnation of %q: watermark reset to 0, re-shipping local state", p.url, s.cfg.NodeID)
+}
+
+// resyncPeer re-aligns a peer whose watermark no longer matches our
+// generation sequence — one of the two daemons restarted. A reset frame
+// moves the peer's watermark to the current local generation without
+// shipping counters; locally ingested mass the peer never acknowledged is
+// dropped from gossip (never double-counted), and the operator remedy is a
+// one-shot /v1/snapshot -> /v1/merge (see docs/CLUSTER.md).
+func (s *Server) resyncPeer(ctx context.Context, p *peerState, local *sketch.HeavyHitterTracker, gen int64) {
+	frame := AppendDeltaFrame(nil, DeltaFrame{
+		Sender:  s.cfg.NodeID,
+		FromGen: uint64(gen),
+		ToGen:   uint64(gen),
+		Reset:   true,
+	})
+	_, err := p.client.pushDeltaRaw(ctx, frame)
+	s.peerMu.Lock()
+	p.pending, p.pendingLocal = nil, nil
+	p.baseline, p.baseGen = local, gen
+	if err != nil {
+		p.lastErr = err.Error() // next tick's frame will conflict and resync again
+	} else {
+		p.lastErr = ""
+	}
+	s.peerMu.Unlock()
+	s.cfg.Logf("server: gossip watermark conflict with %s: reset to local generation %d", p.url, gen)
+}
+
+// isWatermarkConflict reports whether err is the receiver refusing a frame
+// because the generation windows diverged (HTTP 409).
+func isWatermarkConflict(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusConflict
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	stats := Stats{
-		Width:     s.cfg.Width,
-		Depth:     s.cfg.Depth,
-		K:         s.cfg.K,
-		Workers:   s.eng.Workers(),
-		Producers: len(s.lanes),
-		Updates:   s.updates.Load(),
-		Batches:   s.batches.Load(),
-		Merges:    s.merges.Load(),
-		Snapshots: s.snapshots.Load(),
+		Width:           s.cfg.Width,
+		Depth:           s.cfg.Depth,
+		K:               s.cfg.K,
+		Workers:         s.eng.Workers(),
+		Producers:       len(s.lanes),
+		Updates:         s.updates.Load(),
+		Batches:         s.batches.Load(),
+		Merges:          s.merges.Load(),
+		Snapshots:       s.snapshots.Load(),
+		DeltasApplied:   s.deltasApplied.Load(),
+		DeltasDuplicate: s.deltasDuplicate.Load(),
+		DeltasRejected:  s.deltasRejected.Load(),
 	}
+	gen := s.localGen.Load()
+	s.peerMu.Lock()
+	for _, p := range s.peers {
+		stats.Peers = append(stats.Peers, PeerStat{
+			URL:          p.url,
+			AckedGen:     p.baseGen,
+			LagGens:      gen - p.baseGen,
+			FramesAcked:  p.framesAcked,
+			BytesShipped: p.bytesShipped,
+			Pending:      p.pending != nil,
+			LastError:    p.lastErr,
+		})
+	}
+	s.peerMu.Unlock()
 	snap, err := s.snapshot()
 	if err != nil {
 		writeSnapshotErr(w, err)
 		return
 	}
 	stats.TotalMass = snap.TotalMass()
+	s.snapMu.Lock()
+	if len(s.watermarks) > 0 {
+		stats.Watermarks = make(map[string]uint64, len(s.watermarks))
+		for sender, mark := range s.watermarks {
+			stats.Watermarks[sender] = mark
+		}
+	}
+	s.snapMu.Unlock()
 	writeJSON(w, http.StatusOK, stats)
 }
 

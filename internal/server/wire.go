@@ -33,6 +33,7 @@ const (
 	contentTypeJSON     = "application/json"
 	contentTypeBatch    = "application/x-sketch-batch"
 	contentTypeSnapshot = "application/x-sketch-snapshot"
+	contentTypeDelta    = "application/x-sketch-delta"
 )
 
 // batchMagic guards the binary update-batch format.
@@ -87,6 +88,28 @@ type MergeResponse struct {
 	TotalMass float64 `json:"total_mass"`
 }
 
+// DeltaResponse acknowledges a delta frame. Applied is false for retries of
+// already-applied frames (the idempotent path) and for reset frames;
+// Watermark is the receiver's per-sender generation watermark after the
+// frame was handled, i.e. the ToGen of the newest applied frame.
+type DeltaResponse struct {
+	Applied   bool   `json:"applied"`
+	Watermark uint64 `json:"watermark"`
+}
+
+// PeerStat is the replication status of one configured gossip peer, as
+// reported by GET /v1/stats: which local write generation the peer has
+// acknowledged, how far it lags the current one, and the shipping counters.
+type PeerStat struct {
+	URL          string `json:"url"`
+	AckedGen     int64  `json:"acked_gen"`
+	LagGens      int64  `json:"lag_gens"`
+	FramesAcked  int64  `json:"frames_acked"`
+	BytesShipped int64  `json:"bytes_shipped"`
+	Pending      bool   `json:"pending"`
+	LastError    string `json:"last_error,omitempty"`
+}
+
 // Stats is the JSON body of GET /v1/stats.
 type Stats struct {
 	Width     int     `json:"width"`
@@ -99,6 +122,16 @@ type Stats struct {
 	Merges    int64   `json:"merges"`
 	Snapshots int64   `json:"snapshots"`
 	TotalMass float64 `json:"total_mass"`
+
+	// Delta-replication counters: frames this daemon has applied, absorbed
+	// idempotently (retries of already-applied frames) and rejected at
+	// /v1/delta, the per-sender generation watermarks, and the shipping
+	// status of every configured peer.
+	DeltasApplied   int64             `json:"deltas_applied"`
+	DeltasDuplicate int64             `json:"deltas_duplicate"`
+	DeltasRejected  int64             `json:"deltas_rejected"`
+	Watermarks      map[string]uint64 `json:"watermarks,omitempty"`
+	Peers           []PeerStat        `json:"peers,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx answer.
@@ -162,6 +195,124 @@ func DecodeBatchColumns(data []byte, items []uint64, deltas []float64) ([]uint64
 		deltas = append(deltas, math.Float64frombits(binary.BigEndian.Uint64(rec[8:16])))
 	}
 	return items, deltas, nil
+}
+
+// Delta replication frames ---------------------------------------------------
+//
+// Gossiping daemons ship snapshot differences in framed envelopes posted to
+// POST /v1/delta as application/x-sketch-delta:
+//
+//	magic      [4]byte "SKD1"
+//	version    uint8   deltaFrameVersion
+//	flags      uint8   bit 0: reset frame (re-align the watermark, no payload)
+//	senderLen  uint16  length of the sender id (must be >= 1)
+//	sender     senderLen bytes: the sending node's -node-id
+//	fromGen    uint64  sender-local generation of the last acked frame
+//	toGen      uint64  sender-local generation this frame advances to
+//	payloadLen uint32
+//	payload    payloadLen bytes: a sketch KindDelta envelope wrapping the
+//	           encoded difference sketch (must be empty on reset frames)
+//
+// A frame covers the sender-local generation window (fromGen, toGen]. The
+// receiver keeps one watermark per sender — the toGen of the newest frame it
+// has applied — and that watermark is the whole idempotency story:
+//
+//   - toGen <= watermark: a retry of an already-applied frame; acknowledged
+//     without touching a counter, so redelivery never double-counts.
+//   - fromGen == watermark: the next frame in sequence; applied, watermark
+//     advances to toGen.
+//   - anything else: the two sides disagree about history (one of them
+//     restarted) — rejected with 409 so the sender can re-align with a reset
+//     frame instead of silently double-counting.
+
+// deltaMagic guards the delta frame format.
+var deltaMagic = [4]byte{'S', 'K', 'D', '1'}
+
+// deltaFrameVersion is bumped whenever the frame layout changes.
+const deltaFrameVersion = 1
+
+// deltaFlagReset marks a watermark re-alignment frame (empty payload).
+const deltaFlagReset = 1
+
+// deltaFrameHeaderLen is the fixed prefix: magic, version, flags, senderLen.
+const deltaFrameHeaderLen = 8
+
+// DeltaFrame is one gossip shipment: the sender's identity, the sender-local
+// generation window (FromGen, ToGen] the payload covers, and the payload
+// itself — a sketch.EncodeDelta envelope of the difference sketch. Reset
+// frames (Reset true, empty payload, FromGen == ToGen) re-align the
+// receiver's watermark after a restart on either side.
+type DeltaFrame struct {
+	Sender  string
+	FromGen uint64
+	ToGen   uint64
+	Reset   bool
+	Payload []byte
+}
+
+// AppendDeltaFrame appends the binary encoding of a delta frame to buf and
+// returns the extended slice.
+func AppendDeltaFrame(buf []byte, f DeltaFrame) []byte {
+	buf = append(buf, deltaMagic[:]...)
+	buf = append(buf, deltaFrameVersion)
+	var flags byte
+	if f.Reset {
+		flags |= deltaFlagReset
+	}
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(f.Sender)))
+	buf = append(buf, f.Sender...)
+	buf = binary.BigEndian.AppendUint64(buf, f.FromGen)
+	buf = binary.BigEndian.AppendUint64(buf, f.ToGen)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.Payload)))
+	buf = append(buf, f.Payload...)
+	return buf
+}
+
+// DecodeDeltaFrame parses a delta frame, validating the structural
+// invariants (exact length, named sender, monotone generation window, reset
+// frames empty and non-reset frames non-empty) so the handler can trust the
+// shape before it looks at the watermark.
+func DecodeDeltaFrame(data []byte) (DeltaFrame, error) {
+	var f DeltaFrame
+	if len(data) < deltaFrameHeaderLen {
+		return f, fmt.Errorf("server: truncated delta frame (need %d header bytes, have %d)", deltaFrameHeaderLen, len(data))
+	}
+	if [4]byte(data[:4]) != deltaMagic {
+		return f, fmt.Errorf("server: bad delta frame magic %q", data[:4])
+	}
+	if v := data[4]; v != deltaFrameVersion {
+		return f, fmt.Errorf("server: unsupported delta frame version %d (want %d)", v, deltaFrameVersion)
+	}
+	f.Reset = data[5]&deltaFlagReset != 0
+	senderLen := int(binary.BigEndian.Uint16(data[6:8]))
+	rest := data[deltaFrameHeaderLen:]
+	if senderLen < 1 {
+		return f, fmt.Errorf("server: delta frame has an empty sender id")
+	}
+	if len(rest) < senderLen+8+8+4 {
+		return f, fmt.Errorf("server: truncated delta frame (need %d more bytes after the header, have %d)", senderLen+20, len(rest))
+	}
+	f.Sender = string(rest[:senderLen])
+	rest = rest[senderLen:]
+	f.FromGen = binary.BigEndian.Uint64(rest[:8])
+	f.ToGen = binary.BigEndian.Uint64(rest[8:16])
+	payloadLen := binary.BigEndian.Uint32(rest[16:20])
+	payload := rest[20:]
+	if uint64(len(payload)) != uint64(payloadLen) {
+		return f, fmt.Errorf("server: delta frame payload is %d bytes, header claims %d", len(payload), payloadLen)
+	}
+	if f.ToGen < f.FromGen {
+		return f, fmt.Errorf("server: delta frame generations run backwards (from %d to %d)", f.FromGen, f.ToGen)
+	}
+	if f.Reset && payloadLen != 0 {
+		return f, fmt.Errorf("server: reset delta frame carries a %d-byte payload (must be empty)", payloadLen)
+	}
+	if !f.Reset && payloadLen == 0 {
+		return f, fmt.Errorf("server: delta frame has no payload")
+	}
+	f.Payload = payload
+	return f, nil
 }
 
 // DecodeBatch parses a binary update batch into a record slice. Transports

@@ -281,6 +281,46 @@ func (cm *CountMin) Merge(other *CountMin) error {
 	return nil
 }
 
+// Sub subtracts the counters of other from cm — the inverse of Merge. Like
+// Merge, the sketches must share hash functions (other created by cm.Clone()
+// or deserialized from one); only the dimensions are checked.
+//
+// Linearity is what makes the result meaningful: if cm summarizes stream x
+// and other summarizes a prefix (or any sub-stream) y of it, cm after Sub is
+// exactly the sketch of x - y. In particular the difference of two snapshots
+// of one growing sketch is itself a valid sketch of the updates between
+// them, which is how sketchd peers ship deltas instead of full state. When
+// every delta is integer-valued (or more generally whenever the counter
+// sums are exact in float64), Sub(b) followed by Merge(b) restores cm bit
+// for bit.
+func (cm *CountMin) Sub(other *CountMin) error {
+	if cm.width != other.width || cm.depth != other.depth {
+		return fmt.Errorf("sketch: cannot subtract CountMin of different dimensions")
+	}
+	if cm.conservative || other.conservative {
+		return fmt.Errorf("sketch: conservative-update CountMin sketches are not linear and cannot be subtracted")
+	}
+	for i, v := range other.counts {
+		cm.counts[i] -= v
+	}
+	cm.totalMass -= other.totalMass
+	return nil
+}
+
+// Scale multiplies every counter (and the total mass) by c. Scale(-1)
+// negates the sketch, so Merge(negated clone) is the same subtraction Sub
+// performs in one pass. Conservative-update sketches are not linear and
+// cannot be scaled.
+func (cm *CountMin) Scale(c float64) {
+	if cm.conservative {
+		panic("sketch: conservative-update CountMin sketches are not linear and cannot be scaled")
+	}
+	for i := range cm.counts {
+		cm.counts[i] *= c
+	}
+	cm.totalMass *= c
+}
+
 // Clone returns an empty sketch sharing cm's hash functions, suitable for
 // sketching a second stream and then merging or taking inner products. The
 // clone gets its own counters and scratch, so clones ingest concurrently.
@@ -294,6 +334,16 @@ func (cm *CountMin) Clone() *CountMin {
 		seed:         cm.seed,
 		family:       cm.family,
 	}
+}
+
+// Copy returns a deep copy of cm: same hash functions, its own counters
+// holding the current values. It is the snapshot idiom the delta math uses
+// (retain a Copy, keep ingesting, Sub the copy later).
+func (cm *CountMin) Copy() *CountMin {
+	out := cm.Clone()
+	copy(out.counts, cm.counts)
+	out.totalMass = cm.totalMass
+	return out
 }
 
 // Counters returns the counter matrix as one row view per depth. The rows

@@ -246,6 +246,28 @@ func (cs *CountSketch) Merge(other *CountSketch) error {
 	return nil
 }
 
+// Sub subtracts the counters of other from cs — the inverse of Merge, with
+// the same contract: shared hash and sign functions, dimensions checked.
+// The difference of two snapshots of one growing sketch is itself a valid
+// Count-Sketch of the updates between them (linearity).
+func (cs *CountSketch) Sub(other *CountSketch) error {
+	if cs.width != other.width || cs.depth != other.depth {
+		return fmt.Errorf("sketch: cannot subtract CountSketch of different dimensions")
+	}
+	for i, v := range other.counts {
+		cs.counts[i] -= v
+	}
+	return nil
+}
+
+// Scale multiplies every counter by c; Scale(-1) negates the sketch, so a
+// negated clone merges as a subtraction.
+func (cs *CountSketch) Scale(c float64) {
+	for i := range cs.counts {
+		cs.counts[i] *= c
+	}
+}
+
 // Clone returns an empty sketch sharing cs's hash and sign functions. The
 // clone gets its own counters and scratch, so clones ingest concurrently.
 func (cs *CountSketch) Clone() *CountSketch {
@@ -258,6 +280,14 @@ func (cs *CountSketch) Clone() *CountSketch {
 		seed:   cs.seed,
 		family: cs.family,
 	}
+}
+
+// Copy returns a deep copy of cs: same hash and sign functions, its own
+// counters holding the current values.
+func (cs *CountSketch) Copy() *CountSketch {
+	out := cs.Clone()
+	copy(out.counts, cs.counts)
+	return out
 }
 
 // Counters returns the counter matrix as one row view per depth; the rows

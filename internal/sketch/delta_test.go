@@ -1,0 +1,293 @@
+package sketch
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// snapshotCM retains a deep copy of cm's current state — the snapshot the
+// delta math subtracts later.
+func snapshotCM(t *testing.T, cm *CountMin) *CountMin {
+	t.Helper()
+	return cm.Copy()
+}
+
+// TestCountMinSubIsSnapshotDelta: the difference of two snapshots of one
+// growing sketch equals — counter for counter — the sketch of exactly the
+// updates between them, and adding the delta back restores the later
+// snapshot bit for bit (integer-valued deltas, so float addition is exact).
+func TestCountMinSubIsSnapshotDelta(t *testing.T) {
+	cm := NewCountMin(xrand.New(3), 512, 4)
+	tail := cm.Clone() // will see only the post-snapshot updates
+
+	for i := uint64(0); i < 5_000; i++ {
+		cm.Update(i%997, float64(1+i%7))
+	}
+	base := snapshotCM(t, cm)
+
+	for i := uint64(0); i < 3_000; i++ {
+		cm.Update(i%613, float64(1+i%5))
+		tail.Update(i%613, float64(1+i%5))
+	}
+
+	delta := snapshotCM(t, cm)
+	if err := delta.Sub(base); err != nil {
+		t.Fatal(err)
+	}
+	// The delta must equal the tail-only sketch exactly.
+	d, tl := delta.CounterData(), tail.CounterData()
+	for i := range d {
+		if d[i] != tl[i] {
+			t.Fatalf("delta counter %d = %v, tail-only sketch has %v", i, d[i], tl[i])
+		}
+	}
+	if delta.TotalMass() != tail.TotalMass() {
+		t.Fatalf("delta mass %v != tail mass %v", delta.TotalMass(), tail.TotalMass())
+	}
+
+	// base + delta must restore the later snapshot exactly.
+	if err := base.Merge(delta); err != nil {
+		t.Fatal(err)
+	}
+	b, c := base.CounterData(), cm.CounterData()
+	for i := range b {
+		if b[i] != c[i] {
+			t.Fatalf("restored counter %d = %v, want %v", i, b[i], c[i])
+		}
+	}
+}
+
+// TestScaleMinusOneMergesAsSub: Merge with a Scale(-1) negated clone is the
+// same subtraction Sub performs.
+func TestScaleMinusOneMergesAsSub(t *testing.T) {
+	cm := NewCountMin(xrand.New(5), 256, 3)
+	other := cm.Clone()
+	for i := uint64(0); i < 2_000; i++ {
+		cm.Update(i%311, 2)
+		other.Update(i%157, 3)
+	}
+
+	viaSub := snapshotCM(t, cm)
+	if err := viaSub.Sub(other); err != nil {
+		t.Fatal(err)
+	}
+
+	negated := snapshotCM(t, other)
+	negated.Scale(-1)
+	viaMerge := snapshotCM(t, cm)
+	if err := viaMerge.Merge(negated); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := viaSub.CounterData(), viaMerge.CounterData()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("counter %d: Sub gives %v, Merge(Scale(-1)) gives %v", i, a[i], b[i])
+		}
+	}
+	if viaSub.TotalMass() != viaMerge.TotalMass() {
+		t.Fatalf("mass: Sub gives %v, Merge(Scale(-1)) gives %v", viaSub.TotalMass(), viaMerge.TotalMass())
+	}
+}
+
+// TestSubRejectsIncompatible: dimension mismatches and conservative-update
+// sketches must be refused, like Merge.
+func TestSubRejectsIncompatible(t *testing.T) {
+	cm := NewCountMin(xrand.New(7), 256, 3)
+	if err := cm.Sub(NewCountMin(xrand.New(7), 128, 3)); err == nil {
+		t.Fatal("Sub across dimensions: expected error")
+	}
+	cons := NewCountMin(xrand.New(7), 256, 3, WithConservativeUpdate())
+	if err := cons.Sub(NewCountMin(xrand.New(7), 256, 3)); err == nil {
+		t.Fatal("Sub on a conservative sketch: expected error")
+	}
+	cs := NewCountSketch(xrand.New(7), 256, 3)
+	if err := cs.Sub(NewCountSketch(xrand.New(7), 128, 3)); err == nil {
+		t.Fatal("CountSketch.Sub across dimensions: expected error")
+	}
+	d := NewDyadic(xrand.New(7), 8, 64, 2)
+	if err := d.Sub(NewDyadic(xrand.New(7), 9, 64, 2)); err == nil {
+		t.Fatal("Dyadic.Sub across universes: expected error")
+	}
+}
+
+// TestCountSketchAndDyadicAndTrackerSub: the other linear families obey the
+// same snapshot-delta law.
+func TestCountSketchAndDyadicAndTrackerSub(t *testing.T) {
+	cs := NewCountSketch(xrand.New(11), 256, 3)
+	csTail := cs.Clone()
+	for i := uint64(0); i < 2_000; i++ {
+		cs.Update(i%401, 1)
+	}
+	csBase := cs.Clone()
+	if err := csBase.Merge(cs); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 1_000; i++ {
+		cs.Update(i%89, -2)
+		csTail.Update(i%89, -2)
+	}
+	csDelta := cs.Clone()
+	if err := csDelta.Merge(cs); err != nil {
+		t.Fatal(err)
+	}
+	if err := csDelta.Sub(csBase); err != nil {
+		t.Fatal(err)
+	}
+	a, b := csDelta.CounterData(), csTail.CounterData()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("CountSketch delta counter %d = %v, want %v", i, a[i], b[i])
+		}
+	}
+
+	dy := NewDyadic(xrand.New(13), 10, 128, 2)
+	dyTail := dy.Clone()
+	for i := uint64(0); i < 1_500; i++ {
+		dy.Update(i%1024, 1)
+	}
+	dyBase := dy.Clone()
+	if err := dyBase.Merge(dy); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 700; i++ {
+		dy.Update((i*3)%1024, 2)
+		dyTail.Update((i*3)%1024, 2)
+	}
+	dyDelta := dy.Clone()
+	if err := dyDelta.Merge(dy); err != nil {
+		t.Fatal(err)
+	}
+	if err := dyDelta.Sub(dyBase); err != nil {
+		t.Fatal(err)
+	}
+	for lo := uint64(0); lo < 1024; lo += 128 {
+		if got, want := dyDelta.RangeSum(lo, lo+127), dyTail.RangeSum(lo, lo+127); got != want {
+			t.Fatalf("Dyadic delta RangeSum[%d,%d] = %v, tail-only = %v", lo, lo+127, got, want)
+		}
+	}
+
+	tr := NewHeavyHitterTracker(xrand.New(17), 256, 3, 16)
+	trTail := tr.Clone()
+	for i := uint64(0); i < 2_000; i++ {
+		tr.Update(i%301, 1)
+	}
+	trBase := tr.Clone()
+	if err := trBase.Merge(tr); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 900; i++ {
+		tr.Update(i%77, 3)
+		trTail.Update(i%77, 3)
+	}
+	trDelta := tr.Clone()
+	if err := trDelta.Merge(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := trDelta.Sub(trBase); err != nil {
+		t.Fatal(err)
+	}
+	if trDelta.TotalMass() != trTail.TotalMass() {
+		t.Fatalf("tracker delta mass %v != tail mass %v", trDelta.TotalMass(), trTail.TotalMass())
+	}
+	for item := uint64(0); item < 310; item++ {
+		if got, want := trDelta.Estimate(item), trTail.Estimate(item); got != want {
+			t.Fatalf("tracker delta estimate(%d) = %v, tail-only = %v", item, got, want)
+		}
+	}
+}
+
+// TestDeltaEnvelopeRoundTrip: EncodeDelta/DecodeDelta must return the inner
+// encoding verbatim for every family, and a sparse snapshot difference must
+// compress well below the dense size.
+func TestDeltaEnvelopeRoundTrip(t *testing.T) {
+	cm := NewCountMin(xrand.New(19), 4096, 4)
+	for i := uint64(0); i < 200_000; i++ {
+		cm.Update(i%3800, 1)
+	}
+	base := snapshotCM(t, cm)
+	// A sparse tail: only a handful of items move after the snapshot.
+	for i := uint64(0); i < 500; i++ {
+		cm.Update(i%12, 1)
+	}
+	delta := snapshotCM(t, cm)
+	if err := delta.Sub(base); err != nil {
+		t.Fatal(err)
+	}
+
+	dense, err := delta.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed := EncodeDelta(dense)
+	if kind, err := PeekKind(packed); err != nil || kind != KindDelta {
+		t.Fatalf("PeekKind(envelope) = %v, %v; want KindDelta", kind, err)
+	}
+	back, err := DecodeDelta(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, dense) {
+		t.Fatal("DecodeDelta did not return the inner encoding verbatim")
+	}
+	if len(packed) >= len(dense)/4 {
+		t.Fatalf("sparse delta envelope is %d bytes, dense encoding %d: expected > 4x compression", len(packed), len(dense))
+	}
+
+	// A dense sketch (every counter touched) must still round-trip.
+	denseAll, err := base.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := DecodeDelta(EncodeDelta(denseAll))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back2, denseAll) {
+		t.Fatal("dense encoding did not survive the envelope")
+	}
+
+	// Empty inner bytes round-trip too (a degenerate but legal envelope).
+	if out, err := DecodeDelta(EncodeDelta(nil)); err != nil || len(out) != 0 {
+		t.Fatalf("empty envelope round trip: %v, %v", out, err)
+	}
+}
+
+// TestDecodeDeltaRejectsGarbage: truncation, lying lengths and junk tokens
+// must come back as errors, never panics or huge allocations.
+func TestDecodeDeltaRejectsGarbage(t *testing.T) {
+	cm := NewCountMin(xrand.New(23), 64, 2)
+	cm.Update(1, 1)
+	inner, err := cm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := EncodeDelta(inner)
+
+	cases := map[string][]byte{
+		"empty":              nil,
+		"bad magic":          []byte("XXXXXXXXXX"),
+		"truncated header":   good[:5],
+		"wrong kind":         inner, // a valid encoding, but not a delta envelope
+		"truncated tokens":   good[:len(good)-3],
+		"huge zero run":      append(append([]byte{}, good[:10]...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01, 0x00),
+		"lying inner length": func() []byte { b := append([]byte{}, good...); b[6] = 0xFF; return b }(),
+	}
+	for name, data := range cases {
+		if _, err := DecodeDelta(data); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+
+	// DecodeDeltaLimit: a caller-supplied ceiling rejects envelopes whose
+	// header declares more than the caller's sketches could legitimately
+	// need, before any allocation of that size.
+	if _, err := DecodeDeltaLimit(good, len(inner)-1); err == nil {
+		t.Error("inner length above the caller limit: expected error")
+	}
+	if out, err := DecodeDeltaLimit(good, len(inner)); err != nil || len(out) != len(inner) {
+		t.Errorf("inner length at the caller limit: %v, %d bytes", err, len(out))
+	}
+}

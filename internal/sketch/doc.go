@@ -24,6 +24,15 @@
 // Update(item, d2) is identical to Update(item, d1+d2), and two sketches
 // built with the same hash functions can be merged by adding their counter
 // arrays. The core package exposes this linearity as an explicit matrix.
+// Linearity cuts both ways: the flat-counter families (CountMin,
+// CountSketch, Dyadic, HeavyHitterTracker) also expose Sub and Scale, so
+// the difference of two snapshots of one growing sketch — itself a valid
+// sketch of exactly the updates between them — can be computed, shipped in
+// the compressed KindDelta envelope (EncodeDelta/DecodeDelta: snapshot
+// differences are mostly zero counters), and folded into a peer with the
+// ordinary Merge. The non-linear summaries opt out: Bloom filters OR bits
+// rather than add counters, and conservative-update Count-Min refuses
+// Sub/Scale just as it refuses Merge.
 //
 // The update path is batch-first: counters live in one flat row-major array
 // (row stride = width) and every family exposes UpdateBatch (AddBatch for

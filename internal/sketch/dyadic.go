@@ -273,6 +273,48 @@ func (d *Dyadic) Merge(other *Dyadic) error {
 	return nil
 }
 
+// Copy returns a deep copy of the hierarchy (each level a Copy of d's).
+func (d *Dyadic) Copy() *Dyadic {
+	out := &Dyadic{
+		logU:     d.logU,
+		levels:   make([]*CountMin, len(d.levels)),
+		universe: d.universe,
+	}
+	for l, cm := range d.levels {
+		out.levels[l] = cm.Copy()
+	}
+	return out
+}
+
+// Sub subtracts other's counters from d, level by level — the inverse of
+// Merge, validated the same way up front so a mismatch cannot leave d
+// partially subtracted. The difference of two snapshots of one growing
+// hierarchy is itself a valid hierarchy of the updates between them.
+func (d *Dyadic) Sub(other *Dyadic) error {
+	if d.logU != other.logU {
+		return fmt.Errorf("sketch: cannot subtract dyadic hierarchies over different universes (2^%d vs 2^%d)", d.logU, other.logU)
+	}
+	for l := range d.levels {
+		if d.levels[l].Width() != other.levels[l].Width() || d.levels[l].Depth() != other.levels[l].Depth() {
+			return fmt.Errorf("sketch: cannot subtract dyadic level %d of different dimensions", l)
+		}
+	}
+	for l := range d.levels {
+		if err := d.levels[l].Sub(other.levels[l]); err != nil {
+			return fmt.Errorf("sketch: subtracting dyadic level %d: %w", l, err)
+		}
+	}
+	return nil
+}
+
+// Scale multiplies every level's counters by c (Scale(-1) negates the
+// hierarchy, so a negated clone merges as a subtraction).
+func (d *Dyadic) Scale(c float64) {
+	for _, cm := range d.levels {
+		cm.Scale(c)
+	}
+}
+
 // HeavyHitterTracker combines a Count-Min sketch with a candidate heap so
 // that heavy hitters can be reported after a single pass without a second
 // pass over the stream and without knowing the universe. This is the
@@ -455,6 +497,32 @@ func (t *HeavyHitterTracker) Merge(other *HeavyHitterTracker) error {
 	}
 	return nil
 }
+
+// Copy returns a deep copy of the tracker: the backing Count-Min's current
+// counters plus the current candidate set (re-scored lazily at report
+// time, like every other tracker read).
+func (t *HeavyHitterTracker) Copy() *HeavyHitterTracker {
+	out := newHeavyHitterTracker(t.cm.Copy(), t.k)
+	for _, c := range *t.candidates {
+		out.offer(c.item, c.count)
+	}
+	return out
+}
+
+// Sub subtracts other's backing counters from t — the inverse of Merge at
+// the counter level. The candidate set is left as t's own: candidates are
+// re-scored against the counters at report time, so after a subtraction the
+// reported counts reflect the difference stream. This is what lets a
+// sketchd replicator compute "everything since the last shipped snapshot"
+// as one tracker-shaped delta: the counters are exactly the delta stream's,
+// and the candidate items ride along so the receiving peer can learn them.
+func (t *HeavyHitterTracker) Sub(other *HeavyHitterTracker) error {
+	return t.cm.Sub(other.cm)
+}
+
+// Scale multiplies the backing counters by c (candidates re-score against
+// the scaled counters at report time).
+func (t *HeavyHitterTracker) Scale(c float64) { t.cm.Scale(c) }
 
 // TopK returns the current candidate set sorted by decreasing estimate.
 // Candidates are re-scored against the sketch at report time, so the counts

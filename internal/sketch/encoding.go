@@ -42,6 +42,7 @@ const (
 	kindIBLT        = 4
 	kindTracker     = 5
 	kindDyadic      = 6
+	kindDelta       = 7
 )
 
 // Kind is the exported view of the wire-format kind byte, so transport
@@ -57,6 +58,11 @@ const (
 	KindIBLT        Kind = kindIBLT
 	KindTracker     Kind = kindTracker
 	KindDyadic      Kind = kindDyadic
+	// KindDelta is not a sketch of its own but an envelope: a zero-run-length
+	// compressed encoding of another sketch's encoding, used when the wrapped
+	// sketch is the *difference* of two snapshots and therefore mostly zero
+	// counters. See EncodeDelta / DecodeDelta.
+	KindDelta Kind = kindDelta
 )
 
 // String names the kind for error messages.
@@ -74,6 +80,8 @@ func (k Kind) String() string {
 		return "HeavyHitterTracker"
 	case KindDyadic:
 		return "Dyadic"
+	case KindDelta:
+		return "Delta"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -94,7 +102,7 @@ func PeekKind(data []byte) (Kind, error) {
 	}
 	k := Kind(data[5])
 	switch k {
-	case KindCountMin, KindCountSketch, KindBloom, KindIBLT, KindTracker, KindDyadic:
+	case KindCountMin, KindCountSketch, KindBloom, KindIBLT, KindTracker, KindDyadic, KindDelta:
 		return k, nil
 	default:
 		return 0, fmt.Errorf("sketch: unknown sketch kind %d", uint8(k))
@@ -542,6 +550,136 @@ func (t *IBLT) MarshalBinary() ([]byte, error) {
 		w.u64(c.hashSum)
 	}
 	return w.buf, nil
+}
+
+// Delta envelope -------------------------------------------------------------
+//
+// The dense encodings above ship every counter, zero or not — the right call
+// for full snapshots, and the wrong one for snapshot *differences*, which by
+// linearity are valid sketches whose counters are almost all zero (only the
+// buckets touched since the previous snapshot are nonzero). EncodeDelta
+// wraps any encoded sketch in a KindDelta envelope whose payload is a
+// byte-level zero-run-length compression of the inner encoding:
+//
+//	magic   [4]byte  "SKC1"
+//	version uint8    encodingVersion
+//	kind    uint8    kindDelta
+//	rawLen  uint32   length of the inner encoding in bytes
+//	tokens           repeated (zeroRun uvarint, litLen uvarint, lit bytes)
+//
+// Each token says "rawLen bytes continue with zeroRun zeros, then litLen
+// literal bytes". Zero counters are eight zero bytes, so a sparse delta
+// compresses by roughly the fraction of untouched counters; a dense sketch
+// round-trips with only a few bytes of overhead. The scheme is agnostic to
+// the inner kind — Count-Min, tracker, dyadic and every future family get
+// sparse deltas for free, and the inner bytes come back verbatim, so the
+// decoded sketch is bit-identical.
+
+// EncodeDelta wraps an encoded sketch (the output of any MarshalBinary) in
+// the compressed KindDelta envelope. Use it when the sketch is a snapshot
+// difference: mostly-zero counters compress to a small fraction of the dense
+// size.
+func EncodeDelta(inner []byte) []byte {
+	w := writer{buf: make([]byte, 0, 6+4+binary.MaxVarintLen64+len(inner)/4)}
+	w.header(kindDelta)
+	w.u32(uint32(len(inner)))
+	var varint [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		w.buf = append(w.buf, varint[:binary.PutUvarint(varint[:], v)]...)
+	}
+	for i := 0; i < len(inner); {
+		zeros := i
+		for zeros < len(inner) && inner[zeros] == 0 {
+			zeros++
+		}
+		lit := zeros
+		// A literal run ends at the next stretch of >= 4 zeros (shorter zero
+		// gaps cost less as literals than as a fresh token pair).
+		for lit < len(inner) {
+			if inner[lit] == 0 {
+				end := lit
+				for end < len(inner) && inner[end] == 0 {
+					end++
+				}
+				if end-lit >= 4 || end == len(inner) {
+					break
+				}
+				lit = end
+				continue
+			}
+			lit++
+		}
+		putUvarint(uint64(zeros - i))
+		putUvarint(uint64(lit - zeros))
+		w.buf = append(w.buf, inner[zeros:lit]...)
+		i = lit
+	}
+	return w.buf
+}
+
+// maxDeltaInner is the default DecodeDelta bound on the declared inner
+// length: generous for any realistic sketch (16M counters) while keeping a
+// forged header from demanding an arbitrary allocation.
+const maxDeltaInner = 128 << 20
+
+// DecodeDelta unwraps a KindDelta envelope and returns the inner sketch
+// encoding verbatim, ready for PeekKind dispatch and UnmarshalBinary. It
+// rejects truncated, oversized and self-inconsistent envelopes; the inner
+// length is capped at a generous package default (see DecodeDeltaLimit for
+// callers that know how big their sketches can legitimately be — the
+// envelope compresses, so a tiny body can declare a large inner length,
+// and the cap is what stands between a forged header and the allocator).
+func DecodeDelta(data []byte) ([]byte, error) {
+	return DecodeDeltaLimit(data, maxDeltaInner)
+}
+
+// DecodeDeltaLimit is DecodeDelta with a caller-chosen ceiling on the
+// declared inner length. Transports should pass a small multiple of their
+// own sketch's dense encoding size, so a forged header cannot demand more
+// memory than a legitimate peer ever would.
+func DecodeDeltaLimit(data []byte, maxInner int) ([]byte, error) {
+	r := reader{buf: data}
+	if !r.expectHeader(kindDelta, "Delta") {
+		return nil, r.err
+	}
+	rawLen := r.u32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if maxInner < 0 || maxInner > maxDeltaInner {
+		maxInner = maxDeltaInner
+	}
+	if rawLen > uint32(maxInner) {
+		return nil, fmt.Errorf("sketch: Delta: inner length %d exceeds limit %d", rawLen, maxInner)
+	}
+	inner := make([]byte, 0, rawLen)
+	buf := r.buf
+	for len(buf) > 0 {
+		zeros, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("sketch: Delta: malformed zero-run length")
+		}
+		buf = buf[n:]
+		lit, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("sketch: Delta: malformed literal length")
+		}
+		buf = buf[n:]
+		remaining := uint64(rawLen) - uint64(len(inner))
+		if zeros > remaining || lit > remaining-zeros {
+			return nil, fmt.Errorf("sketch: Delta: token overruns declared inner length %d", rawLen)
+		}
+		if uint64(len(buf)) < lit {
+			return nil, fmt.Errorf("sketch: Delta: truncated literal run (need %d bytes, have %d)", lit, len(buf))
+		}
+		inner = append(inner, make([]byte, zeros)...)
+		inner = append(inner, buf[:lit]...)
+		buf = buf[lit:]
+	}
+	if uint32(len(inner)) != rawLen {
+		return nil, fmt.Errorf("sketch: Delta: payload decompresses to %d bytes, header claims %d", len(inner), rawLen)
+	}
+	return inner, nil
 }
 
 // UnmarshalBinary decodes a table produced by MarshalBinary.

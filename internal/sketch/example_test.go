@@ -59,6 +59,40 @@ func ExampleCountMin_MarshalBinary() {
 	// merged estimate >= 1500: true
 }
 
+// ExampleCountMin_Sub shows the delta math behind sketchd's gossip
+// replication: sketches are linear, so the difference of two snapshots of
+// one growing sketch is itself a valid sketch — of exactly the updates that
+// arrived between them — and a peer that already holds the first snapshot
+// only needs the (mostly-zero, cheaply compressible) difference to catch up.
+func ExampleCountMin_Sub() {
+	cm := sketch.NewCountMin(xrand.New(1), 1024, 4)
+	cm.Update(42, 1000)
+
+	// Snapshot the sketch, then keep ingesting.
+	shipped := cm.Copy()
+	cm.Update(42, 500)
+	cm.Update(7, 3)
+
+	// delta = current - shipped: the sketch of just the two new updates.
+	delta := cm.Copy()
+	if err := delta.Sub(shipped); err != nil {
+		panic(err)
+	}
+	fmt.Printf("delta mass: %v\n", delta.TotalMass())
+	fmt.Printf("delta sees only the tail: %v\n", delta.Estimate(42) == 500)
+
+	// A peer holding the shipped snapshot folds the delta in with the
+	// ordinary linear merge and lands exactly on the current state.
+	if err := shipped.Merge(delta); err != nil {
+		panic(err)
+	}
+	fmt.Printf("peer caught up: %v\n", shipped.Estimate(42) == cm.Estimate(42))
+	// Output:
+	// delta mass: 503
+	// delta sees only the tail: true
+	// peer caught up: true
+}
+
 // ExampleIBLT shows exact set reconciliation via an invertible sketch.
 func ExampleIBLT() {
 	r := xrand.New(2)
