@@ -1,22 +1,29 @@
 // Command sfftdemo generates a signal with a sparse spectrum, recovers the
 // spectrum with the sparse FFT, and compares the result and the running time
-// against the full FFT baseline.
+// against the full FFT baseline. With -addr it posts the signal to a running
+// sketchd's /v1/spectrum instead of transforming in-process, exercising the
+// served sparse-FFT path end to end (the baseline and the error report stay
+// local either way).
 //
 // Usage:
 //
 //	sfftdemo -n 262144 -k 50
 //	sfftdemo -n 65536 -k 20 -noise 0.001 -robust
+//	sfftdemo -addr 127.0.0.1:7600 -k 20
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"math/cmplx"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/fourier"
+	"repro/internal/server"
 	"repro/internal/sfft"
 	"repro/internal/vec"
 	"repro/internal/xrand"
@@ -24,14 +31,30 @@ import (
 
 func main() {
 	var (
-		n      = flag.Int("n", 1<<18, "signal length (power of two)")
+		n      = flag.Int("n", 1<<18, "signal length (power of two); with -addr the default drops to 65536 to fit the daemon's body cap")
 		k      = flag.Int("k", 50, "spectrum sparsity")
 		noise  = flag.Float64("noise", 0, "time-domain Gaussian noise standard deviation")
 		robust = flag.Bool("robust", false, "use the noise-tolerant variant")
 		seed   = flag.Uint64("seed", 1, "random seed")
 		show   = flag.Int("show", 10, "number of recovered coefficients to print")
+		addr   = flag.String("addr", "", "base URL of a running sketchd (host:port or http://host:port); empty transforms in-process")
 	)
 	flag.Parse()
+
+	// Served mode ships the samples as JSON; the default 2^18-sample window
+	// would overflow sketchd's default 8 MiB body cap, so shrink the default
+	// (an explicit -n still wins).
+	if *addr != "" {
+		nSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "n" {
+				nSet = true
+			}
+		})
+		if !nSet {
+			*n = 1 << 16
+		}
+	}
 
 	if !fourier.IsPowerOfTwo(*n) {
 		fmt.Fprintln(os.Stderr, "sfftdemo: -n must be a power of two")
@@ -55,25 +78,34 @@ func main() {
 	}
 	sfft.SortCoefficients(truth)
 
-	// Sparse recovery.
+	// Sparse recovery: in-process, or served by a sketchd's /v1/spectrum.
 	var recovered []sfft.Coefficient
 	var err error
-	algo := "exact sparse FFT"
-	start := time.Now()
-	if *robust {
-		algo = "robust sparse FFT"
-		recovered, err = sfft.Robust(x, *k, sfft.Config{}, r)
+	var algo string
+	var sparseTime time.Duration
+	if *addr != "" {
+		algo = "served sparse FFT"
+		start := time.Now()
+		recovered, err = servedSpectrum(*addr, x, *k, *robust, *seed)
+		sparseTime = time.Since(start)
 	} else {
-		recovered, err = sfft.Exact(x, *k, sfft.Config{}, r)
+		algo = "exact sparse FFT"
+		start := time.Now()
+		if *robust {
+			algo = "robust sparse FFT"
+			recovered, err = sfft.Robust(x, *k, sfft.Config{}, r)
+		} else {
+			recovered, err = sfft.Exact(x, *k, sfft.Config{}, r)
+		}
+		sparseTime = time.Since(start)
 	}
-	sparseTime := time.Since(start)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sfftdemo: %v\n", err)
 		os.Exit(1)
 	}
 
 	// Dense baseline.
-	start = time.Now()
+	start := time.Now()
 	baseline := sfft.FFTTopK(x, *k)
 	fullTime := time.Since(start)
 
@@ -103,4 +135,38 @@ func main() {
 
 func fmtC(v complex128) string {
 	return fmt.Sprintf("%.3f%+.3fi", real(v), imag(v))
+}
+
+// servedSpectrum posts the signal to a sketchd's /v1/spectrum and converts
+// the response back into coefficients. The algo and seed mirror the local
+// path, so served and in-process runs recover the same spectrum.
+func servedSpectrum(addr string, x []complex128, k int, robust bool, seed uint64) ([]sfft.Coefficient, error) {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	req := server.SpectrumRequest{
+		Signal:     make([]float64, len(x)),
+		SignalImag: make([]float64, len(x)),
+		K:          k,
+		Algo:       "exact",
+		Seed:       seed,
+	}
+	if robust {
+		req.Algo = "robust"
+	}
+	for i, v := range x {
+		req.Signal[i] = real(v)
+		req.SignalImag[i] = imag(v)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	resp, err := server.NewClient(addr, nil).Spectrum(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sfft.Coefficient, len(resp.Coefficients))
+	for i, c := range resp.Coefficients {
+		out[i] = sfft.Coefficient{Freq: c.Freq, Value: complex(c.Re, c.Im)}
+	}
+	return out, nil
 }

@@ -1,4 +1,4 @@
-// Command sketchbench regenerates the experiment tables (E1–E14 in
+// Command sketchbench regenerates the experiment tables (E1–E15 in
 // DESIGN.md) that reproduce the quantitative claims of the survey.
 //
 // Usage:
@@ -33,7 +33,7 @@ func main() {
 
 func run() int {
 	var (
-		exp        = flag.String("exp", "all", "experiment id (e1..e14) or 'all'")
+		exp        = flag.String("exp", "all", "experiment id (e1..e15) or 'all'")
 		seed       = flag.Uint64("seed", 1, "random seed (identical seeds reproduce identical tables)")
 		quick      = flag.Bool("quick", false, "run at reduced problem sizes")
 		list       = flag.Bool("list", false, "list available experiments and exit")

@@ -27,11 +27,22 @@
 //	sketchd -addr 127.0.0.1:7601 -snapshot-dir /var/lib/sketchd -snapshot-every 30s
 //	sketchd -addr 127.0.0.1:7602 -peers 127.0.0.1:7601,127.0.0.1:7603 -gossip-every 1s
 //
-// API (see internal/server):
+// The daemon also serves the survey's recovery algorithms directly from its
+// live counters: /v1/recover inverts the sketch with a configurable
+// internal/cs recoverer (-recover-algos gates which ones, -recover-iters
+// sets the default iteration budget), /v1/setquery answers calibrated
+// estimates over a caller-supplied candidate support, and /v1/spectrum runs
+// the sparse Fourier transform of internal/sfft over a posted signal. See
+// docs/API.md for the full endpoint reference.
+//
+// API (see internal/server and docs/API.md):
 //
 //	POST /v1/update    {"updates":[{"item":7,"delta":2}]} or a binary batch
 //	GET  /v1/query     ?item=7&item=8
 //	GET  /v1/topk      ?k=10 or ?phi=0.001
+//	GET  /v1/recover   ?algo=smp&k=16&universe=65536 (also POST with a JSON body)
+//	POST /v1/setquery  {"support":[7,8,9]} calibrated estimates over a support set
+//	POST /v1/spectrum  {"signal":[...], "k":4} sparse Fourier support
 //	GET  /v1/snapshot  versioned binary sketch encoding
 //	POST /v1/merge     a peer's snapshot bytes
 //	POST /v1/delta     a gossip replication frame (sent by peers' replicators)
@@ -71,6 +82,10 @@ func main() {
 		peers         = flag.String("peers", "", "comma-separated peer base URLs (host:port or http://host:port) to gossip deltas to; list every other daemon in the mesh")
 		gossipEvery   = flag.Duration("gossip-every", 0, "period of delta shipping to -peers (0 = 1s when -peers is set)")
 		nodeID        = flag.String("node-id", "", "stable unique id for this daemon in gossip frames (default: the bound listen address)")
+		recoverAlgos  = flag.String("recover-algos", "", "comma-separated recovery algorithms /v1/recover may run (subset of sketch,smp,omp,iht,ista; empty = all, first is the default)")
+		recoverUni    = flag.Int("recover-universe", 0, "default signal dimension /v1/recover inverts over (0 = 65536)")
+		recoverMaxK   = flag.Int("recover-max-k", 0, "cap on /v1/recover's ?k= (0 = 256)")
+		recoverIters  = flag.Int("recover-iters", 0, "default iteration budget of the iterative recoverers (0 = 50)")
 	)
 	flag.Parse()
 
@@ -89,21 +104,33 @@ func main() {
 	if *peers != "" {
 		peerList = strings.Split(*peers, ",")
 	}
+	var algoList []string
+	if *recoverAlgos != "" {
+		for _, a := range strings.Split(*recoverAlgos, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				algoList = append(algoList, a)
+			}
+		}
+	}
 
 	srv, err := server.New(server.Config{
-		Width:         *width,
-		Depth:         *depth,
-		K:             *k,
-		Seed:          *seed,
-		Engine:        engine.Config{Workers: *workers},
-		Producers:     *producers,
-		SnapshotDir:   *snapshotDir,
-		SnapshotEvery: *snapshotEvery,
-		MaxBodyBytes:  *maxBody,
-		Peers:         peerList,
-		GossipEvery:   *gossipEvery,
-		NodeID:        *nodeID,
-		Logf:          logger.Printf,
+		Width:           *width,
+		Depth:           *depth,
+		K:               *k,
+		Seed:            *seed,
+		Engine:          engine.Config{Workers: *workers},
+		Producers:       *producers,
+		SnapshotDir:     *snapshotDir,
+		SnapshotEvery:   *snapshotEvery,
+		MaxBodyBytes:    *maxBody,
+		Peers:           peerList,
+		GossipEvery:     *gossipEvery,
+		NodeID:          *nodeID,
+		RecoverAlgos:    algoList,
+		RecoverUniverse: *recoverUni,
+		RecoverMaxK:     *recoverMaxK,
+		RecoverIters:    *recoverIters,
+		Logf:            logger.Printf,
 	})
 	if err != nil {
 		ln.Close()

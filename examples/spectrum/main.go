@@ -8,31 +8,48 @@
 // and the running time against the full FFT.
 //
 // Run with: go run ./examples/spectrum
+//
+// With -addr the recovery runs on a sketchd daemon instead: the samples are
+// posted to its /v1/spectrum endpoint with the same tuning (robust transform,
+// wide buckets), exercising the served sparse-FFT path end to end. The
+// observation window shrinks to 2^16 samples there, so the JSON body fits
+// the daemon's default 8 MiB cap:
+//
+//	go run ./cmd/sketchd &
+//	go run ./examples/spectrum -addr 127.0.0.1:7600
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"math"
 	"math/cmplx"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/fourier"
+	"repro/internal/server"
 	"repro/internal/sfft"
 	"repro/internal/xrand"
 )
 
 func main() {
+	addr := flag.String("addr", "", "base URL of a running sketchd (host:port or http://host:port); empty transforms in-process")
+	flag.Parse()
+
 	r := xrand.New(5)
 
-	const (
-		n        = 1 << 18 // about 262k samples
-		carriers = 12
-		// Per-sample noise. The carriers' time-domain amplitude is about
-		// carriers/n, so this keeps the per-bucket SNR of the sparse
-		// transform comfortably above 1 while still being visible noise.
-		noiseStd = 1e-5
-	)
+	const carriers = 12
+	// Per-sample noise. The carriers' time-domain amplitude is about
+	// carriers/n, so this keeps the per-bucket SNR of the sparse transform
+	// comfortably above 1 while still being visible noise.
+	const noiseStd = 1e-5
+	n := 1 << 18 // about 262k samples
+	if *addr != "" {
+		n = 1 << 16
+	}
 
 	// Carrier tones at random frequencies with random amplitudes and phases.
 	type tone struct {
@@ -54,9 +71,16 @@ func main() {
 
 	// Sparse recovery. A generous bucket count (16·k) integrates more samples
 	// per bucket, which lowers the per-bucket noise floor enough to pull the
-	// weakest carriers out of the noise.
+	// weakest carriers out of the noise. The same tuning rides along in the
+	// /v1/spectrum request when the transform is served.
+	var recovered []sfft.Coefficient
+	var err error
 	start := time.Now()
-	recovered, err := sfft.Robust(signal, carriers, sfft.Config{Rounds: 8, BucketFactor: 16}, r)
+	if *addr != "" {
+		recovered, err = servedSpectrum(*addr, signal, carriers)
+	} else {
+		recovered, err = sfft.Robust(signal, carriers, sfft.Config{Rounds: 8, BucketFactor: 16}, r)
+	}
 	if err != nil {
 		panic(err)
 	}
@@ -67,8 +91,12 @@ func main() {
 	full := sfft.FFTTopK(signal, carriers)
 	fullTime := time.Since(start)
 
+	label := "robust sparse FFT: "
+	if *addr != "" {
+		label = "served /v1/spectrum:"
+	}
 	fmt.Printf("observation window: %d samples, %d carrier tones, noise std %g\n\n", n, carriers, noiseStd)
-	fmt.Printf("robust sparse FFT:  %10s\n", sparseTime.Round(time.Microsecond))
+	fmt.Printf("%s %10s\n", label, sparseTime.Round(time.Microsecond))
 	fmt.Printf("full FFT + top-k:   %10s\n", fullTime.Round(time.Microsecond))
 	fmt.Printf("speedup: %.1fx\n\n", fullTime.Seconds()/sparseTime.Seconds())
 
@@ -93,4 +121,36 @@ func main() {
 		fmt.Printf("%10d %10.3f %12.3f %12.3f %8v\n", tn.freq, tn.amp, sparseAmp, fullAmp, ok)
 	}
 	fmt.Printf("\ndetected %d of %d carriers without computing the full spectrum\n", found, carriers)
+}
+
+// servedSpectrum posts the samples to a sketchd's /v1/spectrum with the same
+// tuning the in-process path uses (robust transform, 16·k buckets).
+func servedSpectrum(addr string, signal []complex128, k int) ([]sfft.Coefficient, error) {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	req := server.SpectrumRequest{
+		Signal:       make([]float64, len(signal)),
+		SignalImag:   make([]float64, len(signal)),
+		K:            k,
+		Algo:         "robust",
+		Seed:         5,
+		Rounds:       8,
+		BucketFactor: 16,
+	}
+	for i, v := range signal {
+		req.Signal[i] = real(v)
+		req.SignalImag[i] = imag(v)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	resp, err := server.NewClient(addr, nil).Spectrum(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sfft.Coefficient, len(resp.Coefficients))
+	for i, c := range resp.Coefficients {
+		out[i] = sfft.Coefficient{Freq: c.Freq, Value: complex(c.Re, c.Im)}
+	}
+	return out, nil
 }

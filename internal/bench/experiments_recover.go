@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/cs"
+	"repro/internal/engine"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+// RunE15Recovery pits full sparse recovery (the read side served by
+// /v1/recover) against the tracker's candidate heap (served by /v1/topk),
+// answering from the *same* Count-Min backing — equal sketch bytes by
+// construction, since both reads view one sketch.
+//
+// Table 1 is the exactness regime: a planted k-sparse stream, where every
+// recovery algorithm and the heap must reproduce the planted support with
+// deviation exactly 0 (the support-deviation column is the CI invariant).
+// Table 2 is the realistic regime: a Zipf stream with a heavy tail, reporting
+// top-k recall against the exact counter, l2 error over the true top-k, and
+// per-read latency — recovery buys global decoding at a latency cost, the
+// heap answers instantly but only about items it happened to track.
+func RunE15Recovery(cfg Config) []Table {
+	universe := 1 << 14
+	length := 1_000_000
+	if cfg.Quick {
+		universe = 1 << 12
+		length = 100_000
+	}
+	const width, depth, k = 2048, 4, 16
+
+	algos := []struct {
+		name string
+		rec  cs.Recoverer
+	}{
+		{"recover/sketch", cs.SketchDecode{}},
+		{"recover/smp", cs.SMP{Iters: 50}},
+		{"recover/omp", cs.OMP{MaxIter: 50}},
+		{"recover/iht", cs.IHT{Iters: 50}},
+	}
+
+	// --- Table 1: planted k-sparse stream, exact recovery required. ---
+	r := xrand.New(cfg.Seed)
+	planted := make(map[uint64]float64, k)
+	for _, j := range r.Sample(universe, k) {
+		planted[uint64(j)] = float64(1000 + r.Intn(9000))
+	}
+	tracker := sketch.NewHeavyHitterTracker(xrand.New(cfg.Seed+1), width, depth, k)
+	for item, count := range planted {
+		tracker.Update(item, count)
+	}
+	m, err := engine.NewTrackerMeasurement(tracker, universe)
+	if err != nil {
+		panic(fmt.Sprintf("bench: E15 measurement: %v", err))
+	}
+
+	exact := Table{
+		Title: fmt.Sprintf("E15: k-sparse exactness, %d planted items, universe %d, Count-Min %dx%d (shared backing = equal sketch bytes)",
+			k, universe, width, depth),
+		Columns: []string{"method", "support dev", "max |est err|", "latency"},
+	}
+	// The heap baseline: /v1/topk's answer.
+	start := time.Now()
+	top := tracker.TopK()
+	heapLatency := time.Since(start)
+	exact.AddRow("topk/heap", fmtFloat(supportDeviation(planted, itemsOf(top), k)),
+		fmtFloat(maxEstErr(planted, countsOf(top))), heapLatency.Round(time.Microsecond).String())
+	for _, a := range algos {
+		start := time.Now()
+		xhat, err := a.rec.Recover(m, m.Measurements(), k)
+		latency := time.Since(start)
+		if err != nil {
+			panic(fmt.Sprintf("bench: E15 %s: %v", a.name, err))
+		}
+		items, ests := supportOf(xhat, k)
+		exact.AddRow(a.name, fmtFloat(supportDeviation(planted, items, k)),
+			fmtFloat(maxEstErr(planted, ests)), latency.Round(time.Microsecond).String())
+	}
+
+	// --- Table 2: Zipf stream with a tail, recall/error/latency tradeoff. ---
+	s := stream.Zipf(xrand.New(cfg.Seed+2), uint64(universe), length, 1.3)
+	truth := map[uint64]float64{}
+	zTracker := sketch.NewHeavyHitterTracker(xrand.New(cfg.Seed+3), width, depth, k)
+	for _, u := range s.Updates {
+		truth[u.Item] += float64(u.Delta)
+		zTracker.Update(u.Item, float64(u.Delta))
+	}
+	trueTop := topOfMap(truth, k)
+	zm, err := engine.NewTrackerMeasurement(zTracker, universe)
+	if err != nil {
+		panic(fmt.Sprintf("bench: E15 zipf measurement: %v", err))
+	}
+
+	noisy := Table{
+		Title: fmt.Sprintf("E15: Zipf(1.3) stream, %d updates, top-%d recall vs exact counts (same backing)",
+			length, k),
+		Columns: []string{"method", "recall", "l2 err on true top-k", "latency"},
+	}
+	start = time.Now()
+	ztop := zTracker.TopK()
+	heapLatency = time.Since(start)
+	noisy.AddRow("topk/heap", fmtFloat(recall(trueTop, itemsOf(ztop))),
+		fmtFloat(l2OnSupport(truth, trueTop, countsOf(ztop))), heapLatency.Round(time.Microsecond).String())
+	for _, a := range algos {
+		start := time.Now()
+		xhat, err := a.rec.Recover(zm, zm.Measurements(), k)
+		latency := time.Since(start)
+		if err != nil {
+			panic(fmt.Sprintf("bench: E15 zipf %s: %v", a.name, err))
+		}
+		items, ests := supportOf(xhat, k)
+		noisy.AddRow(a.name, fmtFloat(recall(trueTop, items)),
+			fmtFloat(l2OnSupport(truth, trueTop, ests)), latency.Round(time.Microsecond).String())
+	}
+	return []Table{exact, noisy}
+}
+
+// supportOf extracts the top-k nonzero entries of a recovered vector as an
+// item set and an item->estimate map.
+func supportOf(xhat []float64, k int) (map[uint64]bool, map[uint64]float64) {
+	type entry struct {
+		item uint64
+		est  float64
+	}
+	var entries []entry
+	for j, v := range xhat {
+		if v != 0 {
+			entries = append(entries, entry{uint64(j), v})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return math.Abs(entries[i].est) > math.Abs(entries[j].est)
+	})
+	if len(entries) > k {
+		entries = entries[:k]
+	}
+	items := make(map[uint64]bool, len(entries))
+	ests := make(map[uint64]float64, len(entries))
+	for _, e := range entries {
+		items[e.item] = true
+		ests[e.item] = e.est
+	}
+	return items, ests
+}
+
+func itemsOf(top []stream.ItemCount) map[uint64]bool {
+	out := make(map[uint64]bool, len(top))
+	for _, ic := range top {
+		out[ic.Item] = true
+	}
+	return out
+}
+
+func countsOf(top []stream.ItemCount) map[uint64]float64 {
+	out := make(map[uint64]float64, len(top))
+	for _, ic := range top {
+		out[ic.Item] = float64(ic.Count)
+	}
+	return out
+}
+
+// supportDeviation counts missed planted items plus spurious reported items,
+// normalized by k: exactly 0 iff the reported support is the planted support.
+func supportDeviation(planted map[uint64]float64, got map[uint64]bool, k int) float64 {
+	dev := 0
+	for item := range planted {
+		if !got[item] {
+			dev++
+		}
+	}
+	for item := range got {
+		if _, ok := planted[item]; !ok {
+			dev++
+		}
+	}
+	return float64(dev) / float64(k)
+}
+
+// maxEstErr returns the worst absolute estimate error over the planted items
+// (a missing estimate counts as the full planted value).
+func maxEstErr(planted map[uint64]float64, ests map[uint64]float64) float64 {
+	var worst float64
+	for item, want := range planted {
+		if d := absFloat(want - ests[item]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// topOfMap returns the k heaviest items of an exact count map.
+func topOfMap(truth map[uint64]float64, k int) []uint64 {
+	type entry struct {
+		item  uint64
+		count float64
+	}
+	entries := make([]entry, 0, len(truth))
+	for item, count := range truth {
+		entries = append(entries, entry{item, count})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].count != entries[j].count {
+			return entries[i].count > entries[j].count
+		}
+		return entries[i].item < entries[j].item
+	})
+	if len(entries) > k {
+		entries = entries[:k]
+	}
+	out := make([]uint64, len(entries))
+	for i, e := range entries {
+		out[i] = e.item
+	}
+	return out
+}
+
+// recall is the fraction of the true top-k present in the reported set.
+func recall(trueTop []uint64, got map[uint64]bool) float64 {
+	hit := 0
+	for _, item := range trueTop {
+		if got[item] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(trueTop))
+}
+
+// l2OnSupport is the l2 distance between estimates and exact counts over the
+// true top-k items.
+func l2OnSupport(truth map[uint64]float64, trueTop []uint64, ests map[uint64]float64) float64 {
+	var sum float64
+	for _, item := range trueTop {
+		d := truth[item] - ests[item]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}

@@ -200,3 +200,32 @@ func TestE2MultiplyShiftFastest(t *testing.T) {
 		t.Errorf("multiply-shift throughput %.2fM not above poly4 %.2fM", mulshift, poly4)
 	}
 }
+
+// TestE15RecoveryExactOnSparse: on the planted k-sparse stream, every
+// recovery algorithm and the heap must reproduce the support with deviation
+// exactly 0 and negligible estimate error — the served /v1/recover invariant
+// at bench scale.
+func TestE15RecoveryExactOnSparse(t *testing.T) {
+	tables := RunE15Recovery(Config{Seed: 47, Quick: true})
+	if len(tables) != 2 {
+		t.Fatalf("E15 should produce 2 tables, got %d", len(tables))
+	}
+	exact := tables[0]
+	if len(exact.Rows) < 5 {
+		t.Fatalf("E15 exact table should have the heap plus 4 recovery rows, got %d", len(exact.Rows))
+	}
+	for _, row := range exact.Rows {
+		if v := parseCell(t, row[1]); v != 0 {
+			t.Errorf("%s: support deviation %v, want exactly 0", row[0], v)
+		}
+		if v := parseCell(t, row[2]); v > 1e-3 {
+			t.Errorf("%s: max estimate error %v on a k-sparse stream", row[0], v)
+		}
+	}
+	noisy := tables[1]
+	for _, row := range noisy.Rows {
+		if v := parseCell(t, row[1]); v < 0.5 {
+			t.Errorf("%s: top-k recall %v under Zipf, want at least 0.5", row[0], v)
+		}
+	}
+}

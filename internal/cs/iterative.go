@@ -3,7 +3,6 @@ package cs
 import (
 	"math"
 
-	"repro/internal/core"
 	"repro/internal/mat"
 	"repro/internal/vec"
 )
@@ -100,16 +99,14 @@ func adaptiveStep(a mat.Operator, x, grad []float64, k int) float64 {
 // below 1/||A||_2^2 (estimated by a short deterministic power iteration),
 // which guarantees that gradient steps on 0.5||Ax-y||^2 do not diverge.
 func defaultStep(a mat.Operator) float64 {
-	switch op := a.(type) {
-	case *core.HashMatrix:
+	if op, ok := a.(HashOperator); ok {
 		return 1 / float64(op.RowsPerColumn())
-	default:
-		s2 := spectralNormSquared(a)
-		if s2 <= 0 {
-			return 1
-		}
-		return 0.95 / s2
 	}
+	s2 := spectralNormSquared(a)
+	if s2 <= 0 {
+		return 1
+	}
+	return 0.95 / s2
 }
 
 // spectralNormSquared estimates ||A||_2^2 with a short power iteration
@@ -217,9 +214,9 @@ type SMP struct {
 func (SMP) Name() string { return "smp" }
 
 // Recover runs sparse matching pursuit; the operator must be a hashing
-// matrix (signed or unsigned).
+// operator (signed or unsigned).
 func (s SMP) Recover(a mat.Operator, y []float64, k int) ([]float64, error) {
-	h, ok := a.(*core.HashMatrix)
+	h, ok := a.(HashOperator)
 	if !ok {
 		return nil, ErrUnsupportedOperator
 	}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/linalg"
 	"repro/internal/mat"
 	"repro/internal/vec"
@@ -12,13 +11,31 @@ import (
 
 // Recoverer recovers a k-sparse approximation of x from measurements
 // y = A·x. Implementations may place requirements on the operator type (the
-// sketch-decoding algorithms need the hashing structure of core.HashMatrix);
+// sketch-decoding algorithms need the hashing structure of a HashOperator);
 // they return ErrUnsupportedOperator when given an operator they cannot use.
 type Recoverer interface {
 	// Name identifies the algorithm in experiment tables.
 	Name() string
 	// Recover returns an estimate of x with (approximately) k non-zeros.
 	Recover(a mat.Operator, y []float64, k int) ([]float64, error)
+}
+
+// HashOperator is the structural interface the sketch-decoding recoverers
+// need: a linear operator built from d hash functions, one measurement block
+// per hash row. core.HashMatrix satisfies it, and so does any live sketch
+// snapshot that exposes its bucket/sign structure (see engine.Measurement),
+// which lets recovery run directly over server counters without copying them
+// into a matrix.
+type HashOperator interface {
+	mat.Operator
+	// RowsPerColumn reports the number of hash rows d (non-zeros per column).
+	RowsPerColumn() int
+	// Signed reports whether entries carry ±1 signs (Count-Sketch family)
+	// rather than all-ones (Count-Min family).
+	Signed() bool
+	// Entry returns the measurement row index and ±1 coefficient of column j
+	// in hash block b, for b in [0, RowsPerColumn()).
+	Entry(block int, j uint64) (row int, val float64)
 }
 
 // ErrUnsupportedOperator is returned when a recovery algorithm is given a
@@ -55,7 +72,7 @@ func (s SketchDecode) Name() string {
 
 // Recover estimates x from y using the hashing structure of the operator.
 func (s SketchDecode) Recover(a mat.Operator, y []float64, k int) ([]float64, error) {
-	h, ok := a.(*core.HashMatrix)
+	h, ok := a.(HashOperator)
 	if !ok {
 		return nil, ErrUnsupportedOperator
 	}
@@ -80,9 +97,9 @@ func (s SketchDecode) Recover(a mat.Operator, y []float64, k int) ([]float64, er
 }
 
 // estimateAll computes the sketch point estimate of every coordinate given an
-// arbitrary measurement vector y (not necessarily the matrix's own streaming
+// arbitrary measurement vector y (not necessarily the operator's own streaming
 // state).
-func estimateAll(h *core.HashMatrix, y []float64) []float64 {
+func estimateAll(h HashOperator, y []float64) []float64 {
 	_, n := h.Dims()
 	out := make([]float64, n)
 	// Reuse the HashMatrix estimator by temporarily viewing y as the

@@ -32,14 +32,17 @@ func NewClient(base string, hc *http.Client) *Client {
 }
 
 // APIError is a non-2xx answer from the daemon: the HTTP status plus the
-// server's error message. Callers that must react to specific statuses —
-// the gossip replicator treats 409 (watermark conflict) differently from a
-// transport failure — unwrap it with errors.As.
+// server's error envelope (stable code, message, optional remediation
+// detail). Callers that must react to specific statuses — the gossip
+// replicator treats 409 (watermark conflict) differently from a transport
+// failure — unwrap it with errors.As.
 type APIError struct {
 	Status  int
 	Method  string
 	Path    string
+	Code    string
 	Message string
+	Detail  string
 }
 
 // Error renders the failure with the server's message when it sent one.
@@ -71,9 +74,21 @@ func (c *Client) do(ctx context.Context, method, path string, contentType string
 	}
 	if resp.StatusCode/100 != 2 {
 		apiErr := &APIError{Status: resp.StatusCode, Method: method, Path: path}
-		var e errorResponse
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			apiErr.Message = e.Error
+		// The error field is the nested {"code","message","detail"} envelope;
+		// daemons predating it sent a flat string, still decoded for
+		// compatibility with mixed-version fleets.
+		var e struct {
+			Error json.RawMessage `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && len(e.Error) > 0 {
+			var d ErrorDetail
+			var flat string
+			switch {
+			case json.Unmarshal(e.Error, &d) == nil && d.Message != "":
+				apiErr.Code, apiErr.Message, apiErr.Detail = d.Code, d.Message, d.Detail
+			case json.Unmarshal(e.Error, &flat) == nil:
+				apiErr.Message = flat
+			}
 		}
 		return nil, apiErr
 	}
@@ -155,6 +170,60 @@ func (c *Client) ranked(ctx context.Context, path string) ([]stream.ItemCount, e
 		out[i] = stream.ItemCount{Item: it.Item, Count: it.Count}
 	}
 	return out, nil
+}
+
+// Recover asks the daemon to run sparse recovery over its live counters.
+// Zero-valued request fields select the daemon's configured defaults.
+func (c *Client) Recover(ctx context.Context, req RecoverRequest) (RecoverResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return RecoverResponse{}, err
+	}
+	data, err := c.do(ctx, http.MethodPost, "/v1/recover", contentTypeJSON, body)
+	if err != nil {
+		return RecoverResponse{}, err
+	}
+	var resp RecoverResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return RecoverResponse{}, fmt.Errorf("server: decoding recover response: %w", err)
+	}
+	return resp, nil
+}
+
+// SetQuery returns calibrated estimates over the candidate support S (the
+// set-query problem). An empty estimator selects the daemon's default
+// (isolate).
+func (c *Client) SetQuery(ctx context.Context, support []uint64, estimator string) (SetQueryResponse, error) {
+	body, err := json.Marshal(SetQueryRequest{Support: support, Estimator: estimator})
+	if err != nil {
+		return SetQueryResponse{}, err
+	}
+	data, err := c.do(ctx, http.MethodPost, "/v1/setquery", contentTypeJSON, body)
+	if err != nil {
+		return SetQueryResponse{}, err
+	}
+	var resp SetQueryResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return SetQueryResponse{}, fmt.Errorf("server: decoding setquery response: %w", err)
+	}
+	return resp, nil
+}
+
+// Spectrum posts a sampled signal and returns its sparse Fourier support.
+func (c *Client) Spectrum(ctx context.Context, req SpectrumRequest) (SpectrumResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return SpectrumResponse{}, err
+	}
+	data, err := c.do(ctx, http.MethodPost, "/v1/spectrum", contentTypeJSON, body)
+	if err != nil {
+		return SpectrumResponse{}, err
+	}
+	var resp SpectrumResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return SpectrumResponse{}, fmt.Errorf("server: decoding spectrum response: %w", err)
+	}
+	return resp, nil
 }
 
 // Snapshot fetches the daemon's exact merged state as versioned binary

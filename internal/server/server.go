@@ -72,10 +72,43 @@ type Config struct {
 	// keep their watermark under. It must be unique per daemon and stable
 	// for the daemon's lifetime; empty means a host-pid-sequence identifier.
 	NodeID string
+	// RecoverAlgos lists the sparse-recovery algorithms /v1/recover may run
+	// (subset of sketch, omp, iht, ista, smp); empty enables all of them.
+	// The first entry is the default when a request names no ?algo=.
+	RecoverAlgos []string
+	// RecoverUniverse is the default signal dimension n that /v1/recover
+	// inverts the measurement over (recovered items are coordinates in
+	// [0, n)); zero means 65536. Requests may override with ?universe= up to
+	// MaxRecoverUniverse.
+	RecoverUniverse int
+	// RecoverMaxK caps the ?k= a single /v1/recover request may ask for;
+	// zero means 256.
+	RecoverMaxK int
+	// RecoverIters is the default iteration budget of the iterative
+	// recoverers (omp, iht, ista, smp); zero means 50. Requests may override
+	// with ?iters=.
+	RecoverIters int
 	// Logf, when non-nil, receives one line per notable event (recovery,
 	// snapshot writes, merge rejections, gossip resyncs).
 	Logf func(format string, args ...interface{})
 }
+
+// recoverAlgoNames is the full recoverer menu, in default-preference order:
+// sketch decoding first (one pass, no iteration), then the iterative and
+// greedy algorithms.
+var recoverAlgoNames = []string{"sketch", "smp", "omp", "iht", "ista"}
+
+// MaxRecoverUniverse caps the per-request ?universe= override of
+// /v1/recover: recovery is Θ(universe · depth) per pass, and the cap keeps a
+// single request from demanding an unbounded decode.
+const MaxRecoverUniverse = 1 << 22
+
+// MaxSetQuerySupport caps the candidate support size of one /v1/setquery
+// request.
+const MaxSetQuerySupport = 4096
+
+// MaxSpectrumLen caps the sample count of one /v1/spectrum request.
+const MaxSpectrumLen = 1 << 20
 
 func (c Config) withDefaults() Config {
 	if c.Width <= 0 {
@@ -95,6 +128,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
+	}
+	if len(c.RecoverAlgos) == 0 {
+		c.RecoverAlgos = recoverAlgoNames
+	}
+	if c.RecoverUniverse <= 0 {
+		c.RecoverUniverse = 1 << 16
+	}
+	if c.RecoverMaxK <= 0 {
+		c.RecoverMaxK = 256
+	}
+	if c.RecoverIters <= 0 {
+		c.RecoverIters = 50
 	}
 	peers := make([]string, 0, len(c.Peers))
 	for _, p := range c.Peers {
@@ -149,11 +194,19 @@ type ingestLane struct {
 //	POST /v1/update    ingest a batch of (item, delta) updates
 //	GET  /v1/query     point-query estimates (?item=..., repeatable)
 //	GET  /v1/topk      ranked candidates (?k=...), or ?phi=... for heavy hitters
+//	GET  /v1/recover   sparse recovery over the live counters (?algo=&k=&universe=)
+//	POST /v1/setquery  calibrated estimates over a caller-supplied support set
+//	POST /v1/spectrum  sparse Fourier support of a posted signal (internal/sfft)
 //	GET  /v1/snapshot  the exact merged state, versioned binary encoding
 //	POST /v1/merge     fold a peer's snapshot in (exact linear merge)
 //	POST /v1/delta     fold a peer's gossip delta frame in (watermark-idempotent)
 //	GET  /v1/stats     counters, sketch shape, per-peer replication lag
 //	GET  /v1/healthz   liveness
+//
+// All failures share one JSON error envelope {"error": {"code", "message",
+// "detail"}} (legacy plain-text bodies behind Accept: text/plain), and every
+// read response carries the write generation gen of the barrier snapshot
+// that answered it.
 //
 // Ingestion is concurrent end to end: each /v1/update handler routes its
 // batch through one of Config.Producers engine producer handles (round-robin
@@ -241,11 +294,24 @@ type peerState struct {
 	lastErr      string
 }
 
+// methodNotAllowed answers a JSON 405 envelope naming the allowed methods.
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeErr(w, r, http.StatusMethodNotAllowed, "method %s not allowed on %s (allow: %s)", r.Method, r.URL.Path, allow)
+	}
+}
+
 // New builds a Server, recovering state from SnapshotDir/sketchd.snap when
 // configured and present, and starting the periodic snapshot writer when
 // SnapshotEvery is set.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	for _, algo := range cfg.RecoverAlgos {
+		if recovererFor(algo, 1) == nil {
+			return nil, fmt.Errorf("server: unknown recovery algorithm %q in RecoverAlgos (known: %s)", algo, strings.Join(recoverAlgoNames, ", "))
+		}
+	}
 	proto := sketch.NewHeavyHitterTracker(xrand.New(cfg.Seed), cfg.Width, cfg.Depth, cfg.K)
 	s := &Server{
 		cfg:        cfg,
@@ -316,8 +382,35 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/merge", s.handleMerge)
 	s.mux.HandleFunc("POST /v1/delta", s.handleDelta)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/recover", s.handleRecover)
+	s.mux.HandleFunc("POST /v1/recover", s.handleRecover)
+	s.mux.HandleFunc("POST /v1/setquery", s.handleSetQuery)
+	s.mux.HandleFunc("POST /v1/spectrum", s.handleSpectrum)
 	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	// Bare-path fallbacks: a request with the wrong method would otherwise
+	// get the mux's plain-text 405 — route it through the JSON envelope
+	// instead (the method-qualified patterns above are more specific and
+	// keep winning for matching methods). The catch-all "/v1/" does the same
+	// for unknown paths.
+	for path, allow := range map[string]string{
+		"/v1/update":   "POST",
+		"/v1/query":    "GET",
+		"/v1/topk":     "GET",
+		"/v1/snapshot": "GET",
+		"/v1/merge":    "POST",
+		"/v1/delta":    "POST",
+		"/v1/recover":  "GET, POST",
+		"/v1/setquery": "POST",
+		"/v1/spectrum": "POST",
+		"/v1/stats":    "GET",
+		"/v1/healthz":  "GET",
+	} {
+		s.mux.HandleFunc(path, methodNotAllowed(allow))
+	}
+	s.mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, r, http.StatusNotFound, "no such endpoint %s (see docs/API.md)", r.URL.Path)
 	})
 
 	if cfg.SnapshotDir != "" && cfg.SnapshotEvery > 0 {
@@ -485,6 +578,18 @@ func (s *Server) snapshot() (*sketch.HeavyHitterTracker, error) {
 	return s.snapshotLocked()
 }
 
+// snapshotGen is snapshot plus the write generation the snapshot covers —
+// the gen field every read response reports.
+func (s *Server) snapshotGen() (*sketch.HeavyHitterTracker, int64, error) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	snap, err := s.snapshotLocked()
+	if err != nil {
+		return nil, 0, err
+	}
+	return snap, s.snapGen, nil
+}
+
 // encodedSnapshotLocked marshals the current snapshot. Callers must hold
 // s.snapMu.
 func (s *Server) encodedSnapshotLocked() ([]byte, error) {
@@ -502,9 +607,9 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeErr(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+			writeErr(w, r, http.StatusRequestEntityTooLarge, "reading body: %v", err)
 		} else {
-			writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+			writeErr(w, r, http.StatusBadRequest, "reading body: %v", err)
 		}
 		return nil, false
 	}
@@ -528,11 +633,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	case isBinary:
 	case ct == "" || strings.HasPrefix(ct, contentTypeJSON):
 		if err := json.Unmarshal(data, &req); err != nil {
-			writeErr(w, http.StatusBadRequest, "decoding JSON updates: %v", err)
+			writeErr(w, r, http.StatusBadRequest, "decoding JSON updates: %v", err)
 			return
 		}
 	default:
-		writeErr(w, http.StatusUnsupportedMediaType, "unsupported Content-Type %q (want %s or %s)",
+		writeErr(w, r, http.StatusUnsupportedMediaType, "unsupported Content-Type %q (want %s or %s)",
 			ct, contentTypeJSON, contentTypeBatch)
 		return
 	}
@@ -544,7 +649,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	// retires the lanes, so observing false here guarantees the handle is
 	// live and this flush lands before the final snapshot.
 	if s.closed.Load() {
-		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeErr(w, r, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
 	lane.items, lane.deltas = lane.items[:0], lane.deltas[:0]
@@ -552,7 +657,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		var err error
 		lane.items, lane.deltas, err = DecodeBatchColumns(data, lane.items, lane.deltas)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
+			writeErr(w, r, http.StatusBadRequest, "%v", err)
 			return
 		}
 	} else {
@@ -572,25 +677,32 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	raw := r.URL.Query()["item"]
 	if len(raw) == 0 {
-		writeErr(w, http.StatusBadRequest, "missing item parameter (repeatable): /v1/query?item=7&item=8")
+		writeErr(w, r, http.StatusBadRequest, "missing item parameter (repeatable): /v1/query?item=7&item=8")
 		return
 	}
 	items := make([]uint64, len(raw))
 	for i, v := range raw {
 		item, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad item %q: %v", v, err)
+			writeErr(w, r, http.StatusBadRequest, "bad item %q: %v", v, err)
 			return
 		}
 		items[i] = item
 	}
-
-	snap, err := s.snapshot()
-	if err != nil {
-		writeSnapshotErr(w, err)
+	// ?estimator= is shared across the read endpoints; the point-query path
+	// supports the sketch's native estimator only.
+	if est := r.URL.Query().Get("estimator"); est != "" && est != "min" {
+		writeErrDetail(w, r, http.StatusBadRequest, "supported estimators: min",
+			"unknown estimator %q for /v1/query", est)
 		return
 	}
-	resp := QueryResponse{Estimates: make([]Estimate, len(items))}
+
+	snap, gen, err := s.snapshotGen()
+	if err != nil {
+		writeSnapshotErr(w, r, err)
+		return
+	}
+	resp := QueryResponse{Estimates: make([]Estimate, len(items)), Gen: gen}
 	for i, item := range items {
 		resp.Estimates[i] = Estimate{Item: item, Estimate: snap.Estimate(item)}
 	}
@@ -602,7 +714,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("k"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			writeErr(w, http.StatusBadRequest, "bad k %q: want a positive integer", v)
+			writeErr(w, r, http.StatusBadRequest, "bad k %q: want a positive integer", v)
 			return
 		}
 		k = n
@@ -611,15 +723,15 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("phi"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil || f < 0 || f > 1 {
-			writeErr(w, http.StatusBadRequest, "bad phi %q: want a fraction in [0,1]", v)
+			writeErr(w, r, http.StatusBadRequest, "bad phi %q: want a fraction in [0,1]", v)
 			return
 		}
 		phi = f
 	}
 
-	snap, err := s.snapshot()
+	snap, gen, err := s.snapshotGen()
 	if err != nil {
-		writeSnapshotErr(w, err)
+		writeSnapshotErr(w, r, err)
 		return
 	}
 	// TopK and HeavyHitters both come back sorted by decreasing count.
@@ -634,7 +746,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if k > 0 && len(ranked) > k {
 		ranked = ranked[:k]
 	}
-	writeJSON(w, http.StatusOK, TopKResponse{Items: ranked})
+	writeJSON(w, http.StatusOK, TopKResponse{Items: ranked, Gen: gen})
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -642,7 +754,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	data, err := s.encodedSnapshotLocked()
 	s.snapMu.Unlock()
 	if err != nil {
-		writeSnapshotErr(w, err)
+		writeSnapshotErr(w, r, err)
 		return
 	}
 	s.snapshots.Add(1)
@@ -658,11 +770,11 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(data) == 0 {
-		writeErr(w, http.StatusBadRequest, "empty body: POST the bytes of a peer's /v1/snapshot")
+		writeErr(w, r, http.StatusBadRequest, "empty body: POST the bytes of a peer's /v1/snapshot")
 		return
 	}
 	if s.closed.Load() {
-		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeErr(w, r, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
 
@@ -698,11 +810,11 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		s.cfg.Logf("server: merge rejected: %v", err)
 		switch {
 		case errors.Is(err, engine.ErrClosed), errors.Is(err, ErrServerClosed):
-			writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+			writeErr(w, r, http.StatusServiceUnavailable, "server is shutting down")
 		default:
 			// Everything else means the posted bytes were malformed or came
 			// from an incompatible sketch — the peer's fault, a 4xx.
-			writeErr(w, http.StatusBadRequest, "%v", err)
+			writeErr(w, r, http.StatusBadRequest, "%v", err)
 		}
 		return
 	}
@@ -722,11 +834,11 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	frame, err := DecodeDeltaFrame(data)
 	if err != nil {
 		s.deltasRejected.Add(1)
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if s.closed.Load() {
-		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeErr(w, r, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
 
@@ -738,12 +850,12 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		inner, err := sketch.DecodeDeltaLimit(frame.Payload, s.maxDeltaInner)
 		if err != nil {
 			s.deltasRejected.Add(1)
-			writeErr(w, http.StatusBadRequest, "delta payload: %v", err)
+			writeErr(w, r, http.StatusBadRequest, "delta payload: %v", err)
 			return
 		}
 		if src, err = s.eng.DecodeReplica(inner); err != nil {
 			s.deltasRejected.Add(1)
-			writeErr(w, http.StatusBadRequest, "delta payload: %v", err)
+			writeErr(w, r, http.StatusBadRequest, "delta payload: %v", err)
 			return
 		}
 	}
@@ -751,7 +863,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	s.snapMu.Lock()
 	if s.engClosed || s.closed.Load() {
 		s.snapMu.Unlock()
-		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeErr(w, r, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
 	mark := s.watermarks[frame.Sender]
@@ -780,7 +892,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		// Refuse — applying would double-count the overlap or skip a gap.
 		s.snapMu.Unlock()
 		s.deltasRejected.Add(1)
-		writeErr(w, http.StatusConflict,
+		writeErr(w, r, http.StatusConflict,
 			"stale watermark for sender %q: frame covers generations (%d, %d], receiver watermark is %d",
 			frame.Sender, frame.FromGen, frame.ToGen, mark)
 
@@ -795,9 +907,9 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 			s.cfg.Logf("server: delta from %q rejected: %v", frame.Sender, err)
 			s.deltasRejected.Add(1)
 			if errors.Is(err, engine.ErrClosed) {
-				writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+				writeErr(w, r, http.StatusServiceUnavailable, "server is shutting down")
 			} else {
-				writeErr(w, http.StatusBadRequest, "%v", err)
+				writeErr(w, r, http.StatusBadRequest, "%v", err)
 			}
 			return
 		}
@@ -1068,11 +1180,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	s.peerMu.Unlock()
-	snap, err := s.snapshot()
+	snap, snapGen, err := s.snapshotGen()
 	if err != nil {
-		writeSnapshotErr(w, err)
+		writeSnapshotErr(w, r, err)
 		return
 	}
+	stats.Gen = snapGen
 	stats.TotalMass = snap.TotalMass()
 	s.snapMu.Lock()
 	if len(s.watermarks) > 0 {
@@ -1086,12 +1199,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeSnapshotErr maps engine snapshot failures to HTTP statuses.
-func writeSnapshotErr(w http.ResponseWriter, err error) {
+func writeSnapshotErr(w http.ResponseWriter, r *http.Request, err error) {
 	if errors.Is(err, ErrServerClosed) || errors.Is(err, engine.ErrClosed) {
-		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeErr(w, r, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
-	writeErr(w, http.StatusInternalServerError, "%v", err)
+	writeErr(w, r, http.StatusInternalServerError, "%v", err)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -1100,6 +1213,63 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+// writeErr answers a failure with the unified JSON error envelope
+// {"error": {"code", "message", "detail"}}; the code is derived from the
+// HTTP status. Clients that ask for Accept: text/plain get the legacy
+// plain-text body instead.
+func writeErr(w http.ResponseWriter, r *http.Request, status int, format string, args ...interface{}) {
+	writeErrDetail(w, r, status, "", format, args...)
+}
+
+// writeErrDetail is writeErr with an extra machine-readable detail string
+// (remediation hints: enabled algorithms, accepted ranges).
+func writeErrDetail(w http.ResponseWriter, r *http.Request, status int, detail, format string, args ...interface{}) {
+	msg := fmt.Sprintf(format, args...)
+	if r != nil && wantsPlainText(r) {
+		http.Error(w, msg, status)
+		return
+	}
+	writeJSON(w, status, errorResponse{Error: ErrorDetail{
+		Code:    codeForStatus(status),
+		Message: msg,
+		Detail:  detail,
+	}})
+}
+
+// wantsPlainText reports whether the client explicitly opted into the legacy
+// plain-text error bodies with an Accept: text/plain header.
+func wantsPlainText(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		if mediaType := strings.TrimSpace(strings.SplitN(part, ";", 2)[0]); mediaType == "text/plain" {
+			return true
+		}
+	}
+	return false
+}
+
+// codeForStatus maps an HTTP status to the stable error code of the envelope.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "invalid_argument"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusUnsupportedMediaType:
+		return "unsupported_media_type"
+	case http.StatusUnprocessableEntity:
+		return "unprocessable"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		if status >= 500 {
+			return "internal"
+		}
+		return "error"
+	}
 }

@@ -70,6 +70,10 @@ type Estimate struct {
 // QueryResponse is the JSON body of GET /v1/query.
 type QueryResponse struct {
 	Estimates []Estimate `json:"estimates"`
+	// Gen is the write generation of the barrier snapshot that answered the
+	// read; every read response carries it, so callers can correlate answers
+	// across endpoints.
+	Gen int64 `json:"gen"`
 }
 
 // TopKItem is one ranked heavy-hitter candidate.
@@ -81,6 +85,7 @@ type TopKItem struct {
 // TopKResponse is the JSON body of GET /v1/topk.
 type TopKResponse struct {
 	Items []TopKItem `json:"items"`
+	Gen   int64      `json:"gen"`
 }
 
 // MergeResponse acknowledges a folded-in snapshot.
@@ -112,6 +117,7 @@ type PeerStat struct {
 
 // Stats is the JSON body of GET /v1/stats.
 type Stats struct {
+	Gen       int64   `json:"gen"`
 	Width     int     `json:"width"`
 	Depth     int     `json:"depth"`
 	K         int     `json:"k"`
@@ -134,9 +140,134 @@ type Stats struct {
 	Peers           []PeerStat        `json:"peers,omitempty"`
 }
 
-// errorResponse is the JSON body of every non-2xx answer.
+// ErrorDetail is the unified error payload carried by every non-2xx answer
+// on every /v1/* route: a stable machine-readable code (derived from the
+// HTTP status), a human-readable message, and an optional detail string with
+// remediation hints (e.g. the list of enabled recovery algorithms).
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// errorResponse is the JSON body of every non-2xx answer:
+// {"error": {"code": ..., "message": ..., "detail": ...}}.
+// Clients that send Accept: text/plain get the legacy plain-text body
+// instead, so curl transcripts from before the envelope still read sensibly.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error ErrorDetail `json:"error"`
+}
+
+// Sparse recovery wire types --------------------------------------------------
+
+// RecoverRequest is the optional JSON body of POST /v1/recover; every field
+// can also be supplied as a query parameter (?algo=&k=&universe=&iters=),
+// and query parameters win over body fields.
+type RecoverRequest struct {
+	// Algo selects the recoverer: sketch, omp, iht, ista or smp.
+	Algo string `json:"algo,omitempty"`
+	// K is the output sparsity (how many coordinates to recover).
+	K int `json:"k,omitempty"`
+	// Universe is the signal dimension n the measurement is inverted over;
+	// recovered items are coordinates in [0, Universe).
+	Universe int `json:"universe,omitempty"`
+	// Iters overrides the iteration budget of the iterative recoverers.
+	Iters int `json:"iters,omitempty"`
+}
+
+// RecoverEntry is one recovered coordinate with its Count-Min error bound:
+// with probability at least Confidence (see RecoverResponse), the true count
+// lies in [Estimate - ErrorBound, Estimate] for unsigned sketches.
+type RecoverEntry struct {
+	Item     uint64  `json:"item"`
+	Estimate float64 `json:"estimate"`
+}
+
+// RecoverResponse is the JSON body of GET/POST /v1/recover: the approximate
+// top-k vector recovered from the live counters, sorted by decreasing
+// magnitude.
+type RecoverResponse struct {
+	Algo     string         `json:"algo"`
+	K        int            `json:"k"`
+	Universe int            `json:"universe"`
+	Entries  []RecoverEntry `json:"entries"`
+	// ErrorBound is the classic Count-Min per-coordinate additive error
+	// (e/width)·‖x‖₁: each estimate overestimates its true count by at most
+	// this much with probability at least Confidence.
+	ErrorBound float64 `json:"error_bound"`
+	// Confidence is 1 - exp(-depth), the per-coordinate probability that
+	// ErrorBound holds.
+	Confidence float64 `json:"confidence"`
+	Gen        int64   `json:"gen"`
+}
+
+// SetQueryRequest is the JSON body of POST /v1/setquery: a candidate support
+// S and the estimator to calibrate over it (?estimator= also accepted).
+type SetQueryRequest struct {
+	// Support is the candidate item set S (no duplicates).
+	Support []uint64 `json:"support"`
+	// Estimator selects the calibration: "isolate" (default) answers each
+	// item from the hash rows where no other member of S collides with it,
+	// "min" is the plain per-item Count-Min estimate.
+	Estimator string `json:"estimator,omitempty"`
+}
+
+// SetQueryEstimate is one calibrated estimate over the requested support.
+type SetQueryEstimate struct {
+	Item     uint64  `json:"item"`
+	Estimate float64 `json:"estimate"`
+	// IsolatedRows is the number of hash rows in which no other support
+	// member shares this item's bucket — the rows the isolate estimator
+	// answered from. Zero means the estimate fell back to the plain minimum.
+	IsolatedRows int `json:"isolated_rows"`
+}
+
+// SetQueryResponse is the JSON body of POST /v1/setquery, in support order.
+type SetQueryResponse struct {
+	Estimator  string             `json:"estimator"`
+	Estimates  []SetQueryEstimate `json:"estimates"`
+	ErrorBound float64            `json:"error_bound"`
+	Confidence float64            `json:"confidence"`
+	Gen        int64              `json:"gen"`
+}
+
+// SpectrumRequest is the JSON body of POST /v1/spectrum: a sampled signal
+// whose sparse Fourier support the server extracts with internal/sfft.
+type SpectrumRequest struct {
+	// Signal is the real part of the samples; its length must be a power of
+	// two.
+	Signal []float64 `json:"signal"`
+	// SignalImag optionally carries the imaginary parts (same length).
+	SignalImag []float64 `json:"signal_imag,omitempty"`
+	// K is the number of dominant frequencies to recover.
+	K int `json:"k"`
+	// Algo selects the transform: "exact" (noiseless peeling, default) or
+	// "robust" (noise-tolerant phase-ladder location). ?algo= also accepted.
+	Algo string `json:"algo,omitempty"`
+	// Seed drives the random permutations; 0 means the server's seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Rounds and BucketFactor tune the transform (see sfft.Config); zero
+	// keeps the library defaults.
+	Rounds       int `json:"rounds,omitempty"`
+	BucketFactor int `json:"bucket_factor,omitempty"`
+}
+
+// SpectrumCoefficient is one recovered frequency.
+type SpectrumCoefficient struct {
+	Freq      int     `json:"freq"`
+	Re        float64 `json:"re"`
+	Im        float64 `json:"im"`
+	Magnitude float64 `json:"magnitude"`
+}
+
+// SpectrumResponse is the JSON body of POST /v1/spectrum, sorted by
+// decreasing magnitude.
+type SpectrumResponse struct {
+	N            int                   `json:"n"`
+	K            int                   `json:"k"`
+	Algo         string                `json:"algo"`
+	Coefficients []SpectrumCoefficient `json:"coefficients"`
+	Gen          int64                 `json:"gen"`
 }
 
 // AppendBatch appends the binary encoding of updates to buf and returns the

@@ -436,6 +436,12 @@ func (t *HeavyHitterTracker) Depth() int { return t.cm.Depth() }
 // TotalMass returns the sum of all deltas processed by the backing sketch.
 func (t *HeavyHitterTracker) TotalMass() float64 { return t.cm.TotalMass() }
 
+// Backing exposes the tracker's Count-Min sketch. The returned sketch shares
+// state with the tracker: callers may read counters (e.g. to run sparse
+// recovery over a snapshot) but must not update through it, or the candidate
+// heap will go stale.
+func (t *HeavyHitterTracker) Backing() *CountMin { return t.cm }
+
 // CompatibleWith returns nil when other was built from the same dimensions,
 // hash seed and family as t — the precondition for an exact merge. Merge
 // itself, like CountMin.Merge, only checks dimensions and trusts in-process
