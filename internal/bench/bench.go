@@ -3,8 +3,10 @@
 // DESIGN.md, plus the systems experiments E11, sharded ingestion, E12,
 // multi-producer ingestion, E13, batch-first ingestion through the flat
 // counter layout and hash kernels, E14, gossip delta shipping against
-// full-snapshot shipping, and E15, sparse recovery against the top-k heap
-// over the same Count-Min backing). Each experiment builds its synthetic
+// full-snapshot shipping, E15, sparse recovery against the top-k heap
+// over the same Count-Min backing, and E16, replica vs key-partitioned
+// sharding on memory, snapshot latency and throughput). Each experiment
+// builds its synthetic
 // workload, sweeps the relevant parameter, runs the hashing-based method and
 // its baselines, and reports the metrics the claim is about
 // (recall/precision, measurement counts, running times, distortions,
@@ -95,7 +97,7 @@ type Experiment struct {
 	Run   func(cfg Config) []Table
 }
 
-// Registry returns every experiment in order E1..E15.
+// Registry returns every experiment in order E1..E16.
 func Registry() []Experiment {
 	return []Experiment{
 		{ID: "e1", Claim: "§1: frequent elements map to heavy buckets; sketches recover them in one pass with limited storage", Run: RunE1HeavyHitters},
@@ -113,6 +115,7 @@ func Registry() []Experiment {
 		{ID: "e13", Claim: "§1: a sketch update is a sparse matrix-vector product, so batch-first ingestion through flat counters and vectorizable hash kernels beats per-item dispatch bit-for-bit exactly", Run: RunE13BatchIngest},
 		{ID: "e14", Claim: "§1: snapshot differences are themselves valid sketches, so gossiping peers converge exactly while shipping far fewer bytes than full snapshots", Run: RunE14DeltaGossip},
 		{ID: "e15", Claim: "§2: the sketch is a linear measurement of the stream, so full sparse recovery reads the same counters the top-k heap does — exact on k-sparse input, global at a latency cost on tails", Run: RunE15Recovery},
+		{ID: "e16", Claim: "§1: any split of the stream sums to the same sketch, so workers can own column slices of ONE copy instead of full clones — 1x memory instead of workers-x, bit-identical reads", Run: RunE16PartitionMode},
 	}
 }
 

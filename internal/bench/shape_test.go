@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -226,6 +227,41 @@ func TestE15RecoveryExactOnSparse(t *testing.T) {
 	for _, row := range noisy.Rows {
 		if v := parseCell(t, row[1]); v < 0.5 {
 			t.Errorf("%s: top-k recall %v under Zipf, want at least 0.5", row[0], v)
+		}
+	}
+}
+
+// TestE16PartitionMemoryAndExactness: partition mode must hold exactly one
+// sketch's worth of counters at every worker count while replica mode holds
+// workers-many, and both modes' estimates must match the single-threaded
+// reference with deviation exactly 0 — the "same bits, less memory" claim.
+func TestE16PartitionMemoryAndExactness(t *testing.T) {
+	tbl := RunE16PartitionMode(Config{Seed: 53, Quick: true})[0]
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("E16 should produce 6 rows (3 worker counts x 2 modes), got %d", len(tbl.Rows))
+	}
+	const size = 4096 * 4
+	for _, row := range tbl.Rows {
+		words := int(parseCell(t, row[1]))
+		var workers int
+		var mode string
+		if _, err := fmt.Sscanf(row[0], "%s %dw", &mode, &workers); err != nil {
+			t.Fatalf("unparseable config cell %q: %v", row[0], err)
+		}
+		switch mode {
+		case "replica":
+			if words != workers*size {
+				t.Errorf("%s: %d counter words, want %d", row[0], words, workers*size)
+			}
+		case "partition":
+			if words != size {
+				t.Errorf("%s: %d counter words, want %d (exactly one sketch)", row[0], words, size)
+			}
+		default:
+			t.Fatalf("unknown mode in row %q", row[0])
+		}
+		if v := parseCell(t, row[len(row)-1]); v != 0 {
+			t.Errorf("%s: deviation %v from single-threaded reference, want exactly 0", row[0], v)
 		}
 	}
 }

@@ -29,6 +29,14 @@ type Config struct {
 	// QueueDepth is the per-shard channel buffer measured in batches. Zero
 	// means 4. It bounds how far the producers can run ahead of the workers.
 	QueueDepth int
+	// Partition selects key-partitioned sharding: the workers own column
+	// slices of ONE logical sketch (memory ~1x) instead of full replicas
+	// (memory ~workers x), and snapshots concatenate instead of merge; see
+	// partition.go. Reads are bit-identical between the modes for the same
+	// stream and seed. Only the column-partitionable families support it
+	// (CountMin without conservative update, CountSketch, Dyadic, the
+	// heavy-hitter tracker); the generic New refuses it.
+	Partition bool
 }
 
 func (c Config) withDefaults() Config {
@@ -66,10 +74,12 @@ type batch struct {
 	deltas []float64
 }
 
-// op is a shard channel message: either a batch of updates or a snapshot
-// barrier token (ready/resume non-nil).
+// op is a shard channel message: a batch of updates (replica mode), a
+// scatter batch (partition mode), or a snapshot barrier token (ready/resume
+// non-nil).
 type op struct {
 	b      batch
+	cb     colBatch
 	ready  chan<- struct{} // worker sends when all earlier batches are applied
 	resume <-chan struct{} // worker blocks here until the merge has read its replica
 }
@@ -119,6 +129,10 @@ type Engine[S any] struct {
 	producers sync.WaitGroup
 	stagger   atomic.Int64 // spreads new producers' first shard across the ring
 
+	// part holds the key-partitioned mode's state (column shards, routing,
+	// dispatch lock); nil in replica mode. See partition.go.
+	part *partition[S]
+
 	def *Producer[S] // backs the engine-level convenience ingestion methods
 }
 
@@ -129,6 +143,9 @@ type Engine[S any] struct {
 // merge adds src into dst.
 func New[S any](cfg Config, newReplica func() S, apply func(S, []uint64, []float64), merge func(dst, src S) error) *Engine[S] {
 	cfg = cfg.withDefaults()
+	if cfg.Partition {
+		panic("engine: partition mode needs a column-partitionable family; build with NewLinear or a family constructor")
+	}
 	e := &Engine[S]{
 		cfg:        cfg,
 		shards:     make([]*shard[S], cfg.Workers),
@@ -191,6 +208,10 @@ type Producer[S any] struct {
 	cur    batch
 	next   int
 	closed bool
+	// sc is the handle's private column router in partition mode (nil in
+	// replica mode): hash scratch plus per-shard scatter columns, so routing
+	// shares no mutable state between producers.
+	sc *sketch.ColumnScatter
 }
 
 // Producer registers a new ingestion handle. It panics after Engine.Close —
@@ -203,14 +224,19 @@ func (e *Engine[S]) Producer() *Producer[S] {
 		panic("engine: Producer after Close")
 	}
 	e.producers.Add(1)
-	return &Producer[S]{
+	p := &Producer[S]{
 		e: e,
 		cur: batch{
 			items:  make([]uint64, 0, e.cfg.BatchSize),
 			deltas: make([]float64, 0, e.cfg.BatchSize),
 		},
-		next: int(e.stagger.Add(1)-1) % len(e.shards),
 	}
+	if e.part != nil {
+		p.sc = sketch.NewColumnScatter(e.part.shape, len(e.part.shards))
+	} else {
+		p.next = int(e.stagger.Add(1)-1) % len(e.shards)
+	}
+	return p
 }
 
 // Update appends one record to the handle's columns, dispatching the batch
@@ -277,9 +303,14 @@ func (p *Producer[S]) UpdateBatch(updates []Update) {
 }
 
 // dispatch hands the current batch to the handle's next shard round-robin
-// and starts a fresh column pair from the shared free list.
+// and starts a fresh column pair from the shared free list. In partition
+// mode it routes the batch by column ownership instead (see partDispatch).
 func (p *Producer[S]) dispatch() {
 	if len(p.cur.items) == 0 {
+		return
+	}
+	if p.e.part != nil {
+		p.partDispatch()
 		return
 	}
 	e := p.e
@@ -348,20 +379,68 @@ func (e *Engine[S]) Flush() {
 }
 
 // Workers returns the number of shards.
-func (e *Engine[S]) Workers() int { return len(e.shards) }
+func (e *Engine[S]) Workers() int {
+	if e.part != nil {
+		return len(e.part.shards)
+	}
+	return len(e.shards)
+}
+
+// Mode reports the sharding mode: "replica" (each worker owns a full clone)
+// or "partition" (each worker owns a column slice of one logical sketch).
+func (e *Engine[S]) Mode() string {
+	if e.part != nil {
+		return "partition"
+	}
+	return "replica"
+}
+
+// CounterWords returns the number of resident sketch counters across all
+// shards — workers x sketch size in replica mode, exactly the sketch size in
+// partition mode (the memory claim E16 measures). Engines over types without
+// a known size report 0.
+func (e *Engine[S]) CounterWords() int {
+	if e.part != nil {
+		n := 0
+		for _, sh := range e.part.shards {
+			n += len(sh.counts)
+		}
+		return n
+	}
+	per := 0
+	switch s := any(e.shards[0].replica).(type) {
+	case interface{ Size() int }:
+		per = s.Size()
+	case interface{ SizeCounters() int }:
+		per = s.SizeCounters()
+	case interface{ SpaceCounters() int }:
+		per = s.SpaceCounters()
+	}
+	return per * len(e.shards)
+}
 
 // barrier enqueues a sync token on every shard, waits until all workers have
 // drained their queues, runs fn, then releases the workers. Callers hold
 // e.mu, which serializes concurrent barriers; producers keep enqueueing
 // batches while a barrier is in flight (they land after the token, so the
-// cut stays consistent).
+// cut stays consistent). In partition mode the tokens are enqueued under the
+// dispatch write lock, so a multi-shard dispatch can never straddle the cut.
 func (e *Engine[S]) barrier(fn func() error) error {
-	ready := make(chan struct{}, len(e.shards))
+	n := e.Workers()
+	ready := make(chan struct{}, n)
 	resume := make(chan struct{})
-	for _, sh := range e.shards {
-		sh.ch <- op{ready: ready, resume: resume}
+	if e.part != nil {
+		e.part.dispatchMu.Lock()
+		for _, sh := range e.part.shards {
+			sh.ch <- op{ready: ready, resume: resume}
+		}
+		e.part.dispatchMu.Unlock()
+	} else {
+		for _, sh := range e.shards {
+			sh.ch <- op{ready: ready, resume: resume}
+		}
 	}
-	for range e.shards {
+	for i := 0; i < n; i++ {
 		<-ready
 	}
 	err := fn()
@@ -382,6 +461,9 @@ func (e *Engine[S]) Snapshot() (S, error) {
 		return zero, ErrClosed
 	}
 	e.def.Flush()
+	if e.part != nil {
+		return e.partSnapshot()
+	}
 	out := e.newReplica()
 	err := e.barrier(func() error {
 		for i, sh := range e.shards {
@@ -478,6 +560,9 @@ func (e *Engine[S]) Absorb(src S) error {
 		return ErrClosed
 	}
 	e.def.Flush()
+	if e.part != nil {
+		return e.partAbsorb(src)
+	}
 	return e.barrier(func() error {
 		if err := e.merge(e.shards[0].replica, src); err != nil {
 			return fmt.Errorf("engine: absorbing replica: %w", err)
@@ -533,6 +618,9 @@ func (e *Engine[S]) Close() (S, error) {
 
 	e.def.Close()
 	e.producers.Wait()
+	if e.part != nil {
+		return e.partClose()
+	}
 	for _, sh := range e.shards {
 		close(sh.ch)
 	}
@@ -574,12 +662,25 @@ type LinearSketch[S any] interface {
 // MarshalBinary as the snapshot encoder. decode reverses it: it must
 // deserialize a replica and reject sketches incompatible with proto — the
 // engine trusts it as the gatekeeper for MergeEncoded.
+//
+// With cfg.Partition set, the workers own column slices of one logical
+// sketch instead of full clones; proto must then implement
+// sketch.ColumnSketch (every linear family in internal/sketch does, except
+// conservative-update CountMin), and every read stays bit-identical to
+// replica mode for the same stream and seed.
 func NewLinear[S LinearSketch[S]](cfg Config, proto S, decode func([]byte) (S, error)) *Engine[S] {
-	return New(cfg,
-		func() S { return proto.Clone() },
-		func(s S, items []uint64, deltas []float64) { s.UpdateBatch(items, deltas) },
-		func(dst, src S) error { return dst.Merge(src) },
-	).WithCodec(
+	cfg = cfg.withDefaults()
+	var e *Engine[S]
+	if cfg.Partition {
+		e = newPartitioned(cfg, proto)
+	} else {
+		e = New(cfg,
+			func() S { return proto.Clone() },
+			func(s S, items []uint64, deltas []float64) { s.UpdateBatch(items, deltas) },
+			func(dst, src S) error { return dst.Merge(src) },
+		)
+	}
+	return e.WithCodec(
 		func(s S) ([]byte, error) { return s.MarshalBinary() },
 		decode,
 	).WithDelta(

@@ -1,0 +1,34 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeBatchColumns attacks the "SKB1" ingest frame parser — the
+// hottest untrusted-input surface in the daemon (every POST /v1/batch body
+// lands here). Arbitrary bytes must decode-or-error without panicking and
+// without header-driven allocation; accepted input must re-encode through
+// AppendBatchColumns byte-identically (the format has no non-canonical
+// freedom — counts, items and delta bits are all verbatim).
+func FuzzDecodeBatchColumns(f *testing.F) {
+	f.Add(AppendBatchColumns(nil, nil, nil))
+	f.Add(AppendBatchColumns(nil, []uint64{1, 2, 3}, []float64{1, -0.5, 3.25}))
+	f.Add(AppendBatchColumns(nil,
+		[]uint64{0, ^uint64(0), 1 << 33},
+		[]float64{0, -1e300, 0.1}))
+	f.Add([]byte("SKB1\x00\x00\x00\x01junkjunkjunkjunk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items, deltas, err := DecodeBatchColumns(data, nil, nil)
+		if err != nil {
+			return
+		}
+		if len(items) != len(deltas) {
+			t.Fatalf("decoded %d items but %d deltas", len(items), len(deltas))
+		}
+		re := AppendBatchColumns(nil, items, deltas)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted batch does not re-encode byte-identically (%d vs %d bytes)", len(re), len(data))
+		}
+	})
+}

@@ -35,7 +35,10 @@ type Config struct {
 	// other's snapshots must share Seed, Width and Depth (the server rejects
 	// incompatible snapshots at /v1/merge). Zero means 1.
 	Seed uint64
-	// Engine shapes the sharded ingestion underneath (workers, batch size).
+	// Engine shapes the sharded ingestion underneath: workers, batch size
+	// and the sharding mode (Engine.Partition trades replica mode's
+	// workers x sketch-size memory for one column-partitioned copy with
+	// bit-identical reads; see internal/engine and docs/CLUSTER.md).
 	Engine engine.Config
 	// Producers is the number of parallel ingestion lanes: engine producer
 	// handles that /v1/update requests are spread across round-robin, so P
@@ -1158,6 +1161,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		K:               s.cfg.K,
 		Workers:         s.eng.Workers(),
 		Producers:       len(s.lanes),
+		Mode:            s.eng.Mode(),
+		CounterWords:    s.eng.CounterWords(),
 		Updates:         s.updates.Load(),
 		Batches:         s.batches.Load(),
 		Merges:          s.merges.Load(),

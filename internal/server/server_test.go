@@ -517,3 +517,74 @@ func differentSeedSnapshot(t *testing.T, cfg Config) []byte {
 	}
 	return data
 }
+
+// TestPartitionModeOverTheWire: a partition-mode daemon must be
+// indistinguishable from a replica-mode one at the API — same estimates
+// (bit for bit against the single-threaded reference), interoperable
+// snapshots/merges — while /v1/stats shows the mode and the memory the
+// choice buys: sketch-size resident counters instead of workers x that.
+func TestPartitionModeOverTheWire(t *testing.T) {
+	base := Config{Width: 512, Depth: 4, K: 32, Seed: 17}
+	repCfg, partCfg := base, base
+	repCfg.Engine = engine.Config{Workers: 4, BatchSize: 101}
+	partCfg.Engine = engine.Config{Workers: 4, BatchSize: 101, Partition: true}
+	_, repClient := testDaemon(t, repCfg)
+	_, partClient := testDaemon(t, partCfg)
+	ctx := context.Background()
+
+	reference := sketch.NewHeavyHitterTracker(xrand.New(base.Seed), base.Width, base.Depth, base.K)
+	s := stream.Zipf(xrand.New(171), 1<<14, 40_000, 1.1)
+	for _, u := range s.Updates {
+		reference.Update(u.Item, float64(u.Delta))
+	}
+
+	// Partitioned daemon ingests the first half, replica daemon the second;
+	// the partitioned one folds in the replica's snapshot (a full tracker
+	// absorbed into column slices over the wire).
+	half := len(s.Updates) / 2
+	if err := partClient.Update(ctx, toEngineUpdates(s.Updates[:half])); err != nil {
+		t.Fatal(err)
+	}
+	if err := repClient.Update(ctx, toEngineUpdates(s.Updates[half:])); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := repClient.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partClient.Merge(ctx, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	for item := uint64(0); item < 1<<14; item += 37 {
+		estimates, err := partClient.Query(ctx, item)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := reference.Estimate(item); estimates[0] != want {
+			t.Fatalf("partitioned estimate(%d) = %v, reference = %v", item, estimates[0], want)
+		}
+	}
+
+	repStats, err := repClient.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partStats, err := partClient.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repStats.Mode != "replica" || partStats.Mode != "partition" {
+		t.Fatalf("modes = %q / %q, want replica / partition", repStats.Mode, partStats.Mode)
+	}
+	size := base.Width * base.Depth
+	if partStats.CounterWords != size {
+		t.Fatalf("partition counter_words = %d, want %d", partStats.CounterWords, size)
+	}
+	if repStats.CounterWords != 4*size {
+		t.Fatalf("replica counter_words = %d, want %d", repStats.CounterWords, 4*size)
+	}
+	if partStats.TotalMass != reference.TotalMass() {
+		t.Fatalf("partitioned total mass %v != reference %v", partStats.TotalMass, reference.TotalMass())
+	}
+}

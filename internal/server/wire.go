@@ -117,17 +117,23 @@ type PeerStat struct {
 
 // Stats is the JSON body of GET /v1/stats.
 type Stats struct {
-	Gen       int64   `json:"gen"`
-	Width     int     `json:"width"`
-	Depth     int     `json:"depth"`
-	K         int     `json:"k"`
-	Workers   int     `json:"workers"`
-	Producers int     `json:"producers"`
-	Updates   int64   `json:"updates"`
-	Batches   int64   `json:"batches"`
-	Merges    int64   `json:"merges"`
-	Snapshots int64   `json:"snapshots"`
-	TotalMass float64 `json:"total_mass"`
+	Gen       int64 `json:"gen"`
+	Width     int   `json:"width"`
+	Depth     int   `json:"depth"`
+	K         int   `json:"k"`
+	Workers   int   `json:"workers"`
+	Producers int   `json:"producers"`
+	// Mode is the engine sharding mode: "replica" (each worker holds a full
+	// sketch clone) or "partition" (workers share one column-partitioned
+	// copy); CounterWords is the resident counter footprint that choice
+	// implies, summed across shards.
+	Mode         string  `json:"mode"`
+	CounterWords int     `json:"counter_words"`
+	Updates      int64   `json:"updates"`
+	Batches      int64   `json:"batches"`
+	Merges       int64   `json:"merges"`
+	Snapshots    int64   `json:"snapshots"`
+	TotalMass    float64 `json:"total_mass"`
 
 	// Delta-replication counters: frames this daemon has applied, absorbed
 	// idempotently (retries of already-applied frames) and rejected at

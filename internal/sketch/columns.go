@@ -1,0 +1,268 @@
+package sketch
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Column partitioning --------------------------------------------------------
+//
+// A hashing sketch is a matrix of independent per-bucket counters, so beyond
+// replication there is a second way to spread it across workers: split the
+// *columns*. Shard j of n owns columns [j*W/n, (j+1)*W/n) of every row — with
+// the flat row-major layout a shard's columns are contiguous per row — and an
+// update's row-r write goes to whichever shard owns bucket h_r(item). The
+// shards together hold exactly one copy of the logical sketch (memory ~1x
+// instead of n x), and reassembly is pure concatenation: copy each shard's
+// column slice back into place and the result is counter-for-counter the
+// sketch a single-threaded run would have produced.
+//
+// The types below are the sketch-side half of that contract, consumed by
+// internal/engine's partition mode: ColumnShape names the geometry and the
+// bucket->shard map, ColumnScatter turns a key/delta batch into per-shard
+// scatter columns (hashing through the same batch kernels UpdateBatch uses),
+// and each family implements ColumnSketch to route, slice and reassemble its
+// own counters.
+
+// ColumnShape is the column-partition geometry of a sketch family: Rows rows
+// of Width columns each. For the flat families Rows is the depth; for the
+// dyadic hierarchy it is (logU+1)*depth, with every level's rows stacked in
+// level-major order. The partition axis is always the Width.
+type ColumnShape struct {
+	Rows  int
+	Width int
+}
+
+// Size returns the total number of counters.
+func (s ColumnShape) Size() int { return s.Rows * s.Width }
+
+// Range returns the half-open global column range [lo, hi) owned by shard j
+// of n. The ranges tile [0, Width) contiguously and differ in size by at most
+// one column; with n > Width the surplus shards own empty ranges.
+func (s ColumnShape) Range(j, n int) (lo, hi int) {
+	return j * s.Width / n, (j + 1) * s.Width / n
+}
+
+// ShardOf returns the shard (of n) owning a global column index — the exact
+// inverse of Range: Range(ShardOf(b, n), n) always brackets b.
+func (s ColumnShape) ShardOf(bucket, n int) int {
+	return ((bucket+1)*n - 1) / s.Width
+}
+
+// ColumnScatter routes one key/delta batch to column shards: Idx[j]/Delta[j]
+// accumulate the shard-local flat counter indices and deltas shard j must
+// add, Mass accumulates the batch's total delta mass (attributed to shard 0,
+// so the shard masses sum to the stream's), and CandKeys[j]/CandIdx[j] carry
+// the candidate lane of heavy-hitter trackers: each key routed to the shard
+// owning its row-0 bucket, paired with that bucket's shard-local index so
+// the shard can score the key from its own counters.
+//
+// A scatter belongs to one producer: the hash scratch inside it is what lets
+// many producers route batches through one shared read-only prototype
+// concurrently. The output slices are exported so the consumer can hand them
+// off to shard queues wholesale and install recycled buffers in their place.
+type ColumnScatter struct {
+	shape ColumnShape
+	lo    []int // per-shard column range starts
+	width []int // per-shard slice widths (hi - lo)
+
+	Idx      [][]uint32
+	Delta    [][]float64
+	Mass     float64
+	CandKeys [][]uint64
+	CandIdx  [][]uint32
+
+	// Reusable hash scratch for the family's ScatterColumns (grown to the
+	// largest batch seen, zero allocations steady-state).
+	buckets []uint64
+	signs   []float64
+	keys    []uint64
+}
+
+// NewColumnScatter builds a scatter for the given geometry and shard count.
+// It panics when a shard-local index could overflow the uint32 scatter
+// encoding — Rows * max slice width must stay below 2^32, which every
+// realistic sketch satisfies by orders of magnitude.
+func NewColumnScatter(shape ColumnShape, shards int) *ColumnScatter {
+	if shards < 1 {
+		panic(fmt.Sprintf("sketch: NewColumnScatter requires shards >= 1 (got %d)", shards))
+	}
+	sc := &ColumnScatter{
+		shape:    shape,
+		lo:       make([]int, shards),
+		width:    make([]int, shards),
+		Idx:      make([][]uint32, shards),
+		Delta:    make([][]float64, shards),
+		CandKeys: make([][]uint64, shards),
+		CandIdx:  make([][]uint32, shards),
+	}
+	for j := 0; j < shards; j++ {
+		lo, hi := shape.Range(j, shards)
+		sc.lo[j], sc.width[j] = lo, hi-lo
+		if sc.width[j] > 0 && uint64(shape.Rows)*uint64(sc.width[j]) > 1<<32 {
+			panic(fmt.Sprintf("sketch: column shard too large for scatter indices (%d rows x %d columns)",
+				shape.Rows, sc.width[j]))
+		}
+	}
+	return sc
+}
+
+// Shards returns the shard count the scatter routes to.
+func (sc *ColumnScatter) Shards() int { return len(sc.lo) }
+
+// Shape returns the geometry the scatter was built for.
+func (sc *ColumnScatter) Shape() ColumnShape { return sc.shape }
+
+// Reset truncates every output column and zeroes the mass, keeping the
+// backing arrays for reuse.
+func (sc *ColumnScatter) Reset() {
+	for j := range sc.Idx {
+		sc.Idx[j] = sc.Idx[j][:0]
+		sc.Delta[j] = sc.Delta[j][:0]
+		sc.CandKeys[j] = sc.CandKeys[j][:0]
+		sc.CandIdx[j] = sc.CandIdx[j][:0]
+	}
+	sc.Mass = 0
+}
+
+// route appends one counter increment: row-major position (row, bucket) of
+// the logical sketch, translated to the owning shard's local flat index.
+func (sc *ColumnScatter) route(row int, bucket uint64, delta float64) {
+	j := ((int(bucket)+1)*len(sc.lo) - 1) / sc.shape.Width
+	local := uint32(row*sc.width[j] + int(bucket) - sc.lo[j])
+	sc.Idx[j] = append(sc.Idx[j], local)
+	sc.Delta[j] = append(sc.Delta[j], delta)
+}
+
+// routeCandidate appends one candidate-lane entry for the shard owning the
+// key's row-0 bucket.
+func (sc *ColumnScatter) routeCandidate(key uint64, bucket uint64) {
+	j := ((int(bucket)+1)*len(sc.lo) - 1) / sc.shape.Width
+	sc.CandKeys[j] = append(sc.CandKeys[j], key)
+	sc.CandIdx[j] = append(sc.CandIdx[j], uint32(int(bucket)-sc.lo[j]))
+}
+
+// bucketScratch returns the reusable bucket column, grown to n entries.
+func (sc *ColumnScatter) bucketScratch(n int) []uint64 {
+	if cap(sc.buckets) < n {
+		sc.buckets = make([]uint64, n)
+	}
+	return sc.buckets[:n]
+}
+
+// signScratch returns the reusable sign column, grown to n entries.
+func (sc *ColumnScatter) signScratch(n int) []float64 {
+	if cap(sc.signs) < n {
+		sc.signs = make([]float64, n)
+	}
+	return sc.signs[:n]
+}
+
+// keyScratch returns the reusable shifted-key column, grown to n entries.
+func (sc *ColumnScatter) keyScratch(n int) []uint64 {
+	if cap(sc.keys) < n {
+		sc.keys = make([]uint64, n)
+	}
+	return sc.keys[:n]
+}
+
+// ColumnSketch is the contract a family satisfies to ride the engine's
+// key-partitioned mode: name its geometry, route update batches to column
+// shards, slice an existing sketch's counters for one shard (how absorbed
+// replicas are folded into partitioned state), and reassemble a full sketch
+// from per-shard slices. ConcatColumns overwrites the receiver's counters —
+// it is called on a fresh clone — and sets its mass accounting from the
+// summed shard masses; families without mass ignore the argument.
+//
+// CountMin (non-conservative), CountSketch, Dyadic and HeavyHitterTracker
+// implement it; their methods live beside each type.
+type ColumnSketch interface {
+	ColumnShape() ColumnShape
+	ScatterColumns(items []uint64, deltas []float64, sc *ColumnScatter)
+	AppendColumnSlice(dst []float64, shard, shards int) []float64
+	ConcatColumns(slices [][]float64, mass float64) error
+	ColumnMass() float64
+}
+
+// appendColumnSlice copies columns [lo, hi) of every row of a flat row-major
+// counter array — the shared kernel behind the families' AppendColumnSlice.
+func appendColumnSlice(dst, counts []float64, width, rows, lo, hi int) []float64 {
+	for r := 0; r < rows; r++ {
+		dst = append(dst, counts[r*width+lo:r*width+hi]...)
+	}
+	return dst
+}
+
+// concatColumnSlices overwrites a flat row-major counter array from per-shard
+// column slices — the inverse of appendColumnSlice, shared by the families'
+// ConcatColumns. Each slices[j] must hold rows*(hi_j-lo_j) values.
+func concatColumnSlices(counts []float64, slices [][]float64, shape ColumnShape) error {
+	for j, s := range slices {
+		lo, hi := shape.Range(j, len(slices))
+		if len(s) != shape.Rows*(hi-lo) {
+			return fmt.Errorf("sketch: column slice %d holds %d counters, want %d (%d rows x %d columns)",
+				j, len(s), shape.Rows*(hi-lo), shape.Rows, hi-lo)
+		}
+		w := hi - lo
+		for r := 0; r < shape.Rows; r++ {
+			copy(counts[r*shape.Width+lo:r*shape.Width+hi], s[r*w:(r+1)*w])
+		}
+	}
+	return nil
+}
+
+// CandidateSet is a bounded top-score set of stream keys: Offer keeps the
+// capacity highest-scoring distinct keys, updating the score of keys already
+// present. It is the per-shard candidate store of the engine's partitioned
+// heavy-hitter tracking — scores there are row-0 counters, the same
+// "estimate never underestimates" upper bound the tracker's own heap uses —
+// and reuses the tracker's heap machinery.
+type CandidateSet struct {
+	cap   int
+	heap  *candidateHeap
+	items map[uint64]*candidate
+}
+
+// NewCandidateSet builds an empty set keeping the given number of keys.
+func NewCandidateSet(capacity int) *CandidateSet {
+	if capacity < 1 {
+		panic("sketch: NewCandidateSet requires capacity >= 1")
+	}
+	return &CandidateSet{
+		cap:   capacity,
+		heap:  &candidateHeap{},
+		items: make(map[uint64]*candidate),
+	}
+}
+
+// Offer records the key with the given score, evicting the current minimum
+// when the set is full and the newcomer scores higher.
+func (c *CandidateSet) Offer(key uint64, score float64) {
+	if cand, ok := c.items[key]; ok {
+		cand.count = score
+		heap.Fix(c.heap, cand.index)
+		return
+	}
+	if c.heap.Len() >= c.cap {
+		min := (*c.heap)[0]
+		if score <= min.count {
+			return
+		}
+		heap.Pop(c.heap)
+		delete(c.items, min.item)
+	}
+	cand := &candidate{item: key, count: score}
+	heap.Push(c.heap, cand)
+	c.items[key] = cand
+}
+
+// Len returns the number of keys currently held.
+func (c *CandidateSet) Len() int { return c.heap.Len() }
+
+// AppendItems appends the held keys to dst (in heap order) and returns it.
+func (c *CandidateSet) AppendItems(dst []uint64) []uint64 {
+	for _, cand := range *c.heap {
+		dst = append(dst, cand.item)
+	}
+	return dst
+}

@@ -370,3 +370,62 @@ func (cm *CountMin) RowBucket(row int, item uint64) int {
 	}
 	return cm.bucket(row, item)
 }
+
+// Column partitioning (see columns.go) ---------------------------------------
+
+// ColumnShape returns the sketch's column-partition geometry: depth rows of
+// width columns.
+func (cm *CountMin) ColumnShape() ColumnShape {
+	return ColumnShape{Rows: cm.depth, Width: cm.width}
+}
+
+// ScatterColumns hashes a key/delta batch through the same batch kernels
+// UpdateBatch uses and routes each row's counter increment to the shard
+// owning its bucket's column, plus the batch's delta mass. It reads only the
+// shared hash functions and the scatter's own scratch, so any number of
+// producers may scatter through one prototype concurrently. Conservative
+// update is not linear and cannot be partitioned (panics, mirroring Merge's
+// refusal).
+func (cm *CountMin) ScatterColumns(items []uint64, deltas []float64, sc *ColumnScatter) {
+	if len(items) != len(deltas) {
+		panic(fmt.Sprintf("sketch: CountMin.ScatterColumns length mismatch (%d items, %d deltas)", len(items), len(deltas)))
+	}
+	if cm.conservative {
+		panic("sketch: conservative-update CountMin is not linear and cannot be column-partitioned")
+	}
+	buckets := sc.bucketScratch(len(items))
+	w := uint64(cm.width)
+	for r := 0; r < cm.depth; r++ {
+		hashing.HashBatch(cm.hashes[r], items, buckets)
+		for i, b := range buckets {
+			sc.route(r, b%w, deltas[i])
+		}
+	}
+	for _, d := range deltas {
+		sc.Mass += d
+	}
+}
+
+// AppendColumnSlice appends the row-major counters of the columns shard j of
+// n owns — the exact slice a partitioned engine's shard j holds for this
+// sketch — and returns the extended slice.
+func (cm *CountMin) AppendColumnSlice(dst []float64, shard, shards int) []float64 {
+	lo, hi := cm.ColumnShape().Range(shard, shards)
+	return appendColumnSlice(dst, cm.counts, cm.width, cm.depth, lo, hi)
+}
+
+// ConcatColumns overwrites the counters from per-shard column slices (the
+// inverse of AppendColumnSlice over all shards) and sets the total mass to
+// the summed shard masses. With exactly summable deltas the result is
+// bit-identical to the sketch a single-threaded run would have produced.
+func (cm *CountMin) ConcatColumns(slices [][]float64, mass float64) error {
+	if err := concatColumnSlices(cm.counts, slices, cm.ColumnShape()); err != nil {
+		return err
+	}
+	cm.totalMass = mass
+	return nil
+}
+
+// ColumnMass returns the mass a partitioned engine must account for when
+// absorbing this sketch into column shards.
+func (cm *CountMin) ColumnMass() float64 { return cm.totalMass }

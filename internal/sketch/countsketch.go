@@ -320,6 +320,51 @@ func (cs *CountSketch) RowSign(row int, item uint64) float64 {
 	return cs.signs[row].Sign(item)
 }
 
+// Column partitioning (see columns.go) ---------------------------------------
+
+// ColumnShape returns the sketch's column-partition geometry: depth rows of
+// width columns.
+func (cs *CountSketch) ColumnShape() ColumnShape {
+	return ColumnShape{Rows: cs.depth, Width: cs.width}
+}
+
+// ScatterColumns hashes and signs a key/delta batch through the batch
+// kernels and routes each row's signed increment to the shard owning its
+// bucket's column. Only the shared hash/sign functions and the scatter's
+// scratch are touched, so producers scatter through one prototype
+// concurrently.
+func (cs *CountSketch) ScatterColumns(items []uint64, deltas []float64, sc *ColumnScatter) {
+	if len(items) != len(deltas) {
+		panic(fmt.Sprintf("sketch: CountSketch.ScatterColumns length mismatch (%d items, %d deltas)", len(items), len(deltas)))
+	}
+	buckets := sc.bucketScratch(len(items))
+	signs := sc.signScratch(len(items))
+	w := uint64(cs.width)
+	for r := 0; r < cs.depth; r++ {
+		hashing.HashBatch(cs.hashes[r], items, buckets)
+		hashing.SignBatch(cs.signs[r], items, signs)
+		for i, b := range buckets {
+			sc.route(r, b%w, signs[i]*deltas[i])
+		}
+	}
+}
+
+// AppendColumnSlice appends the row-major counters of the columns shard j of
+// n owns and returns the extended slice.
+func (cs *CountSketch) AppendColumnSlice(dst []float64, shard, shards int) []float64 {
+	lo, hi := cs.ColumnShape().Range(shard, shards)
+	return appendColumnSlice(dst, cs.counts, cs.width, cs.depth, lo, hi)
+}
+
+// ConcatColumns overwrites the counters from per-shard column slices. The
+// mass argument is ignored: Count-Sketch keeps no mass accounting.
+func (cs *CountSketch) ConcatColumns(slices [][]float64, _ float64) error {
+	return concatColumnSlices(cs.counts, slices, cs.ColumnShape())
+}
+
+// ColumnMass returns 0: Count-Sketch keeps no mass accounting.
+func (cs *CountSketch) ColumnMass() float64 { return 0 }
+
 // median returns the median of values; for even counts it averages the two
 // middle elements, which keeps the estimator unbiased. The input slice is
 // sorted in place (it is always a scratch slice here).

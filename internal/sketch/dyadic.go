@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/hashing"
 	"repro/internal/stream"
 	"repro/internal/xrand"
 )
@@ -315,6 +316,92 @@ func (d *Dyadic) Scale(c float64) {
 	}
 }
 
+// Column partitioning (see columns.go) ---------------------------------------
+
+// ColumnShape returns the hierarchy's column-partition geometry: every
+// level's rows stacked level-major — (logU+1)*depth rows of width columns
+// (NewDyadic gives every level the same dimensions).
+func (d *Dyadic) ColumnShape() ColumnShape {
+	return ColumnShape{Rows: len(d.levels) * d.levels[0].depth, Width: d.levels[0].width}
+}
+
+// ScatterColumns routes a key/delta batch level by level: level l hashes the
+// keys' length-2^l prefixes exactly as UpdateBatch does, and each row's
+// increment goes to the shard owning its bucket's column. Items outside the
+// universe panic, mirroring UpdateBatch.
+func (d *Dyadic) ScatterColumns(items []uint64, deltas []float64, sc *ColumnScatter) {
+	if len(items) != len(deltas) {
+		panic(fmt.Sprintf("sketch: Dyadic.ScatterColumns length mismatch (%d items, %d deltas)", len(items), len(deltas)))
+	}
+	for _, item := range items {
+		if item >= d.universe {
+			panic(fmt.Sprintf("sketch: Dyadic item %d outside universe %d", item, d.universe))
+		}
+	}
+	depth := d.levels[0].depth
+	w := uint64(d.levels[0].width)
+	prefixes := sc.keyScratch(len(items))
+	copy(prefixes, items)
+	buckets := sc.bucketScratch(len(items))
+	for l := 0; l <= d.logU; l++ {
+		if l > 0 {
+			for i := range prefixes {
+				prefixes[i] >>= 1
+			}
+		}
+		cm := d.levels[l]
+		for r := 0; r < depth; r++ {
+			hashing.HashBatch(cm.hashes[r], prefixes, buckets)
+			for i, b := range buckets {
+				sc.route(l*depth+r, b%w, deltas[i])
+			}
+		}
+	}
+	for _, dl := range deltas {
+		sc.Mass += dl
+	}
+}
+
+// AppendColumnSlice appends the counters of the columns shard j of n owns,
+// level-major (each level's rows in order), and returns the extended slice.
+func (d *Dyadic) AppendColumnSlice(dst []float64, shard, shards int) []float64 {
+	lo, hi := d.ColumnShape().Range(shard, shards)
+	for _, cm := range d.levels {
+		dst = appendColumnSlice(dst, cm.counts, cm.width, cm.depth, lo, hi)
+	}
+	return dst
+}
+
+// ConcatColumns overwrites every level's counters from per-shard column
+// slices (level-major rows, the inverse of AppendColumnSlice) and sets each
+// level's total mass to the summed shard masses — every level sees every
+// delta once, so the per-level masses are all the stream's total.
+func (d *Dyadic) ConcatColumns(slices [][]float64, mass float64) error {
+	shape := d.ColumnShape()
+	depth := d.levels[0].depth
+	for j, s := range slices {
+		lo, hi := shape.Range(j, len(slices))
+		w := hi - lo
+		if len(s) != shape.Rows*w {
+			return fmt.Errorf("sketch: dyadic column slice %d holds %d counters, want %d (%d rows x %d columns)",
+				j, len(s), shape.Rows*w, shape.Rows, w)
+		}
+		for rr := 0; rr < shape.Rows; rr++ {
+			cm := d.levels[rr/depth]
+			r := rr % depth
+			copy(cm.counts[r*cm.width+lo:r*cm.width+hi], s[rr*w:(rr+1)*w])
+		}
+	}
+	for _, cm := range d.levels {
+		cm.totalMass = mass
+	}
+	return nil
+}
+
+// ColumnMass returns the mass a partitioned engine must account for when
+// absorbing this hierarchy (every level carries the same total).
+func (d *Dyadic) ColumnMass() float64 { return d.levels[0].totalMass }
+
 // HeavyHitterTracker combines a Count-Min sketch with a candidate heap so
 // that heavy hitters can be reported after a single pass without a second
 // pass over the stream and without knowing the universe. This is the
@@ -560,6 +647,85 @@ func (t *HeavyHitterTracker) HeavyHitters(phi float64) []stream.ItemCount {
 
 // SpaceCounters returns the number of counters used by the backing sketch.
 func (t *HeavyHitterTracker) SpaceCounters() int { return t.cm.Size() }
+
+// Column partitioning (see columns.go) ---------------------------------------
+
+// ColumnShape returns the backing Count-Min's column-partition geometry.
+func (t *HeavyHitterTracker) ColumnShape() ColumnShape { return t.cm.ColumnShape() }
+
+// ScatterColumns routes a key/delta batch exactly as the backing Count-Min
+// does, and additionally routes every key down the candidate lane to the
+// shard owning its row-0 bucket, paired with that bucket's shard-local index.
+// The owning shard scores the key from its own row-0 counter — the same
+// never-underestimating upper bound the tracker's heap scores with — so
+// partitioned candidate tracking needs no cross-shard reads. Candidate
+// *selection* is a heuristic in every mode (replica merges already union and
+// re-score per-shard heaps); only the counters are bit-identical across
+// modes.
+func (t *HeavyHitterTracker) ScatterColumns(items []uint64, deltas []float64, sc *ColumnScatter) {
+	if len(items) != len(deltas) {
+		panic(fmt.Sprintf("sketch: HeavyHitterTracker.ScatterColumns length mismatch (%d items, %d deltas)", len(items), len(deltas)))
+	}
+	cm := t.cm
+	buckets := sc.bucketScratch(len(items))
+	w := uint64(cm.width)
+	for r := 0; r < cm.depth; r++ {
+		hashing.HashBatch(cm.hashes[r], items, buckets)
+		for i, b := range buckets {
+			b %= w
+			sc.route(r, b, deltas[i])
+			if r == 0 {
+				sc.routeCandidate(items[i], b)
+			}
+		}
+	}
+	for _, dl := range deltas {
+		sc.Mass += dl
+	}
+}
+
+// AppendColumnSlice appends the backing Count-Min's slice for one shard.
+func (t *HeavyHitterTracker) AppendColumnSlice(dst []float64, shard, shards int) []float64 {
+	return t.cm.AppendColumnSlice(dst, shard, shards)
+}
+
+// ConcatColumns reassembles the backing Count-Min from per-shard column
+// slices. Candidates are delivered separately via AbsorbCandidates once the
+// counters are in place, so they score against the full sketch.
+func (t *HeavyHitterTracker) ConcatColumns(slices [][]float64, mass float64) error {
+	return t.cm.ConcatColumns(slices, mass)
+}
+
+// ColumnMass returns the backing sketch's total mass.
+func (t *HeavyHitterTracker) ColumnMass() float64 { return t.cm.TotalMass() }
+
+// CandidateItems returns the tracked candidate keys (unordered).
+func (t *HeavyHitterTracker) CandidateItems() []uint64 {
+	out := make([]uint64, 0, t.candidates.Len())
+	for _, c := range *t.candidates {
+		out = append(out, c.item)
+	}
+	return out
+}
+
+// CandidateCap returns the candidate capacity k.
+func (t *HeavyHitterTracker) CandidateCap() int { return t.k }
+
+// AbsorbCandidates offers every key to the candidate heap scored by the
+// current sketch estimate — the union-and-re-score reduction Merge applies,
+// exposed for callers that carry candidate keys outside a tracker (the
+// engine's partitioned snapshot assembly).
+func (t *HeavyHitterTracker) AbsorbCandidates(items []uint64) {
+	for _, item := range items {
+		est := t.cm.Estimate(item)
+		if c, ok := t.inHeap[item]; ok {
+			c.count = est
+			heap.Fix(t.candidates, c.index)
+			continue
+		}
+		t.offer(item, est)
+	}
+}
 
 // log2Ceil returns ceil(log2(x)) for x >= 1.
 func log2Ceil(x uint64) int {

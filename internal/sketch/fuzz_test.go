@@ -1,0 +1,120 @@
+package sketch
+
+import (
+	"bytes"
+	"encoding"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Fuzzing the decode surface --------------------------------------------------
+//
+// Every byte reaching UnmarshalBinary or DecodeDelta in production came off
+// the network (a peer's snapshot, a gossip delta) or off disk, so the
+// decoders must hold two properties against arbitrary input:
+//
+//  1. never panic and never allocate unbounded memory — malformed input is
+//     answered with an error;
+//  2. canonical round trip — any accepted input decodes to a sketch whose
+//     re-encoding is a fixed point: encode(decode(enc)) == enc. (The
+//     original bytes may differ from the first re-encoding only in
+//     non-canonical freedom the format allows, e.g. a conservative-flag
+//     byte of 2 or duplicate candidate items; one decode normalizes that.)
+//
+// The corpus is seeded with the golden fixtures, so the fuzzer starts from
+// every family's real wire format and mutates inward.
+
+// codec is the marshal/unmarshal pair every sketch family implements.
+type codec interface {
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+}
+
+// families lists a fresh zero value of every decodable sketch type.
+func families() map[string]func() codec {
+	return map[string]func() codec{
+		"CountMin":    func() codec { return &CountMin{} },
+		"CountSketch": func() codec { return &CountSketch{} },
+		"Bloom":       func() codec { return &BloomFilter{} },
+		"IBLT":        func() codec { return &IBLT{} },
+		"Tracker":     func() codec { return &HeavyHitterTracker{} },
+		"Dyadic":      func() codec { return &Dyadic{} },
+	}
+}
+
+func seedGoldenCorpus(f *testing.F) {
+	f.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.golden"))
+	if err != nil || len(paths) == 0 {
+		f.Fatalf("no golden fixtures found: %v", err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatalf("reading %s: %v", p, err)
+		}
+		f.Add(data)
+	}
+}
+
+// FuzzUnmarshalBinary throws arbitrary bytes at every family's decoder.
+// PeekKind must classify or reject without panicking; each decoder must
+// either error or produce a sketch whose re-encoding is a stable fixed
+// point.
+func FuzzUnmarshalBinary(f *testing.F) {
+	seedGoldenCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = PeekKind(data) // must not panic on anything
+		for name, fresh := range families() {
+			s := fresh()
+			if err := s.UnmarshalBinary(data); err != nil {
+				continue // rejected: fine, as long as it didn't panic
+			}
+			enc1, err := s.MarshalBinary()
+			if err != nil {
+				t.Fatalf("%s: decoded successfully but re-encode failed: %v", name, err)
+			}
+			s2 := fresh()
+			if err := s2.UnmarshalBinary(enc1); err != nil {
+				t.Fatalf("%s: re-encoding of accepted input does not decode: %v", name, err)
+			}
+			enc2, err := s2.MarshalBinary()
+			if err != nil {
+				t.Fatalf("%s: second re-encode failed: %v", name, err)
+			}
+			if !bytes.Equal(enc1, enc2) {
+				t.Fatalf("%s: round trip is not a fixed point (%d vs %d bytes)", name, len(enc1), len(enc2))
+			}
+		}
+	})
+}
+
+// FuzzDecodeDelta attacks the zero-RLE delta envelope: arbitrary bytes must
+// decode-or-error without panicking (with a tight inner-length cap so a
+// forged header cannot demand gigabytes), and any recovered inner encoding
+// must survive EncodeDelta/DecodeDelta verbatim.
+func FuzzDecodeDelta(f *testing.F) {
+	seedGoldenCorpus(f)
+	// Also seed well-formed envelopes so the fuzzer sees the real format,
+	// not just raw sketch bytes it must mutate into one.
+	paths, _ := filepath.Glob(filepath.Join("testdata", "*.golden"))
+	for _, p := range paths {
+		if data, err := os.ReadFile(p); err == nil {
+			f.Add(EncodeDelta(data))
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inner, err := DecodeDeltaLimit(data, 1<<20)
+		if err != nil {
+			return
+		}
+		re, err := DecodeDeltaLimit(EncodeDelta(inner), 1<<20)
+		if err != nil {
+			t.Fatalf("re-encoded envelope does not decode: %v", err)
+		}
+		if !bytes.Equal(inner, re) {
+			t.Fatalf("delta envelope round trip altered the inner bytes (%d vs %d)", len(inner), len(re))
+		}
+	})
+}
