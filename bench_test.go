@@ -49,3 +49,4 @@ func BenchmarkE11ShardedIngest(b *testing.B)       { runExperiment(b, "e11") }
 func BenchmarkE12MultiProducerIngest(b *testing.B) { runExperiment(b, "e12") }
 func BenchmarkE13BatchIngest(b *testing.B)         { runExperiment(b, "e13") }
 func BenchmarkE14DeltaGossip(b *testing.B)         { runExperiment(b, "e14") }
+func BenchmarkE17StreamIngest(b *testing.B)        { runExperiment(b, "e17") }

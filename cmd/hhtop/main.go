@@ -18,21 +18,32 @@
 // principle track a slightly different borderline item than the
 // single-threaded heap would.
 //
+// With -push URL the command stops sketching locally and instead streams its
+// items into a running sketchd over one persistent connection (framed SKB1
+// batches with acks, POST /v1/stream; add -stream-addr to use the daemon's
+// raw TCP streaming listener instead). The heavy hitters are then queried
+// back from the daemon, so hhtop doubles as a feeder and as a terminal view
+// onto a live fleet.
+//
 // Usage:
 //
 //	hhtop -phi 0.001 < access.log
 //	hhtop -synthetic 1000000 -k 20 -width 4096 -workers 4
+//	hhtop -synthetic 1000000 -push http://127.0.0.1:7600 -stream-addr 127.0.0.1:7700
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/server"
 	"repro/internal/sketch"
 	"repro/internal/stream"
 	"repro/internal/xrand"
@@ -49,6 +60,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "seed for hashing and synthetic data")
 		exact     = flag.Bool("exact", true, "also keep exact counts and report the sketch estimation error")
 		workers   = flag.Int("workers", 1, "shard ingestion across this many goroutines (merged exactly at the end)")
+		push      = flag.String("push", "", "stream items into the sketchd at this HTTP base URL instead of sketching locally; heavy hitters are queried back from the daemon")
+		streamTCP = flag.String("stream-addr", "", "with -push: the daemon's raw TCP streaming address (default: stream through POST /v1/stream on the -push URL)")
 	)
 	flag.Parse()
 
@@ -56,11 +69,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hhtop: -workers must be >= 1")
 		os.Exit(1)
 	}
+	if *streamTCP != "" && *push == "" {
+		fmt.Fprintln(os.Stderr, "hhtop: -stream-addr requires -push (queries go to the HTTP URL)")
+		os.Exit(1)
+	}
 
 	r := xrand.New(*seed)
 	tracker := sketch.NewHeavyHitterTracker(r, *width, *depth, *k)
+
+	// Push mode: one persistent stream connection pins one producer lane on
+	// the daemon; local -workers sharding is moot because the sketch lives
+	// remotely.
+	var su *server.StreamUpdater
+	var cli *server.Client
+	if *push != "" {
+		base := *push
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		cli = server.NewClient(base, nil)
+		target := base
+		if *streamTCP != "" {
+			target = *streamTCP
+		}
+		var err error
+		if su, err = server.DialStream(target, server.StreamConfig{}); err != nil {
+			fmt.Fprintf(os.Stderr, "hhtop: dialing stream: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	var eng *engine.Engine[*sketch.HeavyHitterTracker]
-	if *workers > 1 {
+	if *workers > 1 && su == nil {
 		eng = engine.NewTracker(engine.Config{Workers: *workers}, tracker)
 	}
 	var exactCounter *stream.ExactCounter
@@ -85,9 +125,15 @@ func main() {
 		if len(batchItems) == 0 {
 			return
 		}
-		if prod != nil {
+		switch {
+		case su != nil:
+			if err := su.UpdateColumns(batchItems, batchDeltas); err != nil {
+				fmt.Fprintf(os.Stderr, "hhtop: streaming batch: %v\n", err)
+				os.Exit(1)
+			}
+		case prod != nil:
 			prod.UpdateColumns(batchItems, batchDeltas)
-		} else {
+		default:
 			tracker.UpdateBatch(batchItems, batchDeltas)
 		}
 		if exactCounter != nil {
@@ -194,15 +240,32 @@ func main() {
 		tracker = merged
 	}
 
-	fmt.Printf("processed %d items; sketch uses %d counters (%d KiB)\n",
-		total, tracker.SpaceCounters(), tracker.SpaceCounters()*8/1024)
+	var hits []stream.ItemCount
+	if su != nil {
+		// Close syncs: it returns only after the daemon acked every frame as
+		// applied, so the query below always sees all our items.
+		if err := su.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hhtop: draining stream: %v\n", err)
+			os.Exit(1)
+		}
+		var err error
+		if hits, err = cli.HeavyHitters(context.Background(), *phi); err != nil {
+			fmt.Fprintf(os.Stderr, "hhtop: querying daemon: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("streamed %d items to %s (session %s)\n", total, *push, su.Session())
+	} else {
+		hits = tracker.HeavyHitters(*phi)
+		fmt.Printf("processed %d items; sketch uses %d counters (%d KiB)\n",
+			total, tracker.SpaceCounters(), tracker.SpaceCounters()*8/1024)
+	}
 	fmt.Printf("items with estimated frequency >= %.4f of the stream:\n\n", *phi)
 	fmt.Printf("%-24s %12s", "item", "estimate")
 	if exactCounter != nil {
 		fmt.Printf(" %12s %10s", "exact", "overest")
 	}
 	fmt.Println()
-	for _, ic := range tracker.HeavyHitters(*phi) {
+	for _, ic := range hits {
 		label := names[ic.Item]
 		if label == "" {
 			label = fmt.Sprintf("item-%d", ic.Item)

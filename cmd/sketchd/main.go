@@ -24,6 +24,7 @@
 // Usage:
 //
 //	sketchd -addr :7600 -width 4096 -depth 4 -k 64
+//	sketchd -addr :7600 -stream-addr :7700   # raw TCP streaming ingest listener
 //	sketchd -addr 127.0.0.1:7601 -snapshot-dir /var/lib/sketchd -snapshot-every 30s
 //	sketchd -addr 127.0.0.1:7602 -peers 127.0.0.1:7601,127.0.0.1:7603 -gossip-every 1s
 //
@@ -38,6 +39,7 @@
 // API (see internal/server and docs/API.md):
 //
 //	POST /v1/update    {"updates":[{"item":7,"delta":2}]} or a binary batch
+//	POST /v1/stream    persistent-connection framed ingest (also raw TCP via -stream-addr)
 //	GET  /v1/query     ?item=7&item=8
 //	GET  /v1/topk      ?k=10 or ?phi=0.001
 //	GET  /v1/recover   ?algo=smp&k=16&universe=65536 (also POST with a JSON body)
@@ -70,6 +72,7 @@ import (
 func main() {
 	var (
 		addr          = flag.String("addr", "127.0.0.1:7600", "listen address (host:port; port 0 picks a free port)")
+		streamAddr    = flag.String("stream-addr", "", "raw TCP listen address for persistent-connection streaming ingest (empty = HTTP only; POST /v1/stream always works)")
 		width         = flag.Int("width", 4096, "Count-Min width (counters per row)")
 		depth         = flag.Int("depth", 4, "Count-Min depth (rows)")
 		k             = flag.Int("k", 64, "heavy-hitter candidate capacity")
@@ -141,6 +144,22 @@ func main() {
 	// Print the bound address on stdout so scripts using port 0 can find it.
 	fmt.Printf("listening on %s (countmin %dx%d, k=%d, seed=%d)\n",
 		ln.Addr(), *width, *depth, *k, *seed)
+
+	if *streamAddr != "" {
+		sln, err := net.Listen("tcp", *streamAddr)
+		if err != nil {
+			srv.Close()
+			logger.Fatal(err)
+		}
+		fmt.Printf("streaming on %s\n", sln.Addr())
+		// srv.Close tears the listener down (ServeStream registers it), so
+		// the accept loop needs no extra shutdown plumbing here.
+		go func() {
+			if err := srv.ServeStream(sln); err != nil {
+				logger.Printf("stream serve: %v", err)
+			}
+		}()
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)

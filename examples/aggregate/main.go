@@ -6,10 +6,13 @@
 // Run with no flags for a self-contained demo: two daemons are started
 // in-process on loopback ports, each ingests half of a Zipf stream over HTTP
 // from -pushers concurrent connections (exercising the daemons' lock-free
-// producer lanes), daemon A merges daemon B's snapshot, and every estimate
-// is checked against a reference built through a multi-producer engine —
-// the in-process twin of the same pipeline. Linearity makes every layer of
-// this exact, so the max deviation must be 0.
+// producer lanes) — daemon A over persistent streaming connections (framed
+// SKB1 over POST /v1/stream, one pinned producer lane per pusher), daemon B
+// over classic per-chunk POSTs, proving the two ingest paths interchange.
+// Daemon A merges daemon B's snapshot, and every estimate is checked against
+// a reference built through a multi-producer engine — the in-process twin of
+// the same pipeline. Linearity makes every layer of this exact, so the max
+// deviation must be 0.
 //
 // The same binary also drives real multi-process topologies built from
 // cmd/sketchd:
@@ -20,9 +23,13 @@
 //	             aggregate -push http://127.0.0.1:7602 -n 50000 -half 1
 //	             aggregate -merge http://127.0.0.1:7601,http://127.0.0.1:7602
 //
-// -push streams half of a deterministic Zipf workload through the HTTP
-// client (chunked across -pushers concurrent connections); -merge folds the
-// second daemon's snapshot into the first and prints the merged top-k.
+// -push streams half of a deterministic Zipf workload into the daemon,
+// chunked across -pushers concurrent connections; -transport picks how
+// (stream = persistent framed connections, the default; post = one
+// /v1/update POST per chunk), and -stream-addr targets a daemon's raw TCP
+// streaming listener (sketchd -stream-addr) instead of tunnelling frames
+// through its HTTP port. -merge folds the second daemon's snapshot into the
+// first and prints the merged top-k.
 package main
 
 import (
@@ -57,19 +64,31 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "stream seed (shared by all pushers so halves are disjoint slices of one stream)")
 		half    = flag.Int("half", 0, "with -push: which half of the stream to send (0 or 1)")
 		pushers = flag.Int("pushers", 4, "concurrent connections for -push and the demo")
+		trans   = flag.String("transport", "stream", "how -push ships updates: stream (persistent framed connections) or post (one /v1/update POST per chunk)")
+		strAddr = flag.String("stream-addr", "", "with -push -transport stream: the daemon's raw TCP streaming address (default: frames tunnel through POST /v1/stream on the -push URL)")
 	)
 	flag.Parse()
 	if *pushers < 1 {
 		*pushers = 1
+	}
+	if *trans != "stream" && *trans != "post" {
+		log.Fatalf("aggregate: -transport must be stream or post, got %q", *trans)
 	}
 
 	switch {
 	case *push != "":
 		items, deltas := streamHalf(*seed, *n, *half)
 		client := server.NewClient(*push, nil)
-		pushConcurrently(client, items, deltas, *pushers, nil)
-		fmt.Printf("pushed %d updates (half %d of %d) to %s over %d concurrent connections\n",
-			len(items), *half, *n, *push, *pushers)
+		streamTarget := ""
+		if *trans == "stream" {
+			streamTarget = *push
+			if *strAddr != "" {
+				streamTarget = *strAddr
+			}
+		}
+		pushConcurrently(client, streamTarget, items, deltas, *pushers, nil)
+		fmt.Printf("pushed %d updates (half %d of %d) to %s over %d concurrent %s connections\n",
+			len(items), *half, *n, *push, *pushers, *trans)
 
 	case *merge != "":
 		urls := strings.Split(*merge, ",")
@@ -102,15 +121,16 @@ func main() {
 	}
 }
 
-// pushConcurrently splits the key/delta columns across `pushers` goroutines,
-// each POSTing its disjoint interleaved slice in chunks so requests genuinely
-// overlap on the daemon's producer lanes. Updates stay in column form from
-// here to the daemon's counters: the client encodes columns, the server
-// decodes straight into its lane columns, and the engine hands them whole to
-// the sketch's batched update path. When refEng is non-nil, each pusher also
+// pushConcurrently splits the key/delta columns across `pushers` goroutines
+// so ingestion genuinely overlaps on the daemon's producer lanes. With a
+// non-empty streamTarget each pusher holds one persistent streaming
+// connection (its own session, its own pinned lane on the daemon) and ships
+// its whole slice as framed batches; otherwise each pusher POSTs its slice
+// in per-chunk /v1/update requests. Updates stay in column form from here to
+// the daemon's counters either way. When refEng is non-nil, each pusher also
 // feeds its columns through a private engine producer handle — building the
 // in-process reference with exactly the pipeline the daemons use.
-func pushConcurrently(client *server.Client, items []uint64, deltas []float64, pushers int, refEng *engine.Engine[*sketch.HeavyHitterTracker]) {
+func pushConcurrently(client *server.Client, streamTarget string, items []uint64, deltas []float64, pushers int, refEng *engine.Engine[*sketch.HeavyHitterTracker]) {
 	const chunk = 2048
 	ctx := context.Background()
 	var wg sync.WaitGroup
@@ -128,6 +148,21 @@ func pushConcurrently(client *server.Client, items []uint64, deltas []float64, p
 				p := refEng.Producer()
 				p.UpdateColumns(ownItems, ownDeltas)
 				p.Close()
+			}
+			if streamTarget != "" {
+				su, err := server.DialStream(streamTarget, server.StreamConfig{BatchSize: chunk})
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := su.UpdateColumns(ownItems, ownDeltas); err != nil {
+					log.Fatal(err)
+				}
+				// Close syncs: every frame is acked as applied before we
+				// report this pusher done.
+				if err := su.Close(); err != nil {
+					log.Fatal(err)
+				}
+				return
 			}
 			for start := 0; start < len(ownItems); start += chunk {
 				end := min(start+chunk, len(ownItems))
@@ -156,18 +191,21 @@ func demo(seed uint64, n, pushers int) {
 	clientB := server.NewClient("http://"+addrB, nil)
 
 	// Each daemon ingests its half of the stream over HTTP from concurrent
-	// pushers; the reference engine (same hash seed) ingests everything
-	// in-process through producer handles. Its Close-time merge equals the
-	// single-threaded sketch counter for counter, so it is a valid oracle.
+	// pushers — daemon A through persistent streaming connections (frames
+	// tunnelled over POST /v1/stream), daemon B through per-chunk POSTs, so
+	// the demo proves the two ingest paths land identical counters. The
+	// reference engine (same hash seed) ingests everything in-process through
+	// producer handles. Its Close-time merge equals the single-threaded
+	// sketch counter for counter, so it is a valid oracle.
 	refEng := engine.NewTracker(engine.Config{},
 		sketch.NewHeavyHitterTracker(xrand.New(7), width, depth, topK))
 	for halfIdx := 0; halfIdx <= 1; halfIdx++ {
-		client := clientA
+		client, streamTarget := clientA, "http://"+addrA
 		if halfIdx == 1 {
-			client = clientB
+			client, streamTarget = clientB, ""
 		}
 		items, deltas := streamHalf(seed, n, halfIdx)
-		pushConcurrently(client, items, deltas, pushers, refEng)
+		pushConcurrently(client, streamTarget, items, deltas, pushers, refEng)
 	}
 	reference, err := refEng.Close()
 	if err != nil {

@@ -116,6 +116,7 @@ func Registry() []Experiment {
 		{ID: "e14", Claim: "§1: snapshot differences are themselves valid sketches, so gossiping peers converge exactly while shipping far fewer bytes than full snapshots", Run: RunE14DeltaGossip},
 		{ID: "e15", Claim: "§2: the sketch is a linear measurement of the stream, so full sparse recovery reads the same counters the top-k heap does — exact on k-sparse input, global at a latency cost on tails", Run: RunE15Recovery},
 		{ID: "e16", Claim: "§1: any split of the stream sums to the same sketch, so workers can own column slices of ONE copy instead of full clones — 1x memory instead of workers-x, bit-identical reads", Run: RunE16PartitionMode},
+		{ID: "e17", Claim: "§1: updates commute, so a held-open stream that pins one producer lane per connection ingests at least as fast as per-POST batches of the same shape — and both land bit-identical counters", Run: RunE17StreamIngest},
 	}
 }
 

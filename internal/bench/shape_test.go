@@ -265,3 +265,23 @@ func TestE16PartitionMemoryAndExactness(t *testing.T) {
 		}
 	}
 }
+
+// TestE17StreamIngestShape: both ingest paths at both batch shapes must land
+// bit-identical counters — the deviation column is exactly 0 for every row.
+// Throughput ordering is asserted in CI on the full-scale run, not here:
+// quick-mode rates on a loaded test machine are noise.
+func TestE17StreamIngestShape(t *testing.T) {
+	tbl := RunE17StreamIngest(Config{Seed: 61, Quick: true})[0]
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("E17 should produce 4 rows (2 paths x 2 batch shapes), got %d", len(tbl.Rows))
+	}
+	want := [][2]string{{"post", "256"}, {"stream", "256"}, {"post", "4096"}, {"stream", "4096"}}
+	for i, row := range tbl.Rows {
+		if row[0] != want[i][0] || row[1] != want[i][1] {
+			t.Errorf("row %d is %s/%s, want %s/%s", i, row[0], row[1], want[i][0], want[i][1])
+		}
+		if v := parseCell(t, row[len(row)-1]); v != 0 {
+			t.Errorf("%s batch=%s: deviation %v from single-threaded reference, want exactly 0", row[0], row[1], v)
+		}
+	}
+}

@@ -46,6 +46,18 @@
 // snapshot, merge and stats share one narrow barrier lock that the update
 // hot path never touches.
 //
+// Producers with a sustained feed can skip per-request HTTP entirely:
+// POST /v1/stream (and its raw TCP twin, Server.ServeStream / sketchd
+// -stream-addr) holds one connection open and carries the same SKB1 batches
+// as length-prefixed, CRC-guarded frames, with acknowledgement frames
+// streaming back on the same connection. Each connection pins one producer
+// lane for its whole lifetime, so concurrent streams never contend and the
+// per-frame steady state allocates nothing. Acks carry a cumulative
+// applied-sequence watermark per named session, which makes reconnection
+// exactly-once: StreamUpdater (the shipped client) replays unacked frames
+// verbatim and the server absorbs duplicates as no-ops. See stream.go for
+// the frame protocol and docs/API.md for the wire reference.
+//
 // The same snapshot bytes double as the crash-recovery format: with a
 // snapshot directory configured, the server ships its state to disk
 // periodically and on shutdown, and folds the file back in on startup, so a

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -29,6 +30,35 @@ func FuzzDecodeBatchColumns(f *testing.F) {
 		re := AppendBatchColumns(nil, items, deltas)
 		if !bytes.Equal(re, data) {
 			t.Fatalf("accepted batch does not re-encode byte-identically (%d vs %d bytes)", len(re), len(data))
+		}
+	})
+}
+
+// FuzzDecodeStreamFrame attacks the "SKS1" streaming-ingest frame parser —
+// the untrusted surface of the raw TCP listener and POST /v1/stream.
+// Arbitrary bytes must decode-or-error without panicking, the declared-length
+// cap must hold before any allocation, and any accepted frame must re-encode
+// through AppendStreamFrame to exactly the bytes consumed (the encoding is
+// canonical: unknown versions, flag bits and types are all rejected).
+func FuzzDecodeStreamFrame(f *testing.F) {
+	f.Add(AppendStreamFrame(nil, StreamFrame{Type: streamFrameHello, Payload: []byte("session")}))
+	f.Add(AppendStreamFrame(nil, StreamFrame{Type: streamFrameAck,
+		Payload: binary.BigEndian.AppendUint64(binary.BigEndian.AppendUint64(nil, 9), 17)}))
+	f.Add(AppendStreamFrame(nil, StreamFrame{Type: streamFrameError, Payload: []byte("bad frame")}))
+	f.Add(appendDataFrame(nil, 1, true, []uint64{7, 1 << 40}, []float64{2.5, -1}))
+	f.Add(appendDataFrame(nil, 2, false, nil, nil))
+	f.Add([]byte("SKS1\x01\x00\xff\xff\xff\xffjunk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, n, err := DecodeStreamFrame(data, 1<<20)
+		if err != nil {
+			return
+		}
+		if n < streamHeaderLen+streamTrailerLen || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		re := AppendStreamFrame(nil, frame)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("accepted frame does not re-encode byte-identically (%d vs %d bytes)", len(re), n)
 		}
 	})
 }

@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -448,5 +451,106 @@ func TestDeltaFrameRoundTrip(t *testing.T) {
 	}
 	if !out.Reset || out.ToGen != 19 || len(out.Payload) != 0 {
 		t.Fatalf("reset round trip: %+v", out)
+	}
+}
+
+// TestGossipWatermarkPersistence: a receiver persists its per-sender
+// watermarks beside the snapshot and reloads them on restart, so a sender
+// can continue its delta sequence where it left off — no 409, no reset
+// resync, no double-counting when it retries the last pre-restart frame.
+func TestGossipWatermarkPersistence(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Width: 512, Depth: 4, K: 16, Seed: 6, SnapshotDir: dir}
+	ctx := context.Background()
+
+	mkDelta := func(item uint64, mass float64) []byte {
+		sk := sketch.NewHeavyHitterTracker(xrand.New(cfg.Seed), cfg.Width, cfg.Depth, cfg.K)
+		sk.Update(item, mass)
+		return deltaPayloadFor(t, sk)
+	}
+
+	srv1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1 := httptest.NewServer(srv1.Handler())
+	client1 := NewClient(hs1.URL, hs1.Client())
+	resp, err := client1.PushDelta(ctx, DeltaFrame{Sender: "origin", FromGen: 0, ToGen: 5, Payload: mkDelta(1, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Applied || resp.Watermark != 5 {
+		t.Fatalf("first frame: %+v, want applied with watermark 5", resp)
+	}
+	hs1.Close()
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, WatermarkFileName)); err != nil {
+		t.Fatalf("watermark file not persisted: %v", err)
+	}
+
+	// Restart from the same directory: the watermark must come back with the
+	// counters.
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2 := httptest.NewServer(srv2.Handler())
+	defer hs2.Close()
+	defer srv2.Close()
+	client2 := NewClient(hs2.URL, hs2.Client())
+
+	stats, err := client2.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Watermarks["origin"] != 5 {
+		t.Fatalf("restarted watermark for origin = %d, want 5", stats.Watermarks["origin"])
+	}
+
+	// A retry of the pre-restart frame is absorbed idempotently...
+	resp, err = client2.PushDelta(ctx, DeltaFrame{Sender: "origin", FromGen: 0, ToGen: 5, Payload: mkDelta(1, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Applied {
+		t.Fatal("pre-restart frame was re-applied after restart (double-count)")
+	}
+	// ...and the next frame in sequence applies with no 409 resync.
+	resp, err = client2.PushDelta(ctx, DeltaFrame{Sender: "origin", FromGen: 5, ToGen: 9, Payload: mkDelta(2, 50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Applied || resp.Watermark != 9 {
+		t.Fatalf("post-restart frame: %+v, want applied with watermark 9", resp)
+	}
+
+	estimates, err := client2.Query(ctx, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estimates[0] != 100 || estimates[1] != 50 {
+		t.Fatalf("estimates after restart: item1=%v item2=%v, want 100 and 50", estimates[0], estimates[1])
+	}
+}
+
+// TestWatermarksIgnoredWithoutSnapshot: stale watermarks next to a missing
+// snapshot must not be loaded — a blank daemon that trusted them would
+// silently skip every delta below the stale marks.
+func TestWatermarksIgnoredWithoutSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Width: 512, Depth: 4, K: 16, Seed: 6, SnapshotDir: dir}
+	if err := os.WriteFile(filepath.Join(dir, WatermarkFileName), []byte(`{"origin":5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, client := testDaemon(t, cfg)
+	_ = srv
+	stats, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Watermarks) != 0 {
+		t.Fatalf("blank daemon loaded stale watermarks: %v", stats.Watermarks)
 	}
 }

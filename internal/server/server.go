@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -24,6 +25,12 @@ import (
 // SnapshotFileName is the file a Server periodically ships its snapshot to
 // inside Config.SnapshotDir, and the file New recovers from on startup.
 const SnapshotFileName = "sketchd.snap"
+
+// WatermarkFileName is the file the per-peer gossip watermarks are persisted
+// to beside the snapshot (same Config.SnapshotDir, same cadence). Reloading
+// it on startup lets a restarted receiver resume deltas where it left off
+// instead of forcing every sender through a 409 reset resync.
+const WatermarkFileName = "sketchd.watermarks"
 
 // Config shapes a Server.
 type Config struct {
@@ -57,6 +64,16 @@ type Config struct {
 	SnapshotEvery time.Duration
 	// MaxBodyBytes caps request bodies; zero means 8 MiB.
 	MaxBodyBytes int64
+	// MaxFrameBytes caps the declared payload length of one streaming-ingest
+	// frame (raw TCP via ServeStream or chunked POST /v1/stream) — the
+	// streaming analogue of MaxBodyBytes, checked before any buffer grows so
+	// a forged header cannot demand an outsized allocation. Zero means
+	// MaxBodyBytes.
+	MaxFrameBytes int64
+	// StreamAckEvery is how many applied data frames a streaming connection
+	// may accumulate before the server volunteers an ack (producers can also
+	// request one per frame); zero means 64.
+	StreamAckEvery int
 	// Peers are the base URLs of the other daemons in a gossip mesh (e.g.
 	// "http://10.0.0.2:7600"; a bare host:port gets http:// prepended). When
 	// set, a replicator goroutine ships this daemon's locally ingested
@@ -131,6 +148,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = c.MaxBodyBytes
+	}
+	if c.StreamAckEvery <= 0 {
+		c.StreamAckEvery = 64
 	}
 	if len(c.RecoverAlgos) == 0 {
 		c.RecoverAlgos = recoverAlgoNames
@@ -269,6 +292,19 @@ type Server struct {
 	updates, batches, merges, snapshots            atomic.Int64
 	deltasApplied, deltasDuplicate, deltasRejected atomic.Int64
 
+	// Streaming ingest registry (see stream.go): every live connection and
+	// raw listener — aborted and awaited by Close so acked frames always
+	// reach the final merge — plus the named sessions holding the
+	// exactly-once resume watermarks. streamWG counts accept loops and
+	// connection handlers.
+	streamMu        sync.Mutex
+	streamConns     map[*streamConn]struct{}
+	streamListeners map[net.Listener]struct{}
+	streamSessions  map[string]*streamSession
+	streamWG        sync.WaitGroup
+	streamsActive   atomic.Int64
+	streamFrames    atomic.Int64
+
 	// peerMu guards the replication fields of the peer states below (the
 	// replicator goroutine mutates them, /v1/stats reads them).
 	peerMu sync.Mutex
@@ -317,12 +353,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	proto := sketch.NewHeavyHitterTracker(xrand.New(cfg.Seed), cfg.Width, cfg.Depth, cfg.K)
 	s := &Server{
-		cfg:        cfg,
-		proto:      proto,
-		eng:        engine.NewTracker(cfg.Engine, proto),
-		foreign:    proto.Clone(),
-		watermarks: make(map[string]uint64),
-		stop:       make(chan struct{}),
+		cfg:             cfg,
+		proto:           proto,
+		eng:             engine.NewTracker(cfg.Engine, proto),
+		foreign:         proto.Clone(),
+		watermarks:      make(map[string]uint64),
+		streamConns:     make(map[*streamConn]struct{}),
+		streamListeners: make(map[net.Listener]struct{}),
+		streamSessions:  make(map[string]*streamSession),
+		stop:            make(chan struct{}),
 	}
 	// A compatible peer's dense delta encoding can never legitimately exceed
 	// its own sketch's size (counters plus a full candidate set) — cap the
@@ -359,6 +398,11 @@ func New(cfg Config) (*Server, error) {
 				return nil, fmt.Errorf("server: recovering from %s: %w", path, err)
 			}
 			cfg.Logf("server: recovered %d snapshot bytes from %s", len(data), path)
+			// Gossip watermarks only make sense next to the counters they
+			// were persisted with: a blank daemon reloading stale watermarks
+			// would silently skip every delta below them, so the file is
+			// consulted exclusively on the snapshot-recovery path.
+			s.loadWatermarks()
 		}
 	}
 
@@ -384,6 +428,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /v1/merge", s.handleMerge)
 	s.mux.HandleFunc("POST /v1/delta", s.handleDelta)
+	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/recover", s.handleRecover)
 	s.mux.HandleFunc("POST /v1/recover", s.handleRecover)
@@ -404,6 +449,7 @@ func New(cfg Config) (*Server, error) {
 		"/v1/snapshot": "GET",
 		"/v1/merge":    "POST",
 		"/v1/delta":    "POST",
+		"/v1/stream":   "POST",
 		"/v1/recover":  "GET, POST",
 		"/v1/setquery": "POST",
 		"/v1/spectrum": "POST",
@@ -442,6 +488,13 @@ func (s *Server) Close() error {
 	}
 	close(s.stop)
 	s.wg.Wait()
+
+	// Drain the streaming connections first: abort their reads, wait for
+	// every handler to close its pinned producer. Acks are only ever sent
+	// after a frame's columns are flushed to the shard queues, so everything
+	// a producer saw acknowledged is in the engine by the time the final
+	// snapshot below is cut.
+	s.drainStreams()
 
 	// Retire the lanes. closed is already set, so a handler that acquires a
 	// lane lock from here on answers 503 without touching the handle; a
@@ -507,8 +560,15 @@ func (s *Server) SaveSnapshot() (string, error) {
 	if s.cfg.SnapshotDir == "" {
 		return "", errors.New("server: no snapshot directory configured")
 	}
+	// The watermarks are copied under the same barrier hold as the snapshot
+	// encode, so the persisted pair is consistent: the watermark file never
+	// claims a delta the snapshot's counters don't contain.
 	s.snapMu.Lock()
 	data, err := s.encodedSnapshotLocked()
+	marks := make(map[string]uint64, len(s.watermarks))
+	for sender, mark := range s.watermarks {
+		marks[sender] = mark
+	}
 	s.snapMu.Unlock()
 	if err != nil {
 		return "", err
@@ -518,24 +578,66 @@ func (s *Server) SaveSnapshot() (string, error) {
 		return "", err
 	}
 	path := filepath.Join(s.cfg.SnapshotDir, SnapshotFileName)
-	tmp, err := os.CreateTemp(s.cfg.SnapshotDir, SnapshotFileName+".tmp*")
+	if err := writeFileAtomic(s.cfg.SnapshotDir, SnapshotFileName, data); err != nil {
+		return "", err
+	}
+	// Watermarks are written strictly after the snapshot: a crash between
+	// the two renames leaves watermarks *older* than the counters, which is
+	// safe (the receiver asks for a tail it already absorbed and the
+	// sender's retry is deduplicated, or at worst a 409 resync) — the other
+	// order could silently skip deltas.
+	wm, err := json.Marshal(marks)
 	if err != nil {
 		return "", err
+	}
+	if err := writeFileAtomic(s.cfg.SnapshotDir, WatermarkFileName, wm); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// writeFileAtomic writes dir/name via a temp file and rename.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return "", err
+		return err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return "", err
+		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
 		os.Remove(tmp.Name())
-		return "", err
+		return err
 	}
-	return path, nil
+	return nil
+}
+
+// loadWatermarks restores the per-peer gossip watermarks persisted beside a
+// recovered snapshot. Only called from the snapshot-recovery path in New; a
+// missing or corrupt file degrades to the pre-persistence behaviour (the
+// first frame from each sender 409s and the sender resyncs).
+func (s *Server) loadWatermarks() {
+	path := filepath.Join(s.cfg.SnapshotDir, WatermarkFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.cfg.Logf("server: reading watermark file %s: %v", path, err)
+		}
+		return
+	}
+	marks := make(map[string]uint64)
+	if err := json.Unmarshal(data, &marks); err != nil {
+		s.cfg.Logf("server: ignoring corrupt watermark file %s: %v", path, err)
+		return
+	}
+	s.watermarks = marks
+	s.cfg.Logf("server: recovered %d gossip watermarks from %s", len(marks), path)
 }
 
 // ingestColumns hands a lane's decoded columns to its producer and bumps the
@@ -1170,7 +1272,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		DeltasApplied:   s.deltasApplied.Load(),
 		DeltasDuplicate: s.deltasDuplicate.Load(),
 		DeltasRejected:  s.deltasRejected.Load(),
+		StreamsActive:   s.streamsActive.Load(),
+		StreamFrames:    s.streamFrames.Load(),
 	}
+	s.streamMu.Lock()
+	stats.StreamSessions = len(s.streamSessions)
+	s.streamMu.Unlock()
 	gen := s.localGen.Load()
 	s.peerMu.Lock()
 	for _, p := range s.peers {

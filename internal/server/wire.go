@@ -34,6 +34,7 @@ const (
 	contentTypeBatch    = "application/x-sketch-batch"
 	contentTypeSnapshot = "application/x-sketch-snapshot"
 	contentTypeDelta    = "application/x-sketch-delta"
+	contentTypeStream   = "application/x-sketch-stream"
 )
 
 // batchMagic guards the binary update-batch format.
@@ -144,6 +145,13 @@ type Stats struct {
 	DeltasRejected  int64             `json:"deltas_rejected"`
 	Watermarks      map[string]uint64 `json:"watermarks,omitempty"`
 	Peers           []PeerStat        `json:"peers,omitempty"`
+
+	// Streaming-ingest counters: connections currently attached (raw TCP and
+	// chunked HTTP), named stream sessions known (each holds an exactly-once
+	// resume watermark), and data frames applied over streams since start.
+	StreamsActive  int64 `json:"streams_active"`
+	StreamSessions int   `json:"stream_sessions"`
+	StreamFrames   int64 `json:"stream_frames"`
 }
 
 // ErrorDetail is the unified error payload carried by every non-2xx answer
