@@ -17,6 +17,8 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/sketch"
+	"repro/internal/xrand"
 )
 
 func runExperiment(b *testing.B, id string) {
@@ -50,3 +52,34 @@ func BenchmarkE12MultiProducerIngest(b *testing.B) { runExperiment(b, "e12") }
 func BenchmarkE13BatchIngest(b *testing.B)         { runExperiment(b, "e13") }
 func BenchmarkE14DeltaGossip(b *testing.B)         { runExperiment(b, "e14") }
 func BenchmarkE17StreamIngest(b *testing.B)        { runExperiment(b, "e17") }
+func BenchmarkE18BatchRead(b *testing.B)           { runExperiment(b, "e18") }
+
+// BenchmarkE18BatchEstimate is the steady-state contract behind E18 in
+// isolation: a warmed EstimateScratch answers a 4096-key column through the
+// batched kernels with zero heap allocations per call (-benchmem must report
+// 0 allocs/op).
+func BenchmarkE18BatchEstimate(b *testing.B) {
+	r := xrand.New(1)
+	tracker := sketch.NewHeavyHitterTracker(xrand.New(2), 4096, 4, 64)
+	items := make([]uint64, 1<<16)
+	deltas := make([]float64, len(items))
+	for i := range items {
+		items[i] = r.Uint64n(1 << 16)
+		deltas[i] = 1
+	}
+	tracker.UpdateBatch(items, deltas)
+
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = r.Uint64n(1 << 17)
+	}
+	dst := make([]float64, len(keys))
+	var sc sketch.EstimateScratch
+	tracker.EstimateBatchWith(keys, dst, &sc) // warm the scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tracker.EstimateBatchWith(keys, dst, &sc)
+	}
+	b.SetBytes(int64(len(keys) * 8))
+}

@@ -62,6 +62,7 @@ func main() {
 		workers   = flag.Int("workers", 1, "shard ingestion across this many goroutines (merged exactly at the end)")
 		push      = flag.String("push", "", "stream items into the sketchd at this HTTP base URL instead of sketching locally; heavy hitters are queried back from the daemon")
 		streamTCP = flag.String("stream-addr", "", "with -push: the daemon's raw TCP streaming address (default: stream through POST /v1/stream on the -push URL)")
+		report    = flag.Int("report", 0, "with -push: print an interim top-k report every this many streamed items, re-scored from the daemon in one batch query round-trip (0 disables)")
 	)
 	flag.Parse()
 
@@ -71,6 +72,10 @@ func main() {
 	}
 	if *streamTCP != "" && *push == "" {
 		fmt.Fprintln(os.Stderr, "hhtop: -stream-addr requires -push (queries go to the HTTP URL)")
+		os.Exit(1)
+	}
+	if *report > 0 && *push == "" {
+		fmt.Fprintln(os.Stderr, "hhtop: -report requires -push (interim reports query the daemon)")
 		os.Exit(1)
 	}
 
@@ -109,6 +114,46 @@ func main() {
 	}
 	names := map[uint64]string{}
 
+	// The read side of push mode: candidate items come back from /v1/topk and
+	// are re-scored through ONE batch query round-trip — the querier retains
+	// its encode/decode buffers across reports, so a long stream with frequent
+	// -report intervals costs one request and no fresh buffers per report,
+	// instead of a per-key /v1/query loop.
+	var bq *server.BatchQuerier
+	var reportKeys []uint64
+	if cli != nil {
+		bq = cli.BatchQuerier()
+	}
+	interimReport := func(streamed int) {
+		ctx := context.Background()
+		cands, err := cli.TopK(ctx, *k)
+		if err != nil || len(cands) == 0 {
+			return
+		}
+		reportKeys = reportKeys[:0]
+		for _, ic := range cands {
+			reportKeys = append(reportKeys, ic.Item)
+		}
+		ests, gen, err := bq.Query(ctx, reportKeys)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hhtop: interim batch query: %v\n", err)
+			return
+		}
+		show := len(ests)
+		if show > 5 {
+			show = 5
+		}
+		line := fmt.Sprintf("hhtop: %d items streamed, top %d at gen %d:", streamed, show, gen)
+		for i := 0; i < show; i++ {
+			label := names[reportKeys[i]]
+			if label == "" {
+				label = fmt.Sprintf("item-%d", reportKeys[i])
+			}
+			line += fmt.Sprintf(" %s=%.0f", truncate(label, 16), ests[i])
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+
 	// For file/stdin input the reading goroutine owns one producer handle;
 	// synthetic streams below fan across -workers handles instead. Either
 	// way items are buffered into key/delta columns and ingested through
@@ -121,6 +166,7 @@ func main() {
 	const ingestChunk = 4096
 	batchItems := make([]uint64, 0, ingestChunk)
 	batchDeltas := make([]float64, 0, ingestChunk)
+	streamed, sinceReport := 0, 0
 	flush := func() {
 		if len(batchItems) == 0 {
 			return
@@ -130,6 +176,12 @@ func main() {
 			if err := su.UpdateColumns(batchItems, batchDeltas); err != nil {
 				fmt.Fprintf(os.Stderr, "hhtop: streaming batch: %v\n", err)
 				os.Exit(1)
+			}
+			streamed += len(batchItems)
+			sinceReport += len(batchItems)
+			if *report > 0 && sinceReport >= *report {
+				sinceReport = 0
+				interimReport(streamed)
 			}
 		case prod != nil:
 			prod.UpdateColumns(batchItems, batchDeltas)
@@ -254,6 +306,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("streamed %d items to %s (session %s)\n", total, *push, su.Session())
+		// Re-score the hit set in one batch round-trip, so every printed
+		// estimate comes from a single pinned read generation rather than
+		// one /v1/query per item.
+		if len(hits) > 0 {
+			reportKeys = reportKeys[:0]
+			for _, ic := range hits {
+				reportKeys = append(reportKeys, ic.Item)
+			}
+			ests, gen, err := bq.Query(context.Background(), reportKeys)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hhtop: batch re-score: %v\n", err)
+				os.Exit(1)
+			}
+			for i := range hits {
+				hits[i].Count = int64(ests[i] + 0.5)
+			}
+			fmt.Printf("%d heavy hitters re-scored in one batch read at generation %d\n", len(hits), gen)
+		}
 	} else {
 		hits = tracker.HeavyHitters(*phi)
 		fmt.Printf("processed %d items; sketch uses %d counters (%d KiB)\n",

@@ -97,7 +97,7 @@ type Experiment struct {
 	Run   func(cfg Config) []Table
 }
 
-// Registry returns every experiment in order E1..E16.
+// Registry returns every experiment in order E1..E18.
 func Registry() []Experiment {
 	return []Experiment{
 		{ID: "e1", Claim: "§1: frequent elements map to heavy buckets; sketches recover them in one pass with limited storage", Run: RunE1HeavyHitters},
@@ -117,6 +117,7 @@ func Registry() []Experiment {
 		{ID: "e15", Claim: "§2: the sketch is a linear measurement of the stream, so full sparse recovery reads the same counters the top-k heap does — exact on k-sparse input, global at a latency cost on tails", Run: RunE15Recovery},
 		{ID: "e16", Claim: "§1: any split of the stream sums to the same sketch, so workers can own column slices of ONE copy instead of full clones — 1x memory instead of workers-x, bit-identical reads", Run: RunE16PartitionMode},
 		{ID: "e17", Claim: "§1: updates commute, so a held-open stream that pins one producer lane per connection ingests at least as fast as per-POST batches of the same shape — and both land bit-identical counters", Run: RunE17StreamIngest},
+		{ID: "e18", Claim: "§1: a column of point queries is a matrix-vector product over the same hash rows ingest uses, so batched estimation kernels and one columnar round-trip answer bit-identically to per-key reads at strictly higher throughput", Run: RunE18BatchRead},
 	}
 }
 

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+// RunE18BatchRead measures the read side of the batch-first contract: a
+// column of point queries is a matrix-vector product over the same hash rows
+// ingest uses, so answering it through the batched estimation kernels
+// (EstimateBatchWith over reusable scratch) must beat a per-key Estimate
+// loop while returning bit-identical estimates — and the served batch
+// endpoint (one POST /v1/query carrying the whole key column, answered from
+// the pinned read epoch) must beat one GET round-trip per key by a far wider
+// margin. The exactness column is the largest deviation from the per-key
+// reference and must always read exactly 0.0000; the allocs/op column counts
+// heap allocations per in-process kernel call and must stay at 0 in steady
+// state (the scratch is warmed before the clock starts, exactly like a
+// server lane's).
+func RunE18BatchRead(cfg Config) []Table {
+	universe := uint64(1 << 20)
+	length := 2_000_000
+	totalKeys := 1 << 21
+	servedKeys := 1 << 18
+	servedScalarKeys := 1 << 11
+	if cfg.Quick {
+		universe = 1 << 16
+		length = 100_000
+		totalKeys = 1 << 17
+		servedKeys = 1 << 14
+		servedScalarKeys = 1 << 8
+	}
+	const width, depth, k = 4096, 4, 64
+	const keyCol = 4096
+
+	r := xrand.New(cfg.Seed)
+	s := stream.Zipf(r, universe, length, 1.1)
+	items := make([]uint64, len(s.Updates))
+	deltas := make([]float64, len(s.Updates))
+	for i, u := range s.Updates {
+		items[i] = u.Item
+		deltas[i] = float64(u.Delta)
+	}
+	tracker := sketch.NewHeavyHitterTracker(xrand.New(cfg.Seed+1), width, depth, k)
+	tracker.UpdateBatch(items, deltas)
+
+	// One key column reused by every row: half keys the stream has seen, half
+	// drawn over the whole universe (collisions and empty buckets both hit).
+	kr := xrand.New(cfg.Seed + 2)
+	keys := make([]uint64, keyCol)
+	for i := range keys {
+		if i%2 == 0 {
+			keys[i] = items[int(kr.Uint64n(uint64(len(items))))]
+		} else {
+			keys[i] = kr.Uint64n(universe)
+		}
+	}
+	ref := make([]float64, keyCol)
+	for i, key := range keys {
+		ref[i] = tracker.Estimate(key)
+	}
+	maxErrCol := func(got []float64) float64 {
+		var worst float64
+		for i := range got {
+			if d := absFloat(got[i] - ref[i]); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	rate := func(queried int, secs float64) string {
+		return fmt.Sprintf("%.2f", float64(queried)/secs/1e6)
+	}
+
+	table := Table{
+		Title: fmt.Sprintf("E18: batched vs per-key reads, tracker %dx%d over %d Zipf updates, key column %d, GOMAXPROCS=%d",
+			width, depth, length, keyCol, runtime.GOMAXPROCS(0)),
+		Columns: []string{"path", "batch", "keys/sec (M)", "allocs/op", "max |err| vs scalar"},
+	}
+
+	// In-process scalar reference: one Estimate call per key.
+	reps := totalKeys / keyCol
+	dst := make([]float64, keyCol)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	secs := timeIt(func() {
+		for rep := 0; rep < reps; rep++ {
+			for i, key := range keys {
+				dst[i] = tracker.Estimate(key)
+			}
+		}
+	}).Seconds()
+	runtime.ReadMemStats(&ms1)
+	table.AddRow("scalar", "1", rate(totalKeys, secs),
+		fmt.Sprintf("%d", int64(ms1.Mallocs-ms0.Mallocs)/int64(reps*keyCol)), fmtFloat(0))
+
+	// In-process batched kernels at every swept batch size, one warmed
+	// scratch per row (the shape a server read lane holds).
+	for _, batch := range []int{64, 1024, 4096} {
+		var sc sketch.EstimateScratch
+		dstB := make([]float64, keyCol)
+		estimateOnce := func() {
+			for start := 0; start < keyCol; start += batch {
+				end := min(start+batch, keyCol)
+				tracker.EstimateBatchWith(keys[start:end], dstB[start:end], &sc)
+			}
+		}
+		estimateOnce() // warm the scratch: steady state is what lanes run in
+		exact := maxErrCol(dstB)
+		callsPerRep := (keyCol + batch - 1) / batch
+		runtime.ReadMemStats(&ms0)
+		secs := timeIt(func() {
+			for rep := 0; rep < reps; rep++ {
+				estimateOnce()
+			}
+		}).Seconds()
+		runtime.ReadMemStats(&ms1)
+		table.AddRow("batch", fmtInt(batch), rate(totalKeys, secs),
+			fmt.Sprintf("%d", int64(ms1.Mallocs-ms0.Mallocs)/int64(reps*callsPerRep)), fmtFloat(exact))
+	}
+
+	// Served rows: a fresh daemon over loopback holding the identical
+	// counters answers the same key column per-key (one GET round-trip per
+	// key) and batched (one POST carrying the whole column, binary in and
+	// out through the reusable client querier).
+	srv, err := server.New(server.Config{Width: width, Depth: depth, K: k, Seed: cfg.Seed + 1})
+	if err != nil {
+		panic(fmt.Sprintf("bench: E18 server: %v", err))
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("bench: E18 listen: %v", err))
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	client := server.NewClient("http://"+ln.Addr().String(), &http.Client{Timeout: time.Minute})
+	ctx := context.Background()
+	for start := 0; start < len(items); start += keyCol {
+		end := min(start+keyCol, len(items))
+		if err := client.UpdateColumns(ctx, items[start:end], deltas[start:end]); err != nil {
+			panic(fmt.Sprintf("bench: E18 ingest: %v", err))
+		}
+	}
+
+	var worstScalar float64
+	secs = timeIt(func() {
+		for i := 0; i < servedScalarKeys; i++ {
+			got, err := client.Query(ctx, keys[i%keyCol])
+			if err != nil {
+				panic(fmt.Sprintf("bench: E18 served scalar query: %v", err))
+			}
+			if d := absFloat(got[0] - ref[i%keyCol]); d > worstScalar {
+				worstScalar = d
+			}
+		}
+	}).Seconds()
+	table.AddRow("served-scalar", "1", rate(servedScalarKeys, secs), "-", fmtFloat(worstScalar))
+
+	bq := client.BatchQuerier()
+	var worstBatch float64
+	secs = timeIt(func() {
+		for done := 0; done < servedKeys; done += keyCol {
+			ests, _, err := bq.Query(ctx, keys)
+			if err != nil {
+				panic(fmt.Sprintf("bench: E18 served batch query: %v", err))
+			}
+			if d := maxErrCol(ests); d > worstBatch {
+				worstBatch = d
+			}
+		}
+	}).Seconds()
+	table.AddRow("served", fmtInt(keyCol), rate(servedKeys, secs), "-", fmtFloat(worstBatch))
+
+	hs.Close()
+	if err := srv.Close(); err != nil {
+		panic(fmt.Sprintf("bench: E18 server close: %v", err))
+	}
+	return []Table{table}
+}

@@ -129,6 +129,31 @@ type Engine[S any] struct {
 	producers sync.WaitGroup
 	stagger   atomic.Int64 // spreads new producers' first shard across the ring
 
+	// dispatchMu makes a replica-mode dispatch (shard send + write-generation
+	// bump) atomic with respect to barriers, exactly as partition.dispatchMu
+	// does for multi-shard dispatches: producers hold the read side around
+	// send+bump, a barrier holds the write side while enqueueing its tokens
+	// and capturing cutGen, so the generation counts exactly the batches on
+	// the snapshot's side of every cut. Producers only ever share it read-read
+	// on the hot path.
+	dispatchMu sync.RWMutex
+	// writeGen counts dispatched batches (and absorbed replicas): it is the
+	// engine's write generation. A published read epoch whose gen equals
+	// writeGen is current; any later dispatch invalidates it by bumping.
+	writeGen atomic.Uint64
+	// cutGen is writeGen captured at the last barrier cut — the generation of
+	// the state a snapshot taken at that barrier observes. Guarded by e.mu
+	// (only barrier writes it, only barrier callers read it).
+	cutGen uint64
+
+	// Epoch-pinned read cache (see read.go): readers at the current gen share
+	// one immutable snapshot lock-free and never take the barrier.
+	epoch       atomic.Pointer[readEpoch[S]]
+	epochHits   atomic.Int64
+	epochMisses atomic.Int64
+	readClosed  atomic.Bool // fences the lock-free read path after Close
+	estScratch  sync.Pool   // *sketch.EstimateScratch, shared by EstimateBatch readers
+
 	// part holds the key-partitioned mode's state (column shards, routing,
 	// dispatch lock); nil in replica mode. See partition.go.
 	part *partition[S]
@@ -314,7 +339,15 @@ func (p *Producer[S]) dispatch() {
 		return
 	}
 	e := p.e
+	// Send and generation bump are one atomic unit with respect to barriers
+	// (read side here, write side in barrier), so a cut can never count a
+	// batch it excludes or exclude one it counts. Workers drain the channels
+	// without touching dispatchMu, so holding the read side across a blocking
+	// send cannot deadlock a waiting barrier.
+	e.dispatchMu.RLock()
 	e.shards[p.next].ch <- op{b: p.cur}
+	e.writeGen.Add(1)
+	e.dispatchMu.RUnlock()
 	p.next = (p.next + 1) % len(e.shards)
 	select {
 	case b := <-e.free:
@@ -434,11 +467,15 @@ func (e *Engine[S]) barrier(fn func() error) error {
 		for _, sh := range e.part.shards {
 			sh.ch <- op{ready: ready, resume: resume}
 		}
+		e.cutGen = e.writeGen.Load()
 		e.part.dispatchMu.Unlock()
 	} else {
+		e.dispatchMu.Lock()
 		for _, sh := range e.shards {
 			sh.ch <- op{ready: ready, resume: resume}
 		}
+		e.cutGen = e.writeGen.Load()
+		e.dispatchMu.Unlock()
 	}
 	for i := 0; i < n; i++ {
 		<-ready
@@ -460,6 +497,14 @@ func (e *Engine[S]) Snapshot() (S, error) {
 	if e.closed {
 		return zero, ErrClosed
 	}
+	return e.snapshotLocked()
+}
+
+// snapshotLocked cuts a barrier and merges (or concatenates) the shards into
+// a fresh replica. Caller holds e.mu and has checked closed. After it
+// returns, e.cutGen is the snapshot's write generation.
+func (e *Engine[S]) snapshotLocked() (S, error) {
+	var zero S
 	e.def.Flush()
 	if e.part != nil {
 		return e.partSnapshot()
@@ -567,6 +612,11 @@ func (e *Engine[S]) Absorb(src S) error {
 		if err := e.merge(e.shards[0].replica, src); err != nil {
 			return fmt.Errorf("engine: absorbing replica: %w", err)
 		}
+		// An absorb changes the readable state like a dispatch does: bump the
+		// write generation (inside the barrier, so no reader can publish an
+		// epoch that includes the absorbed mass under the old gen or vice
+		// versa) to invalidate any pinned read epoch.
+		e.writeGen.Add(1)
 		return nil
 	})
 }
@@ -614,6 +664,7 @@ func (e *Engine[S]) Close() (S, error) {
 		return zero, ErrClosed
 	}
 	e.closed = true
+	e.readClosed.Store(true)
 	e.mu.Unlock()
 
 	e.def.Close()

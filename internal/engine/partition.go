@@ -205,6 +205,10 @@ func (p *Producer[S]) partDispatch() {
 			sc.CandKeys[j], sc.CandIdx[j] = nil, nil
 		}
 	}
+	// Bump the write generation inside the dispatch lock, pairing with the
+	// barrier's cutGen capture under the write side (see engine.dispatchMu):
+	// the cut counts exactly the batches on its side.
+	p.e.writeGen.Add(1)
 	pt.dispatchMu.RUnlock()
 	sc.Mass = 0
 }
@@ -285,6 +289,10 @@ func (e *Engine[S]) partAbsorb(src S) error {
 			}
 		}
 		pt.shards[0].mass += cf.ColumnMass()
+		// Like the replica-mode Absorb: the readable state changed, so bump
+		// the write generation inside the barrier to invalidate pinned read
+		// epochs atomically with the absorb itself.
+		e.writeGen.Add(1)
 		return nil
 	})
 	if err != nil {

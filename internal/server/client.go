@@ -56,12 +56,21 @@ func (e *APIError) Error() string {
 // do issues a request and decodes the error envelope on non-2xx statuses
 // (returned as *APIError).
 func (c *Client) do(ctx context.Context, method, path string, contentType string, body []byte) ([]byte, error) {
+	return c.doAccept(ctx, method, path, contentType, "", body)
+}
+
+// doAccept is do with an explicit Accept header, for the endpoints that
+// negotiate a binary response body.
+func (c *Client) doAccept(ctx context.Context, method, path, contentType, accept string, body []byte) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -139,6 +148,55 @@ func (c *Client) Query(ctx context.Context, items ...uint64) ([]float64, error) 
 		out[i] = e.Estimate
 	}
 	return out, nil
+}
+
+// QueryBatch posts a whole column of point queries in one POST /v1/query
+// round-trip (binary key column out, binary estimate column back) and
+// returns the estimates in key order. For repeated batches, BatchQuerier
+// reuses its encode/decode buffers across calls.
+func (c *Client) QueryBatch(ctx context.Context, keys []uint64) ([]float64, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	ests, _, err := (&BatchQuerier{c: c}).Query(ctx, keys)
+	return ests, err
+}
+
+// BatchQuerier issues batch point queries over a retained pair of buffers —
+// the read-side sibling of StreamUpdater's reuse: the SKQ1 request column is
+// encoded into, and the SKE1 response column decoded into, the same slices
+// on every call, so a steady query loop allocates only what net/http itself
+// does. Not safe for concurrent use; create one per goroutine.
+type BatchQuerier struct {
+	c    *Client
+	buf  []byte    // reusable SKQ1 request encoding
+	ests []float64 // reusable decoded estimate column
+}
+
+// BatchQuerier returns a reusable batch querier against this client's daemon.
+func (c *Client) BatchQuerier() *BatchQuerier { return &BatchQuerier{c: c} }
+
+// Query ships keys as one binary column and returns the estimates in key
+// order plus the write generation the daemon answered at. The returned slice
+// aliases the querier's retained buffer and is valid until the next call.
+func (q *BatchQuerier) Query(ctx context.Context, keys []uint64) ([]float64, int64, error) {
+	if len(keys) == 0 {
+		return nil, 0, nil
+	}
+	q.buf = AppendKeyColumns(q.buf[:0], keys)
+	data, err := q.c.doAccept(ctx, http.MethodPost, "/v1/query", contentTypeKeys, contentTypeEstimates, q.buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	var gen int64
+	q.ests, gen, err = DecodeEstimateColumns(data, q.ests[:0])
+	if err != nil {
+		return nil, 0, fmt.Errorf("server: decoding batch query response: %w", err)
+	}
+	if len(q.ests) != len(keys) {
+		return nil, 0, fmt.Errorf("server: batch query returned %d estimates for %d keys", len(q.ests), len(keys))
+	}
+	return q.ests, gen, nil
 }
 
 // TopK returns up to k ranked heavy-hitter candidates (all of them if k <= 0).

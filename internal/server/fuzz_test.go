@@ -34,6 +34,28 @@ func FuzzDecodeBatchColumns(f *testing.F) {
 	})
 }
 
+// FuzzDecodeKeyColumns attacks the "SKQ1" batch-read key column parser — the
+// untrusted-input surface of POST /v1/query. Arbitrary bytes must
+// decode-or-error without panicking and without header-driven allocation;
+// accepted input must re-encode through AppendKeyColumns byte-identically
+// (the format is canonical: count and key bits are verbatim).
+func FuzzDecodeKeyColumns(f *testing.F) {
+	f.Add(AppendKeyColumns(nil, nil))
+	f.Add(AppendKeyColumns(nil, []uint64{1, 2, 3}))
+	f.Add(AppendKeyColumns(nil, []uint64{0, ^uint64(0), 1 << 33}))
+	f.Add([]byte("SKQ1\x00\x00\x00\x01junkjunk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		keys, err := DecodeKeyColumns(data, nil)
+		if err != nil {
+			return
+		}
+		re := AppendKeyColumns(nil, keys)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted key column does not re-encode byte-identically (%d vs %d bytes)", len(re), len(data))
+		}
+	})
+}
+
 // FuzzDecodeStreamFrame attacks the "SKS1" streaming-ingest frame parser —
 // the untrusted surface of the raw TCP listener and POST /v1/stream.
 // Arbitrary bytes must decode-or-error without panicking, the declared-length

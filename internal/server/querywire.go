@@ -1,0 +1,142 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Batch read wire formats.
+//
+// POST /v1/query accepts a whole column of point-query keys in one of two
+// bodies, selected by Content-Type:
+//
+//   - application/json: a QueryBatchRequest object, {"keys":[7,8,...]}
+//   - application/x-sketch-keys: the length-prefixed binary key column below,
+//     the read-side twin of the "SKB1" ingest batch (8 bytes per key instead
+//     of decimal JSON plus parsing).
+//
+// Binary key column layout (integers big-endian):
+//
+//	magic [4]byte "SKQ1"
+//	count uint32
+//	count x (key uint64)
+//
+// The answer is a QueryBatchResponse JSON object by default; clients that
+// send Accept: application/x-sketch-estimates get the binary estimate column
+// below instead, which the reusable client (BatchQuerier) decodes straight
+// into its retained buffers:
+//
+//	magic [4]byte "SKE1"
+//	gen   int64  write generation of the epoch that answered (two's complement)
+//	count uint32
+//	count x (estimate float64, IEEE-754 bits)
+//
+// Both formats are versioned by their magic: a layout change bumps the
+// trailing digit and old decoders reject the new bytes outright.
+
+// Content types of the batch read path.
+const (
+	contentTypeKeys      = "application/x-sketch-keys"
+	contentTypeEstimates = "application/x-sketch-estimates"
+)
+
+// keyColumnMagic guards the binary key-column format.
+var keyColumnMagic = [4]byte{'S', 'K', 'Q', '1'}
+
+// keyColumnHeaderLen is the fixed prefix: magic plus the count word.
+const keyColumnHeaderLen = 8
+
+// keyRecordLen is the size of one key.
+const keyRecordLen = 8
+
+// estimateColumnMagic guards the binary estimate-column format.
+var estimateColumnMagic = [4]byte{'S', 'K', 'E', '1'}
+
+// estimateColumnHeaderLen is the fixed prefix: magic, generation, count.
+const estimateColumnHeaderLen = 16
+
+// estimateRecordLen is the size of one estimate.
+const estimateRecordLen = 8
+
+// QueryBatchRequest is the JSON body of POST /v1/query.
+type QueryBatchRequest struct {
+	Keys []uint64 `json:"keys"`
+}
+
+// QueryBatchResponse is the JSON body of POST /v1/query: estimates in key
+// order, all answered from one pinned read epoch at generation Gen.
+type QueryBatchResponse struct {
+	Estimates []float64 `json:"estimates"`
+	Gen       int64     `json:"gen"`
+}
+
+// AppendKeyColumns appends the binary encoding of a key column to buf and
+// returns the extended slice.
+func AppendKeyColumns(buf []byte, keys []uint64) []byte {
+	buf = append(buf, keyColumnMagic[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, key := range keys {
+		buf = binary.BigEndian.AppendUint64(buf, key)
+	}
+	return buf
+}
+
+// DecodeKeyColumns parses a binary key column, appending to the caller's
+// (typically reused) buffer and returning the extended slice. The count word
+// is validated against the actual body length before any allocation, so a
+// corrupt header cannot demand unbounded memory.
+func DecodeKeyColumns(data []byte, keys []uint64) ([]uint64, error) {
+	if len(data) < keyColumnHeaderLen {
+		return keys, fmt.Errorf("server: truncated key column (need %d header bytes, have %d)", keyColumnHeaderLen, len(data))
+	}
+	if [4]byte(data[:4]) != keyColumnMagic {
+		return keys, fmt.Errorf("server: bad key column magic %q", data[:4])
+	}
+	n := binary.BigEndian.Uint32(data[4:8])
+	payload := data[keyColumnHeaderLen:]
+	if uint64(len(payload)) != uint64(n)*keyRecordLen {
+		return keys, fmt.Errorf("server: key column payload is %d bytes, header claims %d keys (%d bytes)",
+			len(payload), n, uint64(n)*keyRecordLen)
+	}
+	for i := 0; i < int(n); i++ {
+		keys = append(keys, binary.BigEndian.Uint64(payload[i*keyRecordLen:i*keyRecordLen+keyRecordLen]))
+	}
+	return keys, nil
+}
+
+// AppendEstimateColumns appends the binary encoding of an estimate column
+// answered at write generation gen to buf and returns the extended slice.
+func AppendEstimateColumns(buf []byte, gen int64, ests []float64) []byte {
+	buf = append(buf, estimateColumnMagic[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(gen))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(ests)))
+	for _, est := range ests {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(est))
+	}
+	return buf
+}
+
+// DecodeEstimateColumns parses a binary estimate column, appending to the
+// caller's (typically reused) buffer, and returns the extended slice plus the
+// write generation the estimates were answered at. Like the other decoders,
+// the count word is checked against the body length before anything grows.
+func DecodeEstimateColumns(data []byte, ests []float64) ([]float64, int64, error) {
+	if len(data) < estimateColumnHeaderLen {
+		return ests, 0, fmt.Errorf("server: truncated estimate column (need %d header bytes, have %d)", estimateColumnHeaderLen, len(data))
+	}
+	if [4]byte(data[:4]) != estimateColumnMagic {
+		return ests, 0, fmt.Errorf("server: bad estimate column magic %q", data[:4])
+	}
+	gen := int64(binary.BigEndian.Uint64(data[4:12]))
+	n := binary.BigEndian.Uint32(data[12:16])
+	payload := data[estimateColumnHeaderLen:]
+	if uint64(len(payload)) != uint64(n)*estimateRecordLen {
+		return ests, 0, fmt.Errorf("server: estimate column payload is %d bytes, header claims %d estimates (%d bytes)",
+			len(payload), n, uint64(n)*estimateRecordLen)
+	}
+	for i := 0; i < int(n); i++ {
+		ests = append(ests, math.Float64frombits(binary.BigEndian.Uint64(payload[i*estimateRecordLen:i*estimateRecordLen+estimateRecordLen])))
+	}
+	return ests, gen, nil
+}

@@ -250,6 +250,11 @@ type Server struct {
 	lanes    []*ingestLane
 	nextLane atomic.Uint64 // round-robin lane cursor
 
+	// The read-side twins of the ingest lanes: reusable key/estimate columns
+	// for POST /v1/query batch bodies, picked round-robin.
+	readLanes    []*readLane
+	nextReadLane atomic.Uint64
+
 	// closed fences writes once Close has begun. Close sets it before
 	// locking and retiring the lanes, so a write handler that wins a lane
 	// lock afterwards observes it and answers 503 instead of touching a
@@ -275,6 +280,17 @@ type Server struct {
 	engClosed bool // the engine is gone: snapshots (and so reads) fail too
 	snapGen   int64
 	snapCache *sketch.HeavyHitterTracker
+	// epoch is the lock-free read cache (see readpath.go): the latest
+	// barrier snapshot stamped with the generation it covers, shared by every
+	// reader until a write bumps gen. engRetired is the atomic shadow of
+	// engClosed that fences the lock-free fast path after Close.
+	epoch      atomic.Pointer[readEpoch]
+	engRetired atomic.Bool
+	// Read-path counters: epoch hits answered without the barrier lock,
+	// misses that rebuilt the epoch, batch queries served and total keys they
+	// carried (mean batch size = batchKeys / batchQueries).
+	epochHits, epochMisses  atomic.Int64
+	batchQueries, batchKeys atomic.Int64
 	// foreign accumulates every sketch absorbed from outside the local
 	// stream: recovered snapshots, /v1/merge bodies and applied /v1/delta
 	// payloads. The replicator ships (engine snapshot - foreign), i.e. the
@@ -420,10 +436,15 @@ func New(cfg Config) (*Server, error) {
 	for i := range s.lanes {
 		s.lanes[i] = &ingestLane{p: s.eng.Producer()}
 	}
+	s.readLanes = make([]*readLane, cfg.Producers)
+	for i := range s.readLanes {
+		s.readLanes[i] = &readLane{}
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
 	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/query", s.handleQueryBatch)
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /v1/merge", s.handleMerge)
@@ -444,7 +465,7 @@ func New(cfg Config) (*Server, error) {
 	// for unknown paths.
 	for path, allow := range map[string]string{
 		"/v1/update":   "POST",
-		"/v1/query":    "GET",
+		"/v1/query":    "GET, POST",
 		"/v1/topk":     "GET",
 		"/v1/snapshot": "GET",
 		"/v1/merge":    "POST",
@@ -523,6 +544,7 @@ func (s *Server) Close() error {
 
 	s.snapMu.Lock()
 	s.engClosed = true
+	s.engRetired.Store(true) // fences the lock-free epoch fast path too
 	_, err := s.eng.Close()
 	s.snapMu.Unlock()
 	if err != nil && saveErr == nil {
@@ -802,14 +824,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	snap, gen, err := s.snapshotGen()
+	ep, err := s.readEpochSnap()
 	if err != nil {
 		writeSnapshotErr(w, r, err)
 		return
 	}
-	resp := QueryResponse{Estimates: make([]Estimate, len(items)), Gen: gen}
+	resp := QueryResponse{Estimates: make([]Estimate, len(items)), Gen: ep.gen}
 	for i, item := range items {
-		resp.Estimates[i] = Estimate{Item: item, Estimate: snap.Estimate(item)}
+		resp.Estimates[i] = Estimate{Item: item, Estimate: ep.snap.Estimate(item)}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -834,24 +856,29 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		phi = f
 	}
 
-	snap, gen, err := s.snapshotGen()
+	ep, err := s.readEpochSnap()
 	if err != nil {
 		writeSnapshotErr(w, r, err)
 		return
 	}
-	// TopK and HeavyHitters both come back sorted by decreasing count.
-	source := snap.TopK()
+	// The ranked candidate list is computed once per epoch and shared by
+	// every ?k= request until a write invalidates it; ?phi= thresholds
+	// against the un-rounded estimates, so it re-scores per request instead
+	// of filtering the cached (rounded) ranking.
+	var ranked []TopKItem
 	if phi >= 0 {
-		source = snap.HeavyHitters(phi)
-	}
-	ranked := make([]TopKItem, 0, len(source))
-	for _, ic := range source {
-		ranked = append(ranked, TopKItem{Item: ic.Item, Count: ic.Count})
+		source := ep.snap.HeavyHitters(phi)
+		ranked = make([]TopKItem, 0, len(source))
+		for _, ic := range source {
+			ranked = append(ranked, TopKItem{Item: ic.Item, Count: ic.Count})
+		}
+	} else {
+		ranked = ep.rankedTopK()
 	}
 	if k > 0 && len(ranked) > k {
 		ranked = ranked[:k]
 	}
-	writeJSON(w, http.StatusOK, TopKResponse{Items: ranked, Gen: gen})
+	writeJSON(w, http.StatusOK, TopKResponse{Items: ranked, Gen: ep.gen})
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -1274,6 +1301,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		DeltasRejected:  s.deltasRejected.Load(),
 		StreamsActive:   s.streamsActive.Load(),
 		StreamFrames:    s.streamFrames.Load(),
+		EpochHits:       s.epochHits.Load(),
+		EpochMisses:     s.epochMisses.Load(),
+		BatchQueries:    s.batchQueries.Load(),
+	}
+	if stats.BatchQueries > 0 {
+		stats.MeanBatchKeys = float64(s.batchKeys.Load()) / float64(stats.BatchQueries)
 	}
 	s.streamMu.Lock()
 	stats.StreamSessions = len(s.streamSessions)

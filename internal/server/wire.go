@@ -152,6 +152,14 @@ type Stats struct {
 	StreamsActive  int64 `json:"streams_active"`
 	StreamSessions int   `json:"stream_sessions"`
 	StreamFrames   int64 `json:"stream_frames"`
+
+	// Read-path counters: reads answered lock-free from the pinned snapshot
+	// epoch vs. reads that had to rebuild it, batch /v1/query requests
+	// served, and the mean keys per batch (0 when no batch query ran yet).
+	EpochHits     int64   `json:"epoch_hits"`
+	EpochMisses   int64   `json:"epoch_misses"`
+	BatchQueries  int64   `json:"batch_queries"`
+	MeanBatchKeys float64 `json:"mean_batch_keys"`
 }
 
 // ErrorDetail is the unified error payload carried by every non-2xx answer

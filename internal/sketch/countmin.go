@@ -44,6 +44,11 @@ type CountMin struct {
 	// oneKey/oneDelta back the per-item Update, which is a len-1 UpdateBatch.
 	oneKey   [1]uint64
 	oneDelta [1]float64
+	// estScratch backs EstimateBatch (see estimate.go) the way bucketScratch
+	// backs UpdateBatch: sketch-owned, grown once, zero allocations
+	// steady-state, single goroutine at a time. Concurrent readers use
+	// EstimateBatchWith with their own scratch instead.
+	estScratch EstimateScratch
 }
 
 // CountMinOption configures a CountMin sketch at construction time.

@@ -41,6 +41,10 @@ type CountSketch struct {
 	// oneKey/oneDelta back the per-item Update, which is a len-1 UpdateBatch.
 	oneKey   [1]uint64
 	oneDelta [1]float64
+	// estScratch backs EstimateBatch (see estimate.go); sketch-owned, single
+	// goroutine, zero allocations steady-state. Concurrent readers use
+	// EstimateBatchWith with their own scratch.
+	estScratch EstimateScratch
 }
 
 // CountSketchOption configures a CountSketch at construction time.
