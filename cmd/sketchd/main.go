@@ -85,6 +85,10 @@ func main() {
 		maxBody       = flag.Int64("max-body", 0, "request body cap in bytes (0 = 8 MiB)")
 		peers         = flag.String("peers", "", "comma-separated peer base URLs (host:port or http://host:port) to gossip deltas to; list every other daemon in the mesh")
 		gossipEvery   = flag.Duration("gossip-every", 0, "period of delta shipping to -peers (0 = 1s when -peers is set)")
+		gossipBackoff = flag.Duration("gossip-backoff-max", 0, "cap on the per-peer exponential retry backoff after transport failures (0 = 30s)")
+		bootFrom      = flag.String("bootstrap-from", "", "comma-separated peer base URLs to fetch a barrier-consistent state transfer from on a cold start (the literal word \"peers\" copies -peers); the daemon serves 503 until the transfer lands")
+		bootAttempts  = flag.Int("bootstrap-attempts", 0, "rounds through the -bootstrap-from list before degrading to serving empty (0 = 3)")
+		bootRetry     = flag.Duration("bootstrap-retry", 0, "wait between bootstrap rounds (0 = 2s)")
 		nodeID        = flag.String("node-id", "", "stable unique id for this daemon in gossip frames (default: the bound listen address)")
 		recoverAlgos  = flag.String("recover-algos", "", "comma-separated recovery algorithms /v1/recover may run (subset of sketch,smp,omp,iht,ista; empty = all, first is the default)")
 		recoverUni    = flag.Int("recover-universe", 0, "default signal dimension /v1/recover inverts over (0 = 65536)")
@@ -108,6 +112,13 @@ func main() {
 	if *peers != "" {
 		peerList = strings.Split(*peers, ",")
 	}
+	var bootList []string
+	switch {
+	case *bootFrom == "peers":
+		bootList = append(bootList, peerList...)
+	case *bootFrom != "":
+		bootList = strings.Split(*bootFrom, ",")
+	}
 	var algoList []string
 	if *recoverAlgos != "" {
 		for _, a := range strings.Split(*recoverAlgos, ",") {
@@ -118,23 +129,27 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Width:           *width,
-		Depth:           *depth,
-		K:               *k,
-		Seed:            *seed,
-		Engine:          engine.Config{Workers: *workers, Partition: *partition},
-		Producers:       *producers,
-		SnapshotDir:     *snapshotDir,
-		SnapshotEvery:   *snapshotEvery,
-		MaxBodyBytes:    *maxBody,
-		Peers:           peerList,
-		GossipEvery:     *gossipEvery,
-		NodeID:          *nodeID,
-		RecoverAlgos:    algoList,
-		RecoverUniverse: *recoverUni,
-		RecoverMaxK:     *recoverMaxK,
-		RecoverIters:    *recoverIters,
-		Logf:            logger.Printf,
+		Width:              *width,
+		Depth:              *depth,
+		K:                  *k,
+		Seed:               *seed,
+		Engine:             engine.Config{Workers: *workers, Partition: *partition},
+		Producers:          *producers,
+		SnapshotDir:        *snapshotDir,
+		SnapshotEvery:      *snapshotEvery,
+		MaxBodyBytes:       *maxBody,
+		Peers:              peerList,
+		GossipEvery:        *gossipEvery,
+		GossipBackoffMax:   *gossipBackoff,
+		BootstrapFrom:      bootList,
+		BootstrapAttempts:  *bootAttempts,
+		BootstrapRetryWait: *bootRetry,
+		NodeID:             *nodeID,
+		RecoverAlgos:       algoList,
+		RecoverUniverse:    *recoverUni,
+		RecoverMaxK:        *recoverMaxK,
+		RecoverIters:       *recoverIters,
+		Logf:               logger.Printf,
 	})
 	if err != nil {
 		ln.Close()

@@ -1,0 +1,124 @@
+package chaostest
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// waitPeerBackoff polls node a's stats until its single peer's backoff
+// window satisfies ok, returning the stats that did.
+func waitPeerBackoff(t *testing.T, a *Node, ok func(ms int64) bool) server.Stats {
+	t.Helper()
+	ctx := context.Background()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		stats, err := a.Client().Stats(ctx)
+		if err == nil && len(stats.Peers) == 1 && ok(stats.Peers[0].BackoffMs) {
+			return stats
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("peer backoff never satisfied predicate (stats %+v, err %v)", stats.Peers, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestReplicatorBackoffUnderPartition proves satellite 4 against real
+// processes and real sockets: partition a peer link with the chaos proxy
+// and the replicator's retry window doubles up to -gossip-backoff-max
+// (visible as peer_backoff_ms in /v1/stats) instead of hammering the dead
+// link every tick; heal the partition and the backlog ships, the window
+// resets to zero, and both daemons answer queries byte-identically.
+func TestReplicatorBackoffUnderPartition(t *testing.T) {
+	sketchdBinary(t)
+	ctx := context.Background()
+
+	b := NewNode(t, "b")
+	b.Start("-width", "1024", "-depth", "4", "-k", "32", "-seed", "5")
+	proxy := NewProxy(t, b.Addr)
+	proxy.Reject(true)
+	a := NewNode(t, "a")
+	a.Start("-width", "1024", "-depth", "4", "-k", "32", "-seed", "5",
+		"-peers", proxy.URL(), "-gossip-every", "25ms", "-gossip-backoff-max", "400ms")
+	a.WaitHealthy()
+	b.WaitHealthy()
+
+	if err := a.Client().Update(ctx, []engine.Update{{Item: 1, Delta: 1000}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The window must grow across failures: catch it small, then at the cap.
+	stats := waitPeerBackoff(t, a, func(ms int64) bool { return ms > 0 })
+	first := stats.Peers[0].BackoffMs
+	stats = waitPeerBackoff(t, a, func(ms int64) bool { return ms >= 400 })
+	if first >= 400 {
+		t.Logf("first observed window already at the cap (%dms) — growth raced the poll", first)
+	}
+	if stats.Peers[0].BackoffMs > 400 {
+		t.Fatalf("backoff window %dms exceeds the 400ms cap", stats.Peers[0].BackoffMs)
+	}
+	if stats.Peers[0].LastError == "" {
+		t.Fatal("partitioned peer shows no last_error")
+	}
+
+	// Heal: the pending frame ships, exactly once, and the window resets.
+	proxy.Reject(false)
+	b.WaitMass(1000)
+	waitPeerBackoff(t, a, func(ms int64) bool { return ms == 0 })
+
+	items := []uint64{1, 2, 3}
+	if got, want := a.QueryRaw(items), b.QueryRaw(items); !bytes.Equal(got, want) {
+		t.Fatalf("healed peers disagree:\n a: %s\n b: %s", got, want)
+	}
+}
+
+// TestGossipHealsAfterMidFrameKills cuts the replication link mid-frame —
+// every connection dies after 300 relayed bytes, so delta frames are
+// repeatedly severed partway through the request body (and sometimes after
+// the receiver applied but before the ack got back, the ambiguous case the
+// watermark protocol exists for). Once the fault lifts the mesh must
+// converge to exactly the ingested mass: nothing lost from the severed
+// frames, nothing doubled by the retries of ambiguous ones.
+func TestGossipHealsAfterMidFrameKills(t *testing.T) {
+	sketchdBinary(t)
+	ctx := context.Background()
+
+	b := NewNode(t, "b")
+	b.Start("-width", "1024", "-depth", "4", "-k", "32", "-seed", "9")
+	proxy := NewProxy(t, b.Addr)
+	proxy.KillAfterBytes(300)
+	a := NewNode(t, "a")
+	a.Start("-width", "1024", "-depth", "4", "-k", "32", "-seed", "9",
+		"-peers", proxy.URL(), "-gossip-every", "20ms", "-gossip-backoff-max", "150ms")
+	a.WaitHealthy()
+	b.WaitHealthy()
+
+	if err := a.Client().Update(ctx, []engine.Update{{Item: 7, Delta: 500}, {Item: 8, Delta: 250}}); err != nil {
+		t.Fatal(err)
+	}
+	// Let several frames die mid-body before healing.
+	waitPeerBackoff(t, a, func(ms int64) bool { return ms > 0 })
+	proxy.KillAfterBytes(0)
+	b.WaitMass(750)
+
+	// Second round: sever live connections at random moments while the next
+	// backlog drains.
+	if err := a.Client().Update(ctx, []engine.Update{{Item: 9, Delta: 300}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		time.Sleep(15 * time.Millisecond)
+		proxy.KillActive()
+	}
+	b.WaitMass(1050)
+
+	items := []uint64{7, 8, 9}
+	if got, want := a.QueryRaw(items), b.QueryRaw(items); !bytes.Equal(got, want) {
+		t.Fatalf("healed peers disagree:\n a: %s\n b: %s", got, want)
+	}
+}

@@ -1,0 +1,208 @@
+// Package chaostest is a fault-injection harness for the sketchd daemon: a
+// scriptable TCP proxy that can partition, delay, throttle, half-close and
+// kill connections mid-frame, plus a process harness that builds the real
+// sketchd binary, launches meshes of it, SIGKILLs nodes at scheduled points
+// and asserts the healed mesh answers queries byte-identically to a
+// reference daemon that saw the whole stream. The package holds no product
+// code — it exists so replication, bootstrap and backoff claims are proven
+// against real processes and real sockets, not just in-process handlers.
+package chaostest
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Proxy is a TCP relay with scriptable faults, sitting between a sketchd
+// client (a replicator, a bootstrap fetch, a test HTTP client) and a target
+// daemon. All switches may be flipped while connections are live.
+type Proxy struct {
+	t      *testing.T
+	ln     net.Listener
+	target string
+
+	reject    atomic.Bool  // refuse new connections (partition)
+	stall     atomic.Bool  // accept and forward nothing (blackhole with the socket held open)
+	delay     atomic.Int64 // ns added before each relayed chunk
+	throttle  atomic.Int64 // max bytes/sec per direction (0 = unlimited)
+	killAfter atomic.Int64 // kill each connection after relaying this many bytes (0 = never)
+
+	mu     sync.Mutex
+	conns  map[int64]*proxyConn
+	nextID int64
+	closed bool
+}
+
+type proxyConn struct {
+	client net.Conn
+	server net.Conn
+	moved  atomic.Int64 // bytes relayed across both directions
+}
+
+// NewProxy starts a relay on a fresh loopback port forwarding to target
+// (host:port). It is torn down by t.Cleanup.
+func NewProxy(t *testing.T, target string) *Proxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Proxy{t: t, ln: ln, target: target, conns: make(map[int64]*proxyConn)}
+	go p.acceptLoop()
+	t.Cleanup(p.Close)
+	return p
+}
+
+// Addr is the host:port clients should dial instead of the target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL is the http:// base URL of Addr.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// Reject toggles partition mode: new connections are accepted and
+// immediately closed, so dials fail fast. Live connections are untouched.
+func (p *Proxy) Reject(on bool) { p.reject.Store(on) }
+
+// Stall toggles blackhole mode: established connections stay open but no
+// bytes move in either direction until the stall lifts. A request caught
+// mid-flight simply hangs — the shape of a peer that froze rather than died.
+func (p *Proxy) Stall(on bool) { p.stall.Store(on) }
+
+// SetDelay adds d of latency before every relayed chunk in each direction.
+func (p *Proxy) SetDelay(d time.Duration) { p.delay.Store(int64(d)) }
+
+// SetThrottle caps each direction of each connection to bps bytes/sec
+// (0 = unlimited).
+func (p *Proxy) SetThrottle(bps int64) { p.throttle.Store(bps) }
+
+// KillAfterBytes arranges for every connection (current and future) to be
+// destroyed once it has relayed n total bytes — a transfer or delta frame
+// dies mid-body, after the receiver has seen a believable prefix. 0 turns
+// the fault off.
+func (p *Proxy) KillAfterBytes(n int64) { p.killAfter.Store(n) }
+
+// KillActive destroys every live connection right now, mid-whatever they
+// were doing, and reports how many it cut.
+func (p *Proxy) KillActive() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.conns)
+	for id, pc := range p.conns {
+		pc.client.Close()
+		pc.server.Close()
+		delete(p.conns, id)
+	}
+	return n
+}
+
+// HalfCloseActive shuts down the write side of every live client→server
+// direction (the daemon sees EOF on the request stream while its response
+// path stays open) — the classic half-open socket a crashed NAT leaves
+// behind.
+func (p *Proxy) HalfCloseActive() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pc := range p.conns {
+		if tc, ok := pc.server.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}
+}
+
+// Close stops the listener and destroys all connections.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.ln.Close()
+	p.KillActive()
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if p.reject.Load() {
+			client.Close()
+			continue
+		}
+		server, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		pc := &proxyConn{client: client, server: server}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			client.Close()
+			server.Close()
+			return
+		}
+		p.nextID++
+		id := p.nextID
+		p.conns[id] = pc
+		p.mu.Unlock()
+		go p.pump(id, pc, client, server)
+		go p.pump(id, pc, server, client)
+	}
+}
+
+// pump relays src→dst in small chunks so mid-frame faults land at
+// believable offsets, applying the live delay/throttle/stall/kill settings
+// per chunk.
+func (p *Proxy) pump(id int64, pc *proxyConn, src, dst net.Conn) {
+	buf := make([]byte, 512)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			for p.stall.Load() {
+				time.Sleep(2 * time.Millisecond)
+			}
+			if d := p.delay.Load(); d > 0 {
+				time.Sleep(time.Duration(d))
+			}
+			if bps := p.throttle.Load(); bps > 0 {
+				time.Sleep(time.Duration(int64(n) * int64(time.Second) / bps))
+			}
+			moved := pc.moved.Add(int64(n))
+			if cut := p.killAfter.Load(); cut > 0 && moved >= cut {
+				p.drop(id, pc)
+				return
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				p.drop(id, pc)
+				return
+			}
+		}
+		if err != nil {
+			if err == io.EOF {
+				// Propagate the half-close and let the other pump finish.
+				if tc, ok := dst.(*net.TCPConn); ok {
+					tc.CloseWrite()
+				}
+				return
+			}
+			p.drop(id, pc)
+			return
+		}
+	}
+}
+
+func (p *Proxy) drop(id int64, pc *proxyConn) {
+	p.mu.Lock()
+	delete(p.conns, id)
+	p.mu.Unlock()
+	pc.client.Close()
+	pc.server.Close()
+}

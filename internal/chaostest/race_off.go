@@ -1,0 +1,5 @@
+//go:build !race
+
+package chaostest
+
+const raceEnabled = false

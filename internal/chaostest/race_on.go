@@ -1,0 +1,10 @@
+//go:build race
+
+package chaostest
+
+// raceEnabled reports whether this test binary was built with -race. The
+// soak test spawns real sketchd processes (which the race runtime cannot
+// see into anyway) and runs for tens of seconds; under -race it skips so
+// the doubled CI race pass spends its time on the in-process tests the
+// detector can actually instrument.
+const raceEnabled = true

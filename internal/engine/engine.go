@@ -621,6 +621,36 @@ func (e *Engine[S]) Absorb(src S) error {
 	})
 }
 
+// AbsorbSub is Absorb with the sign flipped: it subtracts an externally
+// built replica from the engine without stopping ingestion. Linearity makes
+// the subtraction exact too — replication transports use it to retract mass
+// they previously absorbed from a peer before re-absorbing that peer's
+// authoritative full state, so a resynchronization never double-counts.
+// It requires a subtraction registered via WithDelta (ErrNoDelta otherwise).
+func (e *Engine[S]) AbsorbSub(src S) error {
+	if e.sub == nil {
+		return ErrNoDelta
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.def.Flush()
+	if e.part != nil {
+		return e.partAbsorbSub(src)
+	}
+	return e.barrier(func() error {
+		if err := e.sub(e.shards[0].replica, src); err != nil {
+			return fmt.Errorf("engine: subtracting replica: %w", err)
+		}
+		// Same epoch discipline as Absorb: the readable state changed, so
+		// bump the write generation inside the barrier.
+		e.writeGen.Add(1)
+		return nil
+	})
+}
+
 // MergeEncoded decodes a serialized replica (for example the bytes of a
 // peer's snapshot) and folds it in via Absorb. It requires a codec
 // (ErrNoCodec otherwise) and returns the decoder's error verbatim on

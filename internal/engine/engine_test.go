@@ -778,3 +778,52 @@ func TestClosedEngineErrors(t *testing.T) {
 		t.Fatalf("Snapshot after Close: got %v, want ErrClosed", err)
 	}
 }
+
+// TestAbsorbSubIsExact: AbsorbSub is Absorb's linear inverse — absorbing an
+// external sketch and then subtracting it back leaves the engine's counters
+// exactly where the engine's own stream put them.
+func TestAbsorbSubIsExact(t *testing.T) {
+	proto := sketch.NewCountMin(xrand.New(61), 256, 4)
+	s := newZipf(62, 1<<12, 40_000)
+	half := len(s.Updates) / 2
+
+	own := proto.Clone()
+	external := proto.Clone()
+	eng := NewCountMin(Config{Workers: 3, BatchSize: 100}, proto)
+	for i, u := range s.Updates {
+		if i < half {
+			own.Update(u.Item, float64(u.Delta))
+			eng.Update(u.Item, float64(u.Delta))
+		} else {
+			external.Update(u.Item, float64(u.Delta))
+		}
+	}
+	if err := eng.Absorb(external); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AbsorbSub(external); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := eng.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !countersEqual(own.Counters(), merged.Counters()) {
+		t.Fatal("absorb+absorbSub round trip changed the counters")
+	}
+}
+
+// TestAbsorbSubRequiresDelta: engines without a registered subtraction must
+// refuse AbsorbSub with ErrNoDelta before touching a counter.
+func TestAbsorbSubRequiresDelta(t *testing.T) {
+	proto := sketch.NewCountMin(xrand.New(63), 64, 2)
+	eng := New(Config{Workers: 1},
+		func() *sketch.CountMin { return proto.Clone() },
+		func(s *sketch.CountMin, items []uint64, deltas []float64) { s.UpdateBatch(items, deltas) },
+		func(dst, src *sketch.CountMin) error { return dst.Merge(src) },
+	)
+	defer eng.Close()
+	if err := eng.AbsorbSub(proto.Clone()); err != ErrNoDelta {
+		t.Fatalf("AbsorbSub without WithDelta: got %v, want ErrNoDelta", err)
+	}
+}

@@ -308,6 +308,40 @@ func (e *Engine[S]) partAbsorb(src S) error {
 	return nil
 }
 
+// partAbsorbSub is partAbsorb with the sign flipped: slice src's counters
+// with the shard-owned ranges and subtract them in place under the barrier;
+// src's mass comes off shard 0. Candidate keys offered by an earlier absorb
+// of the same replica are NOT retracted — candidate sets are heuristic
+// (scores are re-estimated against the live counters at query time), so a
+// stale candidate costs a lookup, never correctness. Caller holds e.mu and
+// has flushed the engine handle.
+func (e *Engine[S]) partAbsorbSub(src S) error {
+	pt := e.part
+	cf, ok := any(src).(sketch.ColumnSketch)
+	if !ok {
+		return fmt.Errorf("engine: %T cannot be subtracted from a partitioned engine", src)
+	}
+	if got := cf.ColumnShape(); got != pt.shape {
+		return fmt.Errorf("engine: cannot subtract replica of shape %dx%d from partitioned engine of shape %dx%d",
+			got.Rows, got.Width, pt.shape.Rows, pt.shape.Width)
+	}
+	var scratch []float64
+	return e.barrier(func() error {
+		for j, sh := range pt.shards {
+			if len(sh.counts) == 0 {
+				continue
+			}
+			scratch = cf.AppendColumnSlice(scratch[:0], j, len(pt.shards))
+			for i, v := range scratch {
+				sh.counts[i] -= v
+			}
+		}
+		pt.shards[0].mass -= cf.ColumnMass()
+		e.writeGen.Add(1)
+		return nil
+	})
+}
+
 // partClose drains and stops the column workers (the producers are already
 // retired) and assembles the final replica. Caller has marked the engine
 // closed.

@@ -297,6 +297,26 @@ func (c *Client) Merge(ctx context.Context, snapshot []byte) error {
 	return err
 }
 
+// Bootstrap fetches the daemon's barrier-consistent bootstrap payload — its
+// full snapshot, per-sender gossip watermarks and received-mass trackers —
+// for a cold-starting node to absorb before it opens for traffic. nodeID
+// identifies the requester (logged on the serving side).
+func (c *Client) Bootstrap(ctx context.Context, nodeID string) (*BootstrapPayload, error) {
+	path := "/v1/bootstrap"
+	if nodeID != "" {
+		path += "?node=" + url.QueryEscape(nodeID)
+	}
+	data, err := c.doAccept(ctx, http.MethodGet, path, "", contentTypeBootstrap, nil)
+	if err != nil {
+		return nil, err
+	}
+	p, err := DecodeBootstrapResponse(data, 0)
+	if err != nil {
+		return nil, fmt.Errorf("server: decoding bootstrap response: %w", err)
+	}
+	return p, nil
+}
+
 // PushDelta ships a replication delta frame to the daemon's /v1/delta
 // endpoint and returns its watermark acknowledgment. The server applies the
 // frame at most once (see DeltaFrame for the watermark protocol), so

@@ -56,6 +56,51 @@ func FuzzDecodeKeyColumns(f *testing.F) {
 	})
 }
 
+// FuzzDecodeBootstrapResponse attacks the "SKP1" state-transfer parser — the
+// untrusted surface of a cold-starting node, which feeds whatever a
+// configured bootstrap source returns straight into this decoder. Arbitrary
+// bytes must decode-or-error without panicking, declared section lengths
+// must be validated against the remaining input (and the caller's section
+// cap) before any allocation, and any accepted transfer must re-encode
+// through AppendBootstrapResponse byte-identically: the encoding is
+// canonical (sections in fixed order, sender ids sorted), so decode∘encode
+// is a fixed point on everything the decoder accepts.
+func FuzzDecodeBootstrapResponse(f *testing.F) {
+	golden, err := AppendBootstrapResponse(nil, BootstrapPayload{
+		NodeID:     "node-a",
+		LocalGen:   42,
+		Watermarks: map[string]uint64{"node-a": 42, "node-b": 7},
+		Snapshot:   []byte("snapshot-bytes-stand-in"),
+		Senders: map[string][]byte{
+			"node-a": []byte("tracker-a"),
+			"node-b": []byte("tracker-b"),
+		},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(golden)
+	empty, err := AppendBootstrapResponse(nil, BootstrapPayload{NodeID: "x"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Add([]byte("SKP1\x01\x00\x00\x05junkjunkjunkjunk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := DecodeBootstrapResponse(data, 1<<20)
+		if err != nil {
+			return
+		}
+		re, err := AppendBootstrapResponse(nil, *payload)
+		if err != nil {
+			t.Fatalf("accepted transfer does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted transfer does not re-encode byte-identically (%d vs %d bytes)", len(re), len(data))
+		}
+	})
+}
+
 // FuzzDecodeStreamFrame attacks the "SKS1" streaming-ingest frame parser —
 // the untrusted surface of the raw TCP listener and POST /v1/stream.
 // Arbitrary bytes must decode-or-error without panicking, the declared-length

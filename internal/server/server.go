@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -88,6 +90,25 @@ type Config struct {
 	// GossipEvery is the delta-shipping period; zero with Peers set means
 	// one second. Ignored without Peers.
 	GossipEvery time.Duration
+	// BootstrapFrom lists peer base URLs to fetch a /v1/bootstrap state
+	// transfer from when this daemon starts without a usable local snapshot
+	// (none at all, or one whose watermark sidecar is missing or corrupt).
+	// Sources are tried in order with BootstrapRetryWait between rounds;
+	// until one succeeds every endpoint except /v1/healthz and /v1/stats
+	// answers 503 and the replicator stays parked, so the node never serves
+	// or gossips state it does not hold. Empty disables peer bootstrap (the
+	// pre-existing behaviour: rejoin blank and converge forward).
+	BootstrapFrom []string
+	// BootstrapAttempts is how many rounds over BootstrapFrom to try before
+	// degrading to serving empty state; zero means 3.
+	BootstrapAttempts int
+	// BootstrapRetryWait is the pause between bootstrap rounds; zero means
+	// two seconds.
+	BootstrapRetryWait time.Duration
+	// GossipBackoffMax caps the per-peer exponential retry backoff the
+	// replicator applies to unreachable peers (the window starts at
+	// GossipEvery and doubles per consecutive failure); zero means 30s.
+	GossipBackoffMax time.Duration
 	// NodeID names this daemon in the delta frames it sends — the key peers
 	// keep their watermark under. It must be unique per daemon and stable
 	// for the daemon's lifetime; empty means a host-pid-sequence identifier.
@@ -181,6 +202,27 @@ func (c Config) withDefaults() Config {
 	c.Peers = peers
 	if len(c.Peers) > 0 && c.GossipEvery <= 0 {
 		c.GossipEvery = time.Second
+	}
+	sources := make([]string, 0, len(c.BootstrapFrom))
+	for _, src := range c.BootstrapFrom {
+		src = strings.TrimSpace(src)
+		if src == "" {
+			continue
+		}
+		if !strings.Contains(src, "://") {
+			src = "http://" + src
+		}
+		sources = append(sources, strings.TrimRight(src, "/"))
+	}
+	c.BootstrapFrom = sources
+	if c.BootstrapAttempts <= 0 {
+		c.BootstrapAttempts = 3
+	}
+	if c.BootstrapRetryWait <= 0 {
+		c.BootstrapRetryWait = 2 * time.Second
+	}
+	if c.GossipBackoffMax <= 0 {
+		c.GossipBackoffMax = 30 * time.Second
 	}
 	if c.NodeID == "" {
 		host, err := os.Hostname()
@@ -301,12 +343,43 @@ type Server struct {
 	// frame applied from it; the receiver-side half of the idempotency
 	// protocol (see DeltaFrame in wire.go).
 	watermarks map[string]uint64
+	// senders maps a sender's NodeID to the cumulative sketch of every delta
+	// applied from it — the subtraction baseline that makes replace frames
+	// (lossless resync after a watermark divergence) exact. An entry exists
+	// iff the tracker provably covers all of that sender's mass in the
+	// counters; untracked (below) blocks creating entries for senders whose
+	// mass may already sit unattributed in a recovered snapshot. Guarded by
+	// snapMu, like watermarks.
+	senders map[string]*sketch.HeavyHitterTracker
+	// untracked is set when this daemon recovered a snapshot without a
+	// CRC-consistent sender sidecar: the counters then contain foreign mass
+	// that cannot be attributed per sender, so replace frames are refused
+	// (reset resync instead) for any sender without a post-recovery tracker.
+	untracked bool
+	// hearsay marks watermark entries installed from a bootstrap transfer
+	// that no direct frame from the sender has confirmed yet. A reset-to-0
+	// from such a sender is ambiguous — it restarted, or it simply never
+	// acked us on this (virgin) link while our mark jumped via bootstrap —
+	// and accepting it in the second case would double-count the sender's
+	// mass already inside the bootstrap snapshot. So a reset-to-0 on a
+	// hearsay mark is refused with the replace offer (exact either way the
+	// numbering actually aligned), and the flag clears on the first directly
+	// confirmed frame. Guarded by snapMu.
+	hearsay map[string]bool
+	// Bootstrap status for /v1/stats (guarded by snapMu except the atomics):
+	// bootstrapping gates the API while a state transfer is pending.
+	bootstrapping     atomic.Bool
+	bootstrapFailures atomic.Int64
+	bootstrapSource   string
+	bootstrapDegraded bool
+	wasBootstrapped   bool
 	// maxDeltaInner caps the declared inner length of /v1/delta envelopes
 	// (a small multiple of this daemon's own dense encoding size).
 	maxDeltaInner int
 
 	updates, batches, merges, snapshots            atomic.Int64
 	deltasApplied, deltasDuplicate, deltasRejected atomic.Int64
+	deltasReplaced                                 atomic.Int64
 
 	// Streaming ingest registry (see stream.go): every live connection and
 	// raw listener — aborted and awaited by Close so acked frames always
@@ -347,6 +420,13 @@ type peerState struct {
 	framesAcked  int64
 	bytesShipped int64
 	lastErr      string
+	// Capped exponential retry backoff: after failStreak consecutive
+	// transport failures the replicator skips this peer until nextAttempt
+	// (the window starts at GossipEvery and doubles per failure up to
+	// Config.GossipBackoffMax), so an unreachable peer costs one connection
+	// attempt per window instead of one per tick.
+	failStreak  int
+	nextAttempt time.Time
 }
 
 // methodNotAllowed answers a JSON 405 envelope naming the allowed methods.
@@ -374,6 +454,8 @@ func New(cfg Config) (*Server, error) {
 		eng:             engine.NewTracker(cfg.Engine, proto),
 		foreign:         proto.Clone(),
 		watermarks:      make(map[string]uint64),
+		senders:         make(map[string]*sketch.HeavyHitterTracker),
+		hearsay:         make(map[string]bool),
 		streamConns:     make(map[*streamConn]struct{}),
 		streamListeners: make(map[net.Listener]struct{}),
 		streamSessions:  make(map[string]*streamSession),
@@ -387,15 +469,25 @@ func New(cfg Config) (*Server, error) {
 		s.maxDeltaInner = 2 * (len(empty) + 8*cfg.K + 1024)
 	}
 
+	recovered := false
 	if cfg.SnapshotDir != "" {
 		path := filepath.Join(cfg.SnapshotDir, SnapshotFileName)
 		data, err := os.ReadFile(path)
 		switch {
 		case errors.Is(err, os.ErrNotExist):
-			// Fresh start.
+			// Fresh start (peer bootstrap below, when configured).
 		case err != nil:
 			s.eng.Close() // don't leak the worker goroutines
 			return nil, fmt.Errorf("server: reading snapshot %s: %w", path, err)
+		case len(cfg.BootstrapFrom) > 0 && !s.watermarkFileUsable():
+			// The snapshot is stale: its watermark sidecar is missing or
+			// corrupt, so rejoining from it would force every sender through
+			// a lossy reset resync. With bootstrap sources configured, a
+			// fresh barrier-consistent transfer from a live peer is strictly
+			// better — it carries the cluster's view of this node's own
+			// pre-crash mass too — so the local file is left untouched on
+			// disk but not absorbed.
+			cfg.Logf("server: snapshot %s has no usable watermark sidecar: bootstrapping from peers instead", path)
 		default:
 			// Recovered state counts as foreign for gossip purposes: the
 			// peers that were alive before the crash already hold it (they
@@ -413,13 +505,22 @@ func New(cfg Config) (*Server, error) {
 				s.eng.Close() // don't leak the worker goroutines
 				return nil, fmt.Errorf("server: recovering from %s: %w", path, err)
 			}
+			recovered = true
 			cfg.Logf("server: recovered %d snapshot bytes from %s", len(data), path)
 			// Gossip watermarks only make sense next to the counters they
 			// were persisted with: a blank daemon reloading stale watermarks
 			// would silently skip every delta below them, so the file is
-			// consulted exclusively on the snapshot-recovery path.
+			// consulted exclusively on the snapshot-recovery path. The
+			// sender trackers are stricter still: they must match the
+			// recovered counters bit for bit (CRC-checked in loadSenders) or
+			// replace-frame subtraction would double-count.
 			s.loadWatermarks()
+			s.loadSenders(data)
 		}
+	}
+	if len(cfg.BootstrapFrom) > 0 && !recovered {
+		s.bootstrapping.Store(true)
+		s.wasBootstrapped = true
 	}
 
 	for _, url := range cfg.Peers {
@@ -450,6 +551,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/merge", s.handleMerge)
 	s.mux.HandleFunc("POST /v1/delta", s.handleDelta)
 	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/bootstrap", s.handleBootstrap)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/recover", s.handleRecover)
 	s.mux.HandleFunc("POST /v1/recover", s.handleRecover)
@@ -464,18 +566,19 @@ func New(cfg Config) (*Server, error) {
 	// keep winning for matching methods). The catch-all "/v1/" does the same
 	// for unknown paths.
 	for path, allow := range map[string]string{
-		"/v1/update":   "POST",
-		"/v1/query":    "GET, POST",
-		"/v1/topk":     "GET",
-		"/v1/snapshot": "GET",
-		"/v1/merge":    "POST",
-		"/v1/delta":    "POST",
-		"/v1/stream":   "POST",
-		"/v1/recover":  "GET, POST",
-		"/v1/setquery": "POST",
-		"/v1/spectrum": "POST",
-		"/v1/stats":    "GET",
-		"/v1/healthz":  "GET",
+		"/v1/update":    "POST",
+		"/v1/query":     "GET, POST",
+		"/v1/topk":      "GET",
+		"/v1/snapshot":  "GET",
+		"/v1/merge":     "POST",
+		"/v1/delta":     "POST",
+		"/v1/stream":    "POST",
+		"/v1/bootstrap": "GET",
+		"/v1/recover":   "GET, POST",
+		"/v1/setquery":  "POST",
+		"/v1/spectrum":  "POST",
+		"/v1/stats":     "GET",
+		"/v1/healthz":   "GET",
 	} {
 		s.mux.HandleFunc(path, methodNotAllowed(allow))
 	}
@@ -491,11 +594,27 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.gossipLoop()
 	}
+	if s.bootstrapping.Load() {
+		s.wg.Add(1)
+		go s.bootstrapLoop()
+	}
 	return s, nil
 }
 
-// Handler returns the HTTP handler serving the API above.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving the API above. While a peer
+// bootstrap is pending, every endpoint except /v1/healthz and /v1/stats
+// answers 503 — the node must not serve reads it cannot answer correctly or
+// accept writes it would interleave with the incoming state transfer.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.bootstrapping.Load() && bootstrapGated(r.URL.Path) {
+			writeErrDetail(w, r, http.StatusServiceUnavailable, "bootstrap_pending",
+				"bootstrap in progress: state transfer from peers is not complete yet")
+			return
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // Close stops the snapshot writer and the gossip replicator, retires the
 // ingestion lanes, makes a final delta push to every gossip peer, ships a
@@ -533,7 +652,7 @@ func (s *Server) Close() error {
 	// frame safe to lose.
 	if len(s.peers) > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		s.gossipTick(ctx)
+		s.gossipPush(ctx, true) // the last chance to flush: ignore backoff windows
 		cancel()
 	}
 
@@ -582,15 +701,29 @@ func (s *Server) SaveSnapshot() (string, error) {
 	if s.cfg.SnapshotDir == "" {
 		return "", errors.New("server: no snapshot directory configured")
 	}
-	// The watermarks are copied under the same barrier hold as the snapshot
-	// encode, so the persisted pair is consistent: the watermark file never
-	// claims a delta the snapshot's counters don't contain.
+	// The watermarks and sender trackers are copied under the same barrier
+	// hold as the snapshot encode, so the persisted triple is consistent:
+	// the watermark file never claims a delta the snapshot's counters don't
+	// contain, and every tracker matches the counters bit for bit.
 	s.snapMu.Lock()
 	data, err := s.encodedSnapshotLocked()
 	marks := make(map[string]uint64, len(s.watermarks))
 	for sender, mark := range s.watermarks {
 		marks[sender] = mark
 	}
+	side := sendersFile{Untracked: s.untracked}
+	if err == nil && len(s.senders) > 0 {
+		side.Senders = make(map[string][]byte, len(s.senders))
+		for sender, tr := range s.senders {
+			if side.Senders[sender], err = tr.MarshalBinary(); err != nil {
+				break
+			}
+		}
+	}
+	for sender := range s.hearsay {
+		side.Hearsay = append(side.Hearsay, sender)
+	}
+	sort.Strings(side.Hearsay)
 	s.snapMu.Unlock()
 	if err != nil {
 		return "", err
@@ -603,11 +736,22 @@ func (s *Server) SaveSnapshot() (string, error) {
 	if err := writeFileAtomic(s.cfg.SnapshotDir, SnapshotFileName, data); err != nil {
 		return "", err
 	}
-	// Watermarks are written strictly after the snapshot: a crash between
-	// the two renames leaves watermarks *older* than the counters, which is
-	// safe (the receiver asks for a tail it already absorbed and the
-	// sender's retry is deduplicated, or at worst a 409 resync) — the other
-	// order could silently skip deltas.
+	// The sidecars are written strictly after the snapshot: a crash between
+	// the renames leaves watermarks *older* than the counters, which is safe
+	// (the receiver asks for a tail it already absorbed and the sender's
+	// retry is deduplicated, or at worst a 409 resync) — the other order
+	// could silently skip deltas. The sender sidecar additionally embeds the
+	// CRC of the exact snapshot bytes it was cut with, so a crash that pairs
+	// it with a different snapshot generation is detected on reload and the
+	// trackers discarded rather than trusted for replace subtraction.
+	side.SnapCRC = crc32.Checksum(data, castagnoli)
+	sb, err := json.Marshal(side)
+	if err != nil {
+		return "", err
+	}
+	if err := writeFileAtomic(s.cfg.SnapshotDir, SendersFileName, sb); err != nil {
+		return "", err
+	}
 	wm, err := json.Marshal(marks)
 	if err != nil {
 		return "", err
@@ -660,6 +804,20 @@ func (s *Server) loadWatermarks() {
 	}
 	s.watermarks = marks
 	s.cfg.Logf("server: recovered %d gossip watermarks from %s", len(marks), path)
+}
+
+// watermarkFileUsable reports whether the watermark sidecar beside the
+// snapshot exists and parses. A snapshot without a usable watermark file is
+// "stale" for bootstrap purposes: absorbing it would force every peer through
+// a 409 resync, so when bootstrap sources are configured New prefers a fresh
+// barrier-consistent transfer from a peer over the local file.
+func (s *Server) watermarkFileUsable() bool {
+	data, err := os.ReadFile(filepath.Join(s.cfg.SnapshotDir, WatermarkFileName))
+	if err != nil {
+		return false
+	}
+	marks := make(map[string]uint64)
+	return json.Unmarshal(data, &marks) == nil
 }
 
 // ingestColumns hands a lane's decoded columns to its producer and bumps the
@@ -1001,30 +1159,142 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	mark := s.watermarks[frame.Sender]
 	switch {
 	case frame.Reset:
+		if frame.ToGen == 0 && s.hearsay[frame.Sender] && s.canReplace(frame.Sender) {
+			// Our mark for this sender came from a bootstrap transfer and no
+			// direct frame has confirmed it. The sender asking for a
+			// reset-to-0 may simply never have acked us on this virgin link
+			// while our mark jumped past its history — accepting would make
+			// it re-ship mass our bootstrap snapshot already holds. Refuse
+			// with the replace offer: a replace frame is exact whether or
+			// not the sender actually restarted.
+			s.snapMu.Unlock()
+			s.deltasRejected.Add(1)
+			writeErrDetail(w, r, http.StatusConflict, conflictDetailReplace,
+				"refusing reset-to-0 from %q: this node's watermark %d was installed by a bootstrap transfer; send a replace frame instead",
+				frame.Sender, mark)
+			return
+		}
 		// Re-alignment after a restart on either side: adopt the sender's
 		// declared generation as the new watermark without touching a
 		// counter. Lowering is deliberate — a restarted sender resets us to
 		// 0 and then re-ships its (post-restart) local mass from scratch.
 		s.watermarks[frame.Sender] = frame.ToGen
 		mark = frame.ToGen
+		delete(s.hearsay, frame.Sender)
+		if frame.ToGen == 0 {
+			// A reset to zero starts a fresh shipping epoch: everything the
+			// sender ships from here on is post-restart mass it re-counts
+			// from scratch, so an empty tracker covers the new epoch exactly
+			// — even when older, unattributed mass from a previous epoch
+			// sits in the counters (that mass is settled history a replace
+			// must never subtract).
+			s.senders[frame.Sender] = s.proto.Clone()
+		} else {
+			// A reset that keeps history (resyncPeer) drops a window that
+			// never entered our counters, so an existing tracker stays
+			// exact; lazily create one where that is provably sound.
+			s.senderTracker(frame.Sender)
+		}
+		replaceOK := s.canReplace(frame.Sender)
 		s.snapMu.Unlock()
 		s.cfg.Logf("server: gossip watermark for %q reset to %d", frame.Sender, mark)
-		writeJSON(w, http.StatusOK, DeltaResponse{Applied: false, Watermark: mark})
+		writeJSON(w, http.StatusOK, DeltaResponse{Applied: false, Watermark: mark, CanReplace: replaceOK})
 
-	case frame.ToGen <= mark:
+	case frame.ToGen <= mark && !(frame.Replace && s.hearsay[frame.Sender]):
 		// A retry of a frame already applied (its ack was lost). Acknowledge
-		// without applying — this is what makes redelivery safe.
+		// without applying — this is what makes redelivery safe. Replace
+		// frames take the same exit: the watermark bump and tracker install
+		// happened on the attempt whose ack was lost. The one exception is a
+		// replace from a sender whose mark is hearsay — nothing on this link
+		// was ever really acked, so "already applied" cannot be true and the
+		// frame falls through to the replace branch below.
+		replaceOK := s.canReplace(frame.Sender)
 		s.snapMu.Unlock()
 		s.deltasDuplicate.Add(1)
-		writeJSON(w, http.StatusOK, DeltaResponse{Applied: false, Watermark: mark})
+		writeJSON(w, http.StatusOK, DeltaResponse{Applied: false, Watermark: mark, CanReplace: replaceOK})
+
+	case frame.Replace:
+		// The payload is the sender's *entire* local sketch L. Applying
+		// net = L − tracker[sender] in one barrier makes our counters hold
+		// exactly L as that sender's contribution, no matter how far the
+		// watermark and the actually-absorbed mass had diverged (e.g. our
+		// marks were installed by a bootstrap transfer that outran what this
+		// sender shipped us directly). Only sound when the tracker provably
+		// covers everything the sender ever landed in our counters. One
+		// carve-out below: a wiped-and-restarted sender behind a hearsay
+		// mark gets its old mass kept as settled history instead.
+		tr := s.senderTracker(frame.Sender)
+		if tr == nil {
+			s.snapMu.Unlock()
+			s.deltasRejected.Add(1)
+			writeErr(w, r, http.StatusConflict,
+				"cannot apply replace frame from %q: received mass is untracked on this node (recovered without a consistent sender sidecar); use a reset resync",
+				frame.Sender)
+			return
+		}
+		apply := src
+		if s.hearsay[frame.Sender] && frame.ToGen < mark {
+			// The sender's generation counter sits *behind* the hearsay mark a
+			// bootstrap transfer installed for it — counters only move
+			// backwards by restarting, so the tracked mass is a previous
+			// incarnation's settled history. Keep it (exactly like an accepted
+			// reset-to-0 keeps pre-restart mass) and absorb the new
+			// incarnation's entire state as a fresh epoch; the tracker swap
+			// below anchors future replaces to the new incarnation only.
+		} else {
+			apply = src.Copy()
+			if err := apply.Sub(tr); err != nil {
+				s.snapMu.Unlock()
+				s.cfg.Logf("server: replace frame from %q rejected: %v", frame.Sender, err)
+				s.deltasRejected.Add(1)
+				writeErr(w, r, http.StatusBadRequest, "%v", err)
+				return
+			}
+		}
+		err := s.eng.Absorb(apply)
+		if err == nil {
+			err = s.foreign.Merge(apply)
+		}
+		if err != nil {
+			s.snapMu.Unlock()
+			s.cfg.Logf("server: replace frame from %q rejected: %v", frame.Sender, err)
+			s.deltasRejected.Add(1)
+			if errors.Is(err, engine.ErrClosed) {
+				writeErr(w, r, http.StatusServiceUnavailable, "server is shutting down")
+			} else {
+				writeErr(w, r, http.StatusBadRequest, "%v", err)
+			}
+			return
+		}
+		// The mark may move *down* here: a hearsay mark was installed by a
+		// bootstrap transfer that outran this (possibly restarted, possibly
+		// merely never-acked) sender's own generation counter. After the
+		// replace the tracker holds the sender's exact local state at ToGen,
+		// so anchoring the link at the sender's true generation is sound and
+		// the hearsay is resolved into an earned mark.
+		s.senders[frame.Sender] = src
+		s.watermarks[frame.Sender] = frame.ToGen
+		delete(s.hearsay, frame.Sender)
+		s.gen.Add(1)
+		s.snapMu.Unlock()
+		s.deltasReplaced.Add(1)
+		s.cfg.Logf("server: state from %q replaced at generation %d", frame.Sender, frame.ToGen)
+		writeJSON(w, http.StatusOK, DeltaResponse{Applied: true, Watermark: frame.ToGen, CanReplace: true})
 
 	case frame.FromGen != mark:
 		// The frame's window does not start at our watermark: the sender and
-		// we disagree about what has been shipped (somebody restarted).
-		// Refuse — applying would double-count the overlap or skip a gap.
+		// we disagree about what has been shipped (somebody restarted or we
+		// bootstrapped). Refuse — applying would double-count the overlap or
+		// skip a gap. When the sender's received mass is tracked here, the
+		// detail advertises the lossless replace resync.
+		replaceOK := s.canReplace(frame.Sender)
 		s.snapMu.Unlock()
 		s.deltasRejected.Add(1)
-		writeErr(w, r, http.StatusConflict,
+		detail := ""
+		if replaceOK {
+			detail = conflictDetailReplace
+		}
+		writeErrDetail(w, r, http.StatusConflict, detail,
 			"stale watermark for sender %q: frame covers generations (%d, %d], receiver watermark is %d",
 			frame.Sender, frame.FromGen, frame.ToGen, mark)
 
@@ -1045,12 +1315,59 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 			}
 			return
 		}
+		replaceOK := false
+		if tr := s.senderTracker(frame.Sender); tr != nil {
+			if err := tr.Merge(src); err != nil {
+				// Cannot happen for sketches the engine decoded, but if the
+				// tracker ever falls out of sync the only safe posture is to
+				// stop advertising replace for everyone.
+				delete(s.senders, frame.Sender)
+				s.untracked = true
+				s.cfg.Logf("server: sender tracker for %q diverged (%v): replace resync disabled", frame.Sender, err)
+			} else {
+				replaceOK = true
+			}
+		}
 		s.watermarks[frame.Sender] = frame.ToGen
+		// A frame whose window starts exactly at our mark proves the
+		// sender's numbering and ours agree — the mark is no longer hearsay.
+		delete(s.hearsay, frame.Sender)
 		s.gen.Add(1)
 		s.snapMu.Unlock()
 		s.deltasApplied.Add(1)
-		writeJSON(w, http.StatusOK, DeltaResponse{Applied: true, Watermark: frame.ToGen})
+		writeJSON(w, http.StatusOK, DeltaResponse{Applied: true, Watermark: frame.ToGen, CanReplace: replaceOK})
 	}
+}
+
+// conflictDetailReplace is the machine-readable detail attached to a 409
+// watermark conflict when this receiver can apply a lossless replace frame
+// from that sender instead of a destructive reset.
+const conflictDetailReplace = "resync=replace"
+
+// senderTracker returns the tracker of mass received from sender, lazily
+// creating one when that is provably sound: with untracked false, every
+// sender with mass in the counters already has an entry, so an absent entry
+// means this sender has contributed nothing yet and an empty tracker is
+// exact. Returns nil when no sound tracker exists. Caller holds s.snapMu.
+func (s *Server) senderTracker(sender string) *sketch.HeavyHitterTracker {
+	if tr, ok := s.senders[sender]; ok {
+		return tr
+	}
+	if s.untracked {
+		return nil
+	}
+	tr := s.proto.Clone()
+	s.senders[sender] = tr
+	return tr
+}
+
+// canReplace reports whether a replace frame from sender would be accepted.
+// Caller holds s.snapMu.
+func (s *Server) canReplace(sender string) bool {
+	if _, ok := s.senders[sender]; ok {
+		return true
+	}
+	return !s.untracked
 }
 
 // Gossip replication (sender side) -------------------------------------------
@@ -1070,11 +1387,25 @@ func (s *Server) gossipLoop() {
 	}
 }
 
-// gossipTick cuts one local-state snapshot and pushes every peer's delta
-// against it. Skipped entirely when every peer has acknowledged the current
-// local generation and nothing is pending — an idle mesh costs no barriers.
+// gossipTick cuts one local-state snapshot and pushes every eligible peer's
+// delta against it. Skipped entirely when every peer has acknowledged the
+// current local generation and nothing is pending — an idle mesh costs no
+// barriers. Peers sitting in a failure backoff window are skipped too, so an
+// unreachable peer costs one connection attempt per window instead of one
+// per tick.
 func (s *Server) gossipTick(ctx context.Context) {
-	if !s.gossipWorkPending() {
+	s.gossipPush(ctx, false)
+}
+
+func (s *Server) gossipPush(ctx context.Context, ignoreBackoff bool) {
+	if s.bootstrapping.Load() {
+		// No deltas ship until the bootstrap transfer lands: local ingest is
+		// gated off anyway, and a reset provoked mid-transfer would race the
+		// watermark install.
+		return
+	}
+	targets := s.gossipTargets(ignoreBackoff)
+	if len(targets) == 0 {
 		return
 	}
 	local, gen, err := s.localSnapshot()
@@ -1084,23 +1415,47 @@ func (s *Server) gossipTick(ctx context.Context) {
 		}
 		return
 	}
-	for _, p := range s.peers {
+	for _, p := range targets {
 		s.pushPeer(ctx, p, local, gen)
 	}
 }
 
-// gossipWorkPending reports whether any peer lags the current local
-// generation or holds an un-acked frame.
-func (s *Server) gossipWorkPending() bool {
+// gossipTargets returns the peers that lag the current local generation or
+// hold an un-acked frame, minus (unless ignoreBackoff) those still inside
+// their failure backoff window.
+func (s *Server) gossipTargets(ignoreBackoff bool) []*peerState {
 	g := s.localGen.Load()
+	now := time.Now()
+	var targets []*peerState
 	s.peerMu.Lock()
 	defer s.peerMu.Unlock()
 	for _, p := range s.peers {
-		if p.pending != nil || p.baseGen != g {
-			return true
+		if p.pending == nil && p.baseGen == g {
+			continue
+		}
+		if !ignoreBackoff && p.failStreak > 0 && now.Before(p.nextAttempt) {
+			continue
+		}
+		targets = append(targets, p)
+	}
+	return targets
+}
+
+// backoffFor returns the retry hold-off after streak consecutive transport
+// failures to one peer: one gossip interval, doubled per further failure,
+// capped at GossipBackoffMax.
+func (s *Server) backoffFor(streak int) time.Duration {
+	d := s.cfg.GossipEvery
+	for i := 1; i < streak; i++ {
+		d *= 2
+		if d >= s.cfg.GossipBackoffMax {
+			return s.cfg.GossipBackoffMax
 		}
 	}
-	return false
+	if d > s.cfg.GossipBackoffMax {
+		d = s.cfg.GossipBackoffMax
+	}
+	return d
 }
 
 // localSnapshot cuts the sketch of *locally ingested* updates: the engine's
@@ -1140,12 +1495,18 @@ func (s *Server) pushPeer(ctx context.Context, p *peerState, local *sketch.Heavy
 		resp, err := p.client.pushDeltaRaw(ctx, pending)
 		switch {
 		case err == nil && !resp.Applied && resp.Watermark > uint64(pendingGen):
-			// The receiver's watermark outruns our whole history: we
-			// restarted and it still remembers the previous incarnation.
-			// Without this check the no-op ack would be mistaken for a
-			// successful retry and post-restart mass would silently never
-			// replicate.
-			s.resyncRestartedSender(ctx, p)
+			// The receiver's watermark outruns the frame's window. On a
+			// never-acked link that means we restarted and it remembers the
+			// previous incarnation. After a successful ack it means the
+			// *receiver's* mark jumped past us (it bootstrapped and
+			// installed marks from a peer ahead of this link) — resetting
+			// to zero there would re-ship mass its counters already hold,
+			// so resolve the divergence instead.
+			if everAcked {
+				s.resolveConflict(ctx, p, local, gen, resp.CanReplace)
+				return
+			}
+			s.resyncRestartedSender(ctx, p, local, gen)
 			return
 		case err == nil:
 			s.peerMu.Lock()
@@ -1154,18 +1515,17 @@ func (s *Server) pushPeer(ctx context.Context, p *peerState, local *sketch.Heavy
 			p.framesAcked++
 			p.bytesShipped += int64(len(pending))
 			p.lastErr = ""
+			p.failStreak, p.nextAttempt = 0, time.Time{}
 			baseline, baseGen = pendingLocal, pendingGen
 			s.peerMu.Unlock()
 		case isWatermarkConflict(err) && !everAcked:
-			s.resyncRestartedSender(ctx, p)
+			s.resyncRestartedSender(ctx, p, local, gen)
 			return
 		case isWatermarkConflict(err):
-			s.resyncPeer(ctx, p, local, gen)
+			s.resolveConflict(ctx, p, local, gen, conflictAllowsReplace(err))
 			return
 		default:
-			s.peerMu.Lock()
-			p.lastErr = err.Error()
-			s.peerMu.Unlock()
+			s.peerFailed(p, err)
 			return
 		}
 	}
@@ -1197,30 +1557,115 @@ func (s *Server) pushPeer(ctx context.Context, p *peerState, local *sketch.Heavy
 	switch {
 	case err == nil && !resp.Applied:
 		// A fresh frame (not a retry) was acked without being applied: the
-		// receiver's watermark already covers our window, i.e. it remembers
-		// a previous incarnation of this node id — we restarted. Without
-		// this check the no-op ack would advance the baseline and
-		// post-restart mass would silently never replicate.
-		s.resyncRestartedSender(ctx, p)
+		// receiver's watermark already covers our window. On a never-acked
+		// link that means it remembers a previous incarnation of this node
+		// id — we restarted, and the no-op ack would otherwise advance the
+		// baseline and post-restart mass would silently never replicate.
+		// After a successful ack it means the receiver's own mark jumped
+		// (it bootstrapped) — resolve the divergence without a destructive
+		// reset-to-zero.
+		if everAcked {
+			s.resolveConflict(ctx, p, local, gen, resp.CanReplace)
+			return
+		}
+		s.resyncRestartedSender(ctx, p, local, gen)
 	case err == nil:
 		s.peerMu.Lock()
 		p.baseline, p.baseGen = local, gen
 		p.framesAcked++
 		p.bytesShipped += int64(len(frame))
 		p.lastErr = ""
+		p.failStreak, p.nextAttempt = 0, time.Time{}
 		s.peerMu.Unlock()
 	case isWatermarkConflict(err) && !everAcked:
-		s.resyncRestartedSender(ctx, p)
+		s.resyncRestartedSender(ctx, p, local, gen)
 	case isWatermarkConflict(err):
-		s.resyncPeer(ctx, p, local, gen)
+		s.resolveConflict(ctx, p, local, gen, conflictAllowsReplace(err))
 	default:
 		// Transport failure or 5xx: the outcome is unknown, so keep the
-		// frame and retry it verbatim next tick. If the peer did apply it,
-		// the retry is absorbed idempotently (toGen <= watermark).
+		// frame and retry it verbatim next tick (after the backoff window).
+		// If the peer did apply it, the retry is absorbed idempotently
+		// (toGen <= watermark).
 		s.peerMu.Lock()
 		p.pending, p.pendingLocal, p.pendingGen = frame, local, gen
-		p.lastErr = err.Error()
 		s.peerMu.Unlock()
+		s.peerFailed(p, err)
+	}
+}
+
+// peerFailed records a transport failure on a peer link: the error is
+// surfaced in /v1/stats and the next attempt is pushed out by an
+// exponentially growing backoff window.
+func (s *Server) peerFailed(p *peerState, err error) {
+	s.peerMu.Lock()
+	p.lastErr = err.Error()
+	p.failStreak++
+	p.nextAttempt = time.Now().Add(s.backoffFor(p.failStreak))
+	s.peerMu.Unlock()
+}
+
+// resolveConflict re-aligns a peer whose watermark diverged from our
+// generation sequence mid-session (typically: the peer wiped its disk and
+// bootstrapped, installing watermarks for us that no longer match what we
+// shipped it directly). When the peer tracks our received mass it accepts a
+// lossless replace frame; otherwise fall back to the legacy reset, which
+// drops un-acked local mass from gossip rather than risk double-counting.
+func (s *Server) resolveConflict(ctx context.Context, p *peerState, local *sketch.HeavyHitterTracker, gen int64, canReplace bool) {
+	if canReplace {
+		s.resyncPeerReplace(ctx, p, local, gen)
+		return
+	}
+	s.resyncPeer(ctx, p, local, gen)
+}
+
+// resyncPeerReplace heals a diverged peer exactly: ship our entire local
+// sketch L in a replace frame; the receiver swaps its recorded contribution
+// from this node for L in one barrier (absorbing L minus its tracker), so
+// no local mass is lost and none is double-counted, regardless of how the
+// two sides' windows diverged.
+func (s *Server) resyncPeerReplace(ctx context.Context, p *peerState, local *sketch.HeavyHitterTracker, gen int64) {
+	inner, err := local.MarshalBinary()
+	if err != nil {
+		s.cfg.Logf("server: encoding replace frame for %s: %v", p.url, err)
+		return
+	}
+	frame := AppendDeltaFrame(nil, DeltaFrame{
+		Sender:  s.cfg.NodeID,
+		ToGen:   uint64(gen),
+		Replace: true,
+		Payload: sketch.EncodeDelta(inner),
+	})
+	resp, err := p.client.pushDeltaRaw(ctx, frame)
+	switch {
+	case err == nil && !resp.Applied && resp.Watermark != uint64(gen):
+		// Duplicate-acked at some *other* watermark: the peer's mark for us
+		// outruns our whole post-restart generation counter and its tracker
+		// was not synchronized to `local`. Believing this ack would silently
+		// stop replicating until our counter catches up, so treat it as a
+		// failure and keep retrying — each round trip re-offers the conflict
+		// until one side's generation state lets the replace land.
+		s.peerFailed(p, fmt.Errorf("replace frame at generation %d duplicate-acked at watermark %d", gen, resp.Watermark))
+	case err == nil:
+		// Applied — or duplicate-acked exactly at gen because our previous
+		// replace's ack was lost, which still means the peer holds everything
+		// the cut covers. Either way `local` is now the peer's record of us.
+		s.peerMu.Lock()
+		p.pending, p.pendingLocal = nil, nil
+		p.baseline, p.baseGen = local, gen
+		p.framesAcked++
+		p.bytesShipped += int64(len(frame))
+		p.lastErr = ""
+		p.failStreak, p.nextAttempt = 0, time.Time{}
+		s.peerMu.Unlock()
+		s.cfg.Logf("server: peer %s diverged: healed with a replace frame at generation %d", p.url, gen)
+	case isWatermarkConflict(err):
+		// The peer refused the replace (its trackers are unusable after a
+		// sidecar-less recovery): fall back to the legacy reset.
+		s.resyncPeer(ctx, p, local, gen)
+	default:
+		// Unknown outcome: don't retain the frame (the next tick recuts and
+		// retries the conflict resolution from scratch), just back off.
+		s.peerFailed(p, err)
 	}
 }
 
@@ -1232,19 +1677,32 @@ func (s *Server) pushPeer(ctx context.Context, p *peerState, local *sketch.Heavy
 // (recovered snapshots count as foreign), and the peer's copy of our
 // pre-restart mass stays where its counters already are — so the full
 // re-ship loses nothing and double-counts nothing.
-func (s *Server) resyncRestartedSender(ctx context.Context, p *peerState) {
+//
+// A peer may refuse the reset: its mark for us is bootstrap-installed
+// hearsay, so from where it stands we may not have restarted at all — we
+// might be a long-running daemon whose virgin link it outran by
+// bootstrapping. It offers the replace resync instead, which is exact in
+// both cases, so take it.
+func (s *Server) resyncRestartedSender(ctx context.Context, p *peerState, local *sketch.HeavyHitterTracker, gen int64) {
 	frame := AppendDeltaFrame(nil, DeltaFrame{
 		Sender: s.cfg.NodeID,
 		Reset:  true, // FromGen = ToGen = 0: restart the window from scratch
 	})
 	_, err := p.client.pushDeltaRaw(ctx, frame)
+	if conflictAllowsReplace(err) {
+		s.resyncPeerReplace(ctx, p, local, gen)
+		return
+	}
 	s.peerMu.Lock()
 	p.pending, p.pendingLocal = nil, nil
 	p.baseline, p.baseGen = s.proto.Clone(), 0
 	if err != nil {
 		p.lastErr = err.Error() // the next frame will conflict and retry the resync
+		p.failStreak++
+		p.nextAttempt = time.Now().Add(s.backoffFor(p.failStreak))
 	} else {
 		p.lastErr = ""
+		p.failStreak, p.nextAttempt = 0, time.Time{}
 	}
 	s.peerMu.Unlock()
 	s.cfg.Logf("server: peer %s remembers a previous incarnation of %q: watermark reset to 0, re-shipping local state", p.url, s.cfg.NodeID)
@@ -1269,8 +1727,11 @@ func (s *Server) resyncPeer(ctx context.Context, p *peerState, local *sketch.Hea
 	p.baseline, p.baseGen = local, gen
 	if err != nil {
 		p.lastErr = err.Error() // next tick's frame will conflict and resync again
+		p.failStreak++
+		p.nextAttempt = time.Now().Add(s.backoffFor(p.failStreak))
 	} else {
 		p.lastErr = ""
+		p.failStreak, p.nextAttempt = 0, time.Time{}
 	}
 	s.peerMu.Unlock()
 	s.cfg.Logf("server: gossip watermark conflict with %s: reset to local generation %d", p.url, gen)
@@ -1281,6 +1742,14 @@ func (s *Server) resyncPeer(ctx context.Context, p *peerState, local *sketch.Hea
 func isWatermarkConflict(err error) bool {
 	var apiErr *APIError
 	return errors.As(err, &apiErr) && apiErr.Status == http.StatusConflict
+}
+
+// conflictAllowsReplace reports whether a 409 carries the receiver's offer
+// to resolve the divergence with a lossless replace frame.
+func conflictAllowsReplace(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusConflict &&
+		apiErr.Detail == conflictDetailReplace
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -1299,6 +1768,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		DeltasApplied:   s.deltasApplied.Load(),
 		DeltasDuplicate: s.deltasDuplicate.Load(),
 		DeltasRejected:  s.deltasRejected.Load(),
+		DeltasReplaced:  s.deltasReplaced.Load(),
 		StreamsActive:   s.streamsActive.Load(),
 		StreamFrames:    s.streamFrames.Load(),
 		EpochHits:       s.epochHits.Load(),
@@ -1314,7 +1784,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	gen := s.localGen.Load()
 	s.peerMu.Lock()
 	for _, p := range s.peers {
-		stats.Peers = append(stats.Peers, PeerStat{
+		stat := PeerStat{
 			URL:          p.url,
 			AckedGen:     p.baseGen,
 			LagGens:      gen - p.baseGen,
@@ -1322,7 +1792,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			BytesShipped: p.bytesShipped,
 			Pending:      p.pending != nil,
 			LastError:    p.lastErr,
-		})
+		}
+		if p.failStreak > 0 {
+			stat.BackoffMs = s.backoffFor(p.failStreak).Milliseconds()
+		}
+		stats.Peers = append(stats.Peers, stat)
 	}
 	s.peerMu.Unlock()
 	snap, snapGen, err := s.snapshotGen()
@@ -1339,7 +1813,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			stats.Watermarks[sender] = mark
 		}
 	}
+	switch {
+	case s.bootstrapping.Load():
+		stats.Bootstrap = "pending"
+	case s.bootstrapDegraded:
+		stats.Bootstrap = "degraded"
+	case s.wasBootstrapped:
+		stats.Bootstrap = "done"
+	}
+	stats.BootstrapSource = s.bootstrapSource
 	s.snapMu.Unlock()
+	stats.BootstrapFailures = s.bootstrapFailures.Load()
 	writeJSON(w, http.StatusOK, stats)
 }
 

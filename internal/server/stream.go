@@ -491,6 +491,13 @@ func (s *Server) serveFrames(c *streamConn, fr *frameReader, aw ackWriter, remot
 
 		switch frame.Type {
 		case streamFrameHello:
+			if s.bootstrapping.Load() {
+				// No sessions open until the bootstrap transfer lands; the
+				// error frame is retryable, so StreamUpdater redials until
+				// the node is serving.
+				sendErrorFrame(aw, "bootstrap in progress: state transfer from peers is not complete yet")
+				return
+			}
 			if sess != nil {
 				sendErrorFrame(aw, "duplicate hello frame")
 				return

@@ -30,11 +30,12 @@ import (
 
 // Content types of the HTTP API.
 const (
-	contentTypeJSON     = "application/json"
-	contentTypeBatch    = "application/x-sketch-batch"
-	contentTypeSnapshot = "application/x-sketch-snapshot"
-	contentTypeDelta    = "application/x-sketch-delta"
-	contentTypeStream   = "application/x-sketch-stream"
+	contentTypeJSON      = "application/json"
+	contentTypeBatch     = "application/x-sketch-batch"
+	contentTypeSnapshot  = "application/x-sketch-snapshot"
+	contentTypeDelta     = "application/x-sketch-delta"
+	contentTypeStream    = "application/x-sketch-stream"
+	contentTypeBootstrap = "application/x-sketch-bootstrap"
 )
 
 // batchMagic guards the binary update-batch format.
@@ -97,10 +98,14 @@ type MergeResponse struct {
 // DeltaResponse acknowledges a delta frame. Applied is false for retries of
 // already-applied frames (the idempotent path) and for reset frames;
 // Watermark is the receiver's per-sender generation watermark after the
-// frame was handled, i.e. the ToGen of the newest applied frame.
+// frame was handled, i.e. the ToGen of the newest applied frame. CanReplace
+// advertises that the receiver tracks the sender's cumulative shipped mass
+// and can therefore accept a lossless replace frame (see DeltaFrame) the
+// next time the generation windows diverge.
 type DeltaResponse struct {
-	Applied   bool   `json:"applied"`
-	Watermark uint64 `json:"watermark"`
+	Applied    bool   `json:"applied"`
+	Watermark  uint64 `json:"watermark"`
+	CanReplace bool   `json:"can_replace,omitempty"`
 }
 
 // PeerStat is the replication status of one configured gossip peer, as
@@ -114,6 +119,12 @@ type PeerStat struct {
 	BytesShipped int64  `json:"bytes_shipped"`
 	Pending      bool   `json:"pending"`
 	LastError    string `json:"last_error,omitempty"`
+	// BackoffMs is the length of the capped exponential backoff window the
+	// replicator is currently applying to this peer (0 when the peer is
+	// healthy): after a transport failure the next attempt waits one gossip
+	// period, then two, doubling up to the cap, so an unreachable peer costs
+	// one connection attempt per window instead of one per tick.
+	BackoffMs int64 `json:"peer_backoff_ms,omitempty"`
 }
 
 // Stats is the JSON body of GET /v1/stats.
@@ -143,8 +154,19 @@ type Stats struct {
 	DeltasApplied   int64             `json:"deltas_applied"`
 	DeltasDuplicate int64             `json:"deltas_duplicate"`
 	DeltasRejected  int64             `json:"deltas_rejected"`
+	DeltasReplaced  int64             `json:"deltas_replaced,omitempty"`
 	Watermarks      map[string]uint64 `json:"watermarks,omitempty"`
 	Peers           []PeerStat        `json:"peers,omitempty"`
+
+	// Peer-bootstrap status: empty when the daemon started from local state,
+	// otherwise "pending" (state transfer in progress, reads and writes answer
+	// 503), "done" (transfer absorbed from BootstrapSource) or "degraded"
+	// (every configured source failed BootstrapAttempts rounds; the daemon
+	// serves empty state rather than staying down). BootstrapFailures counts
+	// failed fetch attempts across sources and rounds.
+	Bootstrap         string `json:"bootstrap,omitempty"`
+	BootstrapSource   string `json:"bootstrap_source,omitempty"`
+	BootstrapFailures int64  `json:"bootstrap_failures,omitempty"`
 
 	// Streaming-ingest counters: connections currently attached (raw TCP and
 	// chunked HTTP), named stream sessions known (each holds an exactly-once
@@ -358,6 +380,8 @@ func DecodeBatchColumns(data []byte, items []uint64, deltas []float64) ([]uint64
 //	magic      [4]byte "SKD1"
 //	version    uint8   deltaFrameVersion
 //	flags      uint8   bit 0: reset frame (re-align the watermark, no payload)
+//	                   bit 1: replace frame (payload is the sender's whole
+//	                   local state; see deltaFlagReplace)
 //	senderLen  uint16  length of the sender id (must be >= 1)
 //	sender     senderLen bytes: the sending node's -node-id
 //	fromGen    uint64  sender-local generation of the last acked frame
@@ -375,8 +399,9 @@ func DecodeBatchColumns(data []byte, items []uint64, deltas []float64) ([]uint64
 //   - fromGen == watermark: the next frame in sequence; applied, watermark
 //     advances to toGen.
 //   - anything else: the two sides disagree about history (one of them
-//     restarted) — rejected with 409 so the sender can re-align with a reset
-//     frame instead of silently double-counting.
+//     restarted) — rejected with 409 so the sender can re-align instead of
+//     silently double-counting: with a lossless replace frame when the
+//     receiver advertised CanReplace, with a reset frame otherwise.
 
 // deltaMagic guards the delta frame format.
 var deltaMagic = [4]byte{'S', 'K', 'D', '1'}
@@ -386,6 +411,16 @@ const deltaFrameVersion = 1
 
 // deltaFlagReset marks a watermark re-alignment frame (empty payload).
 const deltaFlagReset = 1
+
+// deltaFlagReplace marks a full-state replacement frame: the payload is the
+// sender's entire local sketch (not a window delta). A receiver that tracks
+// the sender's cumulative shipped mass (see DeltaResponse.CanReplace)
+// subtracts that tracker and absorbs the payload in one barrier — by
+// linearity exactly the mass the diverged watermark window would have
+// carried — then adopts ToGen as the new watermark. FromGen must be zero.
+// Replace frames are only sent to receivers that advertised the capability,
+// so an older daemon never sees the flag.
+const deltaFlagReplace = 2
 
 // deltaFrameHeaderLen is the fixed prefix: magic, version, flags, senderLen.
 const deltaFrameHeaderLen = 8
@@ -400,6 +435,7 @@ type DeltaFrame struct {
 	FromGen uint64
 	ToGen   uint64
 	Reset   bool
+	Replace bool
 	Payload []byte
 }
 
@@ -411,6 +447,9 @@ func AppendDeltaFrame(buf []byte, f DeltaFrame) []byte {
 	var flags byte
 	if f.Reset {
 		flags |= deltaFlagReset
+	}
+	if f.Replace {
+		flags |= deltaFlagReplace
 	}
 	buf = append(buf, flags)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(f.Sender)))
@@ -438,6 +477,7 @@ func DecodeDeltaFrame(data []byte) (DeltaFrame, error) {
 		return f, fmt.Errorf("server: unsupported delta frame version %d (want %d)", v, deltaFrameVersion)
 	}
 	f.Reset = data[5]&deltaFlagReset != 0
+	f.Replace = data[5]&deltaFlagReplace != 0
 	senderLen := int(binary.BigEndian.Uint16(data[6:8]))
 	rest := data[deltaFrameHeaderLen:]
 	if senderLen < 1 {
@@ -458,11 +498,17 @@ func DecodeDeltaFrame(data []byte) (DeltaFrame, error) {
 	if f.ToGen < f.FromGen {
 		return f, fmt.Errorf("server: delta frame generations run backwards (from %d to %d)", f.FromGen, f.ToGen)
 	}
+	if f.Reset && f.Replace {
+		return f, fmt.Errorf("server: delta frame claims to be both a reset and a replace")
+	}
 	if f.Reset && payloadLen != 0 {
 		return f, fmt.Errorf("server: reset delta frame carries a %d-byte payload (must be empty)", payloadLen)
 	}
 	if !f.Reset && payloadLen == 0 {
 		return f, fmt.Errorf("server: delta frame has no payload")
+	}
+	if f.Replace && f.FromGen != 0 {
+		return f, fmt.Errorf("server: replace delta frame declares fromGen %d (must be 0: the payload is the sender's whole local state)", f.FromGen)
 	}
 	f.Payload = payload
 	return f, nil
